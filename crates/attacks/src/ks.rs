@@ -1,0 +1,147 @@
+//! Two-sample Kolmogorov–Smirnov test — a distribution-level baseline.
+//!
+//! The paper distinguishes correlation sets by their mean or variance; the
+//! KS statistic compares the *whole empirical distribution* of two
+//! coefficient sets and is the natural non-parametric alternative. It is
+//! also a standard leakage-detection tool alongside the Welch t-test.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AttackError;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_a − F_b|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+}
+
+/// The two-sample KS statistic between samples `a` and `b`.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Config`] for empty samples or non-finite values.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> Result<f64, AttackError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(AttackError::Config(
+            "KS test needs non-empty samples".into(),
+        ));
+    }
+    if a.iter().chain(b).any(|x| !x.is_finite()) {
+        return Err(AttackError::Config("KS samples must be finite".into()));
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        if sa[i] <= sb[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Ok(d)
+}
+
+/// The full test: statistic + asymptotic p-value.
+///
+/// The p-value uses the Kolmogorov asymptotic series
+/// `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}` with the Stephens effective-size
+/// correction; it is accurate for samples of a dozen points and up.
+///
+/// # Errors
+///
+/// Same as [`ks_statistic`].
+pub fn ks_test(a: &[f64], b: &[f64]) -> Result<KsResult, AttackError> {
+    let d = ks_statistic(a, b)?;
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let ne = (na * nb / (na + nb)).sqrt();
+    let lambda = (ne + 0.12 + 0.11 / ne) * d;
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        p += term;
+        sign = -sign;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    Ok(KsResult {
+        statistic: d,
+        p_value: (2.0 * p).clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * ((i * 2654435761) % 10_000) as f64 / 10_000.0)
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = uniform(100, 0.0, 1.0);
+        let r = ks_test(&a, &a.clone()).unwrap();
+        assert!(r.statistic < 0.02, "D = {}", r.statistic);
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = uniform(50, 0.0, 1.0);
+        let b = uniform(50, 10.0, 11.0);
+        let r = ks_test(&a, &b).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn shifted_distributions_are_detected() {
+        let a = uniform(200, 0.0, 1.0);
+        let b = uniform(200, 0.4, 1.4);
+        let r = ks_test(&a, &b).unwrap();
+        assert!(r.statistic > 0.3, "D = {}", r.statistic);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn same_distribution_different_draws_not_flagged() {
+        let a = uniform(150, 0.0, 1.0);
+        let b: Vec<f64> = uniform(150, 0.0, 1.0)
+            .into_iter()
+            .map(|x| (x + 0.37) % 1.0)
+            .collect();
+        let r = ks_test(&a, &b).unwrap();
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = uniform(80, 0.0, 2.0);
+        let b = uniform(120, 0.5, 1.5);
+        assert!(
+            (ks_statistic(&a, &b).unwrap() - ks_statistic(&b, &a).unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ks_statistic(&[], &[1.0]).is_err());
+        assert!(ks_statistic(&[1.0], &[]).is_err());
+        assert!(ks_statistic(&[f64::NAN], &[1.0]).is_err());
+    }
+}

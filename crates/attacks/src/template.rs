@@ -1,0 +1,321 @@
+//! Profiled (template) attack on the watermark leakage component.
+//!
+//! CPA ([`crate::cpa`]) is an *unprofiled* attack: it correlates leakage
+//! predictions with measurements. A **template attack** is the stronger,
+//! profiled variant: the adversary first characterizes a device they fully
+//! control (known key) by building per-leakage-class Gaussian templates
+//! (mean and spread of the measured power for every Hamming-distance class
+//! of the `H` register), then classifies the *target* device's key by
+//! maximum likelihood against those templates.
+//!
+//! Because the templates are built on a *different die* than the target,
+//! this module also demonstrates that the leakage classes transfer across
+//! CMOS process variation — the profiled analogue of the paper's
+//! variation-insensitivity claim.
+
+use ipmark_core::ip::{CounterKind, Substitution};
+use ipmark_core::WatermarkKey;
+use ipmark_traces::TraceSource;
+use serde::{Deserialize, Serialize};
+
+use crate::cpa::{per_cycle_profile, predicted_leakage, rank_guesses};
+use crate::error::AttackError;
+
+/// Number of Hamming-distance classes for an 8-bit register (0..=8).
+pub const NUM_CLASSES: usize = 9;
+
+/// Gaussian templates: per-HD-class mean and standard deviation of the
+/// per-cycle power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTemplates {
+    /// Mean power per HD class (NaN-free; unpopulated classes are filled
+    /// by linear interpolation from populated neighbours).
+    pub means: Vec<f64>,
+    /// Standard deviation per HD class (floored to a small positive value).
+    pub sigmas: Vec<f64>,
+}
+
+/// Result of a template classification over all 256 key guesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateAttackResult {
+    /// Log-likelihood per guess (index = guess value).
+    pub log_likelihoods: Vec<f64>,
+    /// The maximum-likelihood guess.
+    pub best_key: WatermarkKey,
+    /// Log-likelihood margin between best and second-best guess.
+    pub margin: f64,
+    /// Rank of the designated true key, if supplied.
+    pub true_key_rank: Option<usize>,
+}
+
+/// The per-cycle HD classes of the `H` register for one key hypothesis
+/// (the integer-class view of [`predicted_leakage`]).
+fn hd_classes(
+    counter: CounterKind,
+    substitution: Substitution,
+    key: WatermarkKey,
+    cycles: usize,
+) -> Vec<usize> {
+    predicted_leakage(counter, substitution, key, cycles)
+        .into_iter()
+        .map(|hd| hd as usize)
+        .collect()
+}
+
+/// Builds Gaussian templates from a profiling device with a *known* key.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Config`] for degenerate campaigns and propagates
+/// trace errors.
+pub fn build_templates<S: TraceSource + ?Sized>(
+    profiling: &S,
+    num_traces: usize,
+    samples_per_cycle: usize,
+    counter: CounterKind,
+    substitution: Substitution,
+    known_key: WatermarkKey,
+) -> Result<PowerTemplates, AttackError> {
+    let profile = per_cycle_profile(profiling, num_traces, samples_per_cycle)?;
+    let classes = hd_classes(counter, substitution, known_key, profile.len());
+
+    let mut sums = [0.0f64; NUM_CLASSES];
+    let mut sq_sums = [0.0f64; NUM_CLASSES];
+    let mut counts = [0usize; NUM_CLASSES];
+    for (p, &cls) in profile.iter().zip(&classes) {
+        sums[cls] += p;
+        sq_sums[cls] += p * p;
+        counts[cls] += 1;
+    }
+
+    let mut means = vec![f64::NAN; NUM_CLASSES];
+    let mut sigmas = vec![f64::NAN; NUM_CLASSES];
+    for cls in 0..NUM_CLASSES {
+        if counts[cls] > 0 {
+            let mean = sums[cls] / counts[cls] as f64;
+            means[cls] = mean;
+            let var = (sq_sums[cls] / counts[cls] as f64 - mean * mean).max(0.0);
+            sigmas[cls] = var.sqrt();
+        }
+    }
+    if means.iter().all(|m| m.is_nan()) {
+        return Err(AttackError::Config(
+            "profiling produced no populated leakage classes".into(),
+        ));
+    }
+
+    // Fill unpopulated classes by nearest-populated interpolation, and
+    // floor sigmas so likelihoods stay finite.
+    let populated: Vec<usize> = (0..NUM_CLASSES).filter(|&c| !means[c].is_nan()).collect();
+    let sigma_floor = populated
+        .iter()
+        .map(|&c| sigmas[c])
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 0.05;
+    for cls in 0..NUM_CLASSES {
+        if means[cls].is_nan() {
+            let nearest = populated
+                .iter()
+                .min_by_key(|&&p| p.abs_diff(cls))
+                .expect("at least one populated class");
+            means[cls] = means[*nearest];
+            sigmas[cls] = sigmas[*nearest];
+        }
+        sigmas[cls] = sigmas[cls].max(sigma_floor);
+    }
+
+    Ok(PowerTemplates { means, sigmas })
+}
+
+/// Classifies the target device's key by maximum likelihood against the
+/// templates.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Config`] for degenerate campaigns and propagates
+/// trace errors.
+pub fn template_attack<S: TraceSource + ?Sized>(
+    templates: &PowerTemplates,
+    target: &S,
+    num_traces: usize,
+    samples_per_cycle: usize,
+    counter: CounterKind,
+    substitution: Substitution,
+    true_key: Option<WatermarkKey>,
+) -> Result<TemplateAttackResult, AttackError> {
+    if templates.means.len() != NUM_CLASSES || templates.sigmas.len() != NUM_CLASSES {
+        return Err(AttackError::Config(format!(
+            "templates must cover {NUM_CLASSES} HD classes"
+        )));
+    }
+    let profile = per_cycle_profile(target, num_traces, samples_per_cycle)?;
+    if profile.len() < 4 {
+        return Err(AttackError::Config(format!(
+            "{} cycles is too short for a template attack",
+            profile.len()
+        )));
+    }
+
+    // The target die may have a different gain/offset than the profiling
+    // die; normalize both the profile and the templates to zero mean and
+    // unit spread before matching.
+    let normalize = |xs: &[f64]| -> Vec<f64> {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        let sd = var.sqrt().max(1e-12);
+        xs.iter().map(|x| (x - mean) / sd).collect()
+    };
+    let profile_n = normalize(&profile);
+
+    let mut log_likelihoods = Vec::with_capacity(256);
+    for g in 0..=255u8 {
+        let classes = hd_classes(counter, substitution, WatermarkKey::new(g), profile.len());
+        let predicted: Vec<f64> = classes.iter().map(|&c| templates.means[c]).collect();
+        let predicted_n = normalize(&predicted);
+        let mut ll = 0.0;
+        for ((&x, &mu), &cls) in profile_n.iter().zip(&predicted_n).zip(&classes) {
+            let sigma = templates.sigmas[cls].max(1e-9);
+            let z = (x - mu) / sigma;
+            ll += -0.5 * z * z - sigma.ln();
+        }
+        log_likelihoods.push(ll);
+    }
+
+    let (best_key, margin, true_key_rank) = rank_guesses(&log_likelihoods, true_key);
+    Ok(TemplateAttackResult {
+        log_likelihoods,
+        best_key,
+        margin,
+        true_key_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmark_core::ip::{default_chain, FabricatedDevice, IpSpec, SAMPLES_PER_CYCLE};
+    use ipmark_power::ProcessVariation;
+
+    fn campaign(
+        spec: &IpSpec,
+        die_seed: u64,
+        n: usize,
+    ) -> ipmark_power::SimulatedAcquisition {
+        let chain = default_chain().unwrap();
+        let mut die =
+            FabricatedDevice::fabricate(spec, &ProcessVariation::typical(), die_seed).unwrap();
+        die.acquisition(&chain, 256, n, die_seed * 13 + 1).unwrap()
+    }
+
+    #[test]
+    fn templates_transfer_across_dies_and_recover_the_key() {
+        let profiling_key = WatermarkKey::new(0x11);
+        let target_key = WatermarkKey::new(0xd8);
+        let profiling_spec = IpSpec::watermarked("prof", CounterKind::Gray, profiling_key);
+        let target_spec = IpSpec::watermarked("tgt", CounterKind::Gray, target_key);
+
+        let prof = campaign(&profiling_spec, 1, 300);
+        let templates = build_templates(
+            &prof,
+            300,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::AesSbox,
+            profiling_key,
+        )
+        .unwrap();
+        assert_eq!(templates.means.len(), NUM_CLASSES);
+        // Higher HD classes must draw more power.
+        assert!(templates.means[8] > templates.means[0]);
+
+        let target = campaign(&target_spec, 2, 300);
+        let result = template_attack(
+            &templates,
+            &target,
+            300,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::AesSbox,
+            Some(target_key),
+        )
+        .unwrap();
+        assert_eq!(result.best_key, target_key, "rank {:?}", result.true_key_rank);
+        assert_eq!(result.true_key_rank, Some(0));
+        assert!(result.margin > 0.0);
+    }
+
+    #[test]
+    fn template_attack_collapses_under_identity_ablation() {
+        let key = WatermarkKey::new(0x44);
+        let spec = IpSpec::watermarked_with_substitution(
+            "abl",
+            CounterKind::Gray,
+            key,
+            Substitution::Identity,
+        );
+        let prof = campaign(&spec, 3, 200);
+        let templates = build_templates(
+            &prof,
+            200,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::Identity,
+            key,
+        )
+        .unwrap();
+        let target = campaign(&spec, 4, 200);
+        let result = template_attack(
+            &templates,
+            &target,
+            200,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::Identity,
+            Some(key),
+        )
+        .unwrap();
+        // All guesses predict the same classes: margins vanish.
+        assert!(result.margin.abs() < 1e-6, "margin = {}", result.margin);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let key = WatermarkKey::new(1);
+        let spec = IpSpec::watermarked("t", CounterKind::Gray, key);
+        let acq = campaign(&spec, 5, 10);
+        let templates = build_templates(
+            &acq,
+            10,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::AesSbox,
+            key,
+        )
+        .unwrap();
+        let bad = PowerTemplates {
+            means: vec![0.0; 3],
+            sigmas: vec![1.0; 3],
+        };
+        assert!(template_attack(
+            &bad,
+            &acq,
+            10,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::AesSbox,
+            None
+        )
+        .is_err());
+        assert!(template_attack(
+            &templates,
+            &acq,
+            0,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::AesSbox,
+            None
+        )
+        .is_err());
+    }
+}

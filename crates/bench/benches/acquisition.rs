@@ -1,0 +1,45 @@
+//! Microbenchmark: trace acquisition — campaign preparation (one circuit
+//! simulation) and per-trace generation (noise + filter + regeneration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipmark_core::ip::{default_chain, FabricatedDevice, DEFAULT_CYCLES};
+use ipmark_core::ip_b;
+use ipmark_power::ProcessVariation;
+use std::hint::black_box;
+
+fn bench_prepare(c: &mut Criterion) {
+    let chain = default_chain().expect("built-in");
+    c.bench_function("acquisition-prepare-256-cycles", |b| {
+        let mut die =
+            FabricatedDevice::fabricate(&ip_b(), &ProcessVariation::typical(), 1).expect("die");
+        b.iter(|| {
+            black_box(
+                die.acquisition(&chain, DEFAULT_CYCLES, 400, 7)
+                    .expect("campaign"),
+            )
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let chain = default_chain().expect("built-in");
+    let mut die =
+        FabricatedDevice::fabricate(&ip_b(), &ProcessVariation::typical(), 1).expect("die");
+    let acq = die
+        .acquisition(&chain, DEFAULT_CYCLES, 10_000, 7)
+        .expect("campaign");
+    let mut group = c.benchmark_group("trace-generation");
+    for &n in &[1usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    black_box(acq.trace(i).expect("in range"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepare, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Macrobenchmark: CPA key search over all 256 guesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipmark_attacks::cpa::recover_key;
+use ipmark_core::ip::{default_chain, FabricatedDevice, IpSpec, Substitution, SAMPLES_PER_CYCLE};
+use ipmark_core::{CounterKind, WatermarkKey};
+use ipmark_power::ProcessVariation;
+use std::hint::black_box;
+
+fn bench_cpa(c: &mut Criterion) {
+    let kw = WatermarkKey::new(0x42);
+    let spec = IpSpec::watermarked("target", CounterKind::Gray, kw);
+    let chain = default_chain().expect("built-in");
+    let mut die =
+        FabricatedDevice::fabricate(&spec, &ProcessVariation::typical(), 5).expect("die");
+    let acq = die.acquisition(&chain, 256, 200, 6).expect("campaign");
+
+    let mut group = c.benchmark_group("cpa-recover-key");
+    group.sample_size(10);
+    for &n in &[50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    recover_key(
+                        &acq,
+                        n,
+                        SAMPLES_PER_CYCLE,
+                        CounterKind::Gray,
+                        Substitution::AesSbox,
+                        Some(kw),
+                    )
+                    .expect("cpa"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpa);
+criterion_main!(benches);

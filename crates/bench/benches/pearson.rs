@@ -1,0 +1,21 @@
+//! Microbenchmark: the Pearson coefficient over trace-sized series — the
+//! inner loop of the verification process (m evaluations per DUT).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipmark_traces::stats::pearson;
+use std::hint::black_box;
+
+fn bench_pearson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pearson");
+    for &len in &[256usize, 2048, 16384] {
+        let x: Vec<f64> = (0..len).map(|i| (i as f64 * 0.17).sin()).collect();
+        let y: Vec<f64> = (0..len).map(|i| (i as f64 * 0.17 + 0.3).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| pearson(black_box(&x), black_box(&y)).expect("valid series"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pearson);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Microbenchmark: cycle-accurate simulation of the watermarked IP
+//! netlists (one full 8-bit counter period).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipmark_core::{ip_a, ip_b, reference_ips};
+use std::hint::black_box;
+
+fn bench_circuit_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate-256-cycles");
+    for spec in [ip_a(), ip_b()] {
+        let mut circuit = spec.circuit().expect("valid spec");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name().to_owned()),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    circuit.reset();
+                    black_box(circuit.run_free(256).expect("simulation"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_circuit_build(c: &mut Criterion) {
+    c.bench_function("build-all-reference-circuits", |b| {
+        b.iter(|| {
+            for spec in reference_ips() {
+                black_box(spec.circuit().expect("valid spec"));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_circuit_simulation, bench_circuit_build);
+criterion_main!(benches);

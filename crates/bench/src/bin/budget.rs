@@ -1,0 +1,83 @@
+//! Extension **X5**: the acquisition-time / computation-time tradeoff of
+//! §V.B, quantified.
+//!
+//! The paper's closing discussion says the parameter `k` "only impacts the
+//! time required for measurement" while `m` "has an impact on the
+//! computation time of the correlation". This experiment puts numbers on
+//! both halves:
+//!
+//! * **measurement model** — with a DUT clock and trace length fixed, the
+//!   bench time is `(n1 + D·n2) × capture_time`, and `n2 = α·k·m`; the
+//!   table shows how the campaign duration scales with `k`;
+//! * **computation measurement** — the correlation process is run for a
+//!   sweep of `m` on a prepared campaign and its wall-clock time reported.
+
+use std::time::Instant;
+
+use ipmark_bench::quick_mode;
+use ipmark_core::ip::{default_chain, FabricatedDevice, DEFAULT_CYCLES};
+use ipmark_core::verify::{correlation_process, CorrelationParams};
+use ipmark_core::ip_b;
+use ipmark_power::ProcessVariation;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Assumed DUT clock for the measurement-time model (the paper's FPGA
+/// designs run tens of MHz; 10 MHz keeps the numbers conservative).
+const CLOCK_HZ: f64 = 10.0e6;
+/// Scope re-arm dead time per capture (typical bench value).
+const REARM_S: f64 = 1.0e-3;
+
+fn main() {
+    let alpha = 10usize;
+    let m = 20usize;
+    let duts = 4usize;
+    let capture_s = DEFAULT_CYCLES as f64 / CLOCK_HZ + REARM_S;
+
+    println!("# X5a: measurement-time model (alpha = {alpha}, m = {m}, {duts} DUTs,");
+    println!("#      {DEFAULT_CYCLES}-cycle captures at {} MHz + {} ms re-arm)", CLOCK_HZ / 1e6, REARM_S * 1e3);
+    println!("k,n1,n2,total_traces,bench_minutes");
+    for k in [10usize, 25, 50, 100, 200] {
+        let n1 = 8 * k;
+        let n2 = alpha * k * m;
+        let total = n1 + duts * n2;
+        let minutes = total as f64 * capture_s / 60.0;
+        println!("{k},{n1},{n2},{total},{minutes:.1}");
+    }
+
+    println!();
+    println!("# X5b: measured correlation-process compute time vs m");
+    println!("m,n2,wall_ms");
+    let chain = default_chain().expect("built-in");
+    let variation = ProcessVariation::typical();
+    let k = if quick_mode() { 10 } else { 50 };
+    let ms: &[usize] = if quick_mode() { &[5, 10] } else { &[5, 10, 20, 40, 80] };
+    let max_n2 = alpha * k * ms.last().expect("non-empty");
+    let mut refd_die = FabricatedDevice::fabricate(&ip_b(), &variation, 1).expect("die");
+    let mut dut_die = FabricatedDevice::fabricate(&ip_b(), &variation, 2).expect("die");
+    let refd = refd_die
+        .acquisition(&chain, DEFAULT_CYCLES, 8 * k, 3)
+        .expect("campaign");
+    let dut = dut_die
+        .acquisition(&chain, DEFAULT_CYCLES, max_n2, 4)
+        .expect("campaign");
+    for &m in ms {
+        let params = CorrelationParams {
+            n1: 8 * k,
+            n2: alpha * k * m,
+            k,
+            m,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t0 = Instant::now();
+        let c = correlation_process(&refd, &dut, &params, &mut rng).expect("process");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{m},{},{wall:.1}", params.n2);
+        assert_eq!(c.len(), m);
+    }
+
+    println!();
+    println!("# expectation per §V.B: bench time grows linearly in k (the only");
+    println!("# reason to keep k small), compute time grows linearly in m (the");
+    println!("# reason m is chosen just past the f_alpha(m) knee).");
+}

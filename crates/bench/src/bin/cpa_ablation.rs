@@ -1,0 +1,95 @@
+//! Extension **X4**: CPA key recovery and the S-Box ablation.
+//!
+//! Two questions about the leakage component:
+//!
+//! 1. How many traces does a third party need to recover `Kw` by
+//!    correlation power analysis? (The scheme is not meant to keep `Kw`
+//!    secret from a measuring adversary — this quantifies that.)
+//! 2. What does the S-Box buy? Replacing it with an identity table makes
+//!    the register activity key-independent: CPA collapses, and so does
+//!    the key's ability to separate IPs.
+
+use ipmark_attacks::cpa::recover_key;
+use ipmark_bench::quick_mode;
+use ipmark_core::ip::{
+    default_chain, FabricatedDevice, IpSpec, Substitution, SAMPLES_PER_CYCLE,
+};
+use ipmark_core::{CounterKind, WatermarkKey};
+use ipmark_power::ProcessVariation;
+
+fn campaign(spec: &IpSpec, cycles: usize, n: usize, seed: u64) -> ipmark_power::SimulatedAcquisition {
+    let chain = default_chain().expect("built-in");
+    let mut die =
+        FabricatedDevice::fabricate(spec, &ProcessVariation::typical(), seed).expect("die");
+    die.acquisition(&chain, cycles, n, seed ^ 0xbeef).expect("campaign")
+}
+
+fn main() {
+    let quick = quick_mode();
+    let cycles = 256;
+    let kw = WatermarkKey::new(0xc3);
+    let trace_counts: &[usize] = if quick {
+        &[10, 50, 200]
+    } else {
+        &[5, 10, 25, 50, 100, 200, 400]
+    };
+
+    println!("# X4a: CPA key recovery vs trace count (AES S-Box leakage component)");
+    println!("traces,recovered,true_key_rank,margin");
+    let spec = IpSpec::watermarked("target", CounterKind::Gray, kw);
+    let acq = campaign(&spec, cycles, *trace_counts.last().expect("non-empty"), 11);
+    for &n in trace_counts {
+        let r = recover_key(
+            &acq,
+            n,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::AesSbox,
+            Some(kw),
+        )
+        .expect("cpa");
+        println!(
+            "{n},{},{},{:.4}",
+            r.best_key == kw,
+            r.true_key_rank.expect("true key supplied"),
+            r.margin
+        );
+    }
+
+    println!();
+    println!("# X4b: ablation — identity table instead of the S-Box");
+    println!("traces,margin_sbox,margin_identity");
+    let ablated = IpSpec::watermarked_with_substitution(
+        "ablated",
+        CounterKind::Gray,
+        kw,
+        Substitution::Identity,
+    );
+    let acq_ablated = campaign(&ablated, cycles, *trace_counts.last().expect("non-empty"), 13);
+    for &n in trace_counts {
+        let with_sbox = recover_key(
+            &acq,
+            n,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::AesSbox,
+            Some(kw),
+        )
+        .expect("cpa");
+        let without = recover_key(
+            &acq_ablated,
+            n,
+            SAMPLES_PER_CYCLE,
+            CounterKind::Gray,
+            Substitution::Identity,
+            Some(kw),
+        )
+        .expect("cpa");
+        println!("{n},{:.4},{:.4}", with_sbox.margin, without.margin);
+    }
+
+    println!();
+    println!("# expectation: with the S-Box the true key is rank 0 within tens of");
+    println!("# traces and the margin grows with n; under the identity ablation the");
+    println!("# margin stays ~0 (all guesses predict the same leakage).");
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 4** of the paper: the correlation sets
+//! `C_{X,y,k,m}` for every reference IP X ∈ {A, B, C, D} against every
+//! DUT#y, with k = 50 and m = 20.
+//!
+//! The paper plots, per reference IP, the 4 × 20 coefficients as four
+//! series; this binary prints the same series as CSV blocks (one block per
+//! sub-figure) so they can be plotted directly, plus the qualitative
+//! summary the figure is meant to convey.
+
+use ipmark_bench::{campaign_config, run_reference_matrix};
+
+fn main() {
+    let config = campaign_config().expect("built-in configuration");
+    eprintln!(
+        "Figure 4 campaign: n1 = {}, n2 = {}, k = {}, m = {}, {} cycles/trace",
+        config.params.n1, config.params.n2, config.params.k, config.params.m, config.cycles
+    );
+    let t0 = std::time::Instant::now();
+    let matrix = run_reference_matrix().expect("campaign");
+    eprintln!("campaign completed in {:?}\n", t0.elapsed());
+
+    for (i, refd) in matrix.refd_names().iter().enumerate() {
+        println!("# {refd} — correlation against each DUT (m coefficients per DUT)");
+        println!(
+            "index,{}",
+            matrix
+                .dut_names()
+                .iter()
+                .enumerate()
+                .map(|(j, _)| format!("DUT#{}", j + 1))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let m = matrix.set(i, 0).expect("in range").len();
+        for row_idx in 0..m {
+            let mut line = format!("{row_idx}");
+            for j in 0..matrix.dut_names().len() {
+                let c = matrix.set(i, j).expect("in range").coefficients()[row_idx];
+                line.push_str(&format!(",{c:.4}"));
+            }
+            println!("{line}");
+        }
+        println!();
+    }
+
+    // The figure's message: matched pairs sit high and tight, mismatched
+    // pairs scatter.
+    println!("# summary (per reference IP): matched DUT vs best mismatched DUT");
+    for (i, refd) in matrix.refd_names().iter().enumerate() {
+        let matched = matrix.set(i, i).expect("square panel");
+        let mut best_mismatch_mean = f64::NEG_INFINITY;
+        for j in 0..matrix.dut_names().len() {
+            if j != i {
+                best_mismatch_mean =
+                    best_mismatch_mean.max(matrix.set(i, j).expect("in range").mean());
+            }
+        }
+        println!(
+            "{refd}: matched mean = {:.3} (variance {:.3e}), best mismatched mean = {:.3}",
+            matched.mean(),
+            matched.variance(),
+            best_mismatch_mean
+        );
+    }
+}

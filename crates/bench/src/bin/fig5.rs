@@ -1,0 +1,44 @@
+//! Regenerates **Figure 5** of the paper: the reselection probability
+//! `f_α(m)` for α = 10 over m = 1..50, its m → ∞ limit, the 5 % band and
+//! the resulting minimal m — plus the worked parameter plan of §V.B
+//! (`α = 10, k = 50, m = 20 ⇒ n2 = 10 000, P(ζ) = 0.0045`).
+
+use ipmark_core::params::{choose_m, f_alpha, f_limit, p_zeta, ParameterPlan};
+
+fn main() {
+    let alpha = 10.0;
+    let limit = f_limit(alpha).expect("alpha >= 1");
+    let band = 0.05;
+    let m_star = choose_m(alpha, band).expect("reachable limit");
+
+    println!("# f_alpha(m) for alpha = {alpha}");
+    println!("m,f_alpha,limit,lower_band,upper_band");
+    for m in 1..=50u64 {
+        let f = f_alpha(alpha, m).expect("valid m");
+        println!(
+            "{m},{f:.6},{limit:.6},{:.6},{:.6}",
+            limit * (1.0 - band),
+            limit * (1.0 + band)
+        );
+    }
+
+    println!();
+    println!("limit (m -> inf)      : {limit:.6}");
+    println!("5% band entered at m* : {m_star} (paper reads m >= 17 off the plot)");
+    println!(
+        "P(zeta) at paper's m=20: {:.4} (paper: 0.0045)",
+        p_zeta(alpha, 20).expect("valid")
+    );
+
+    let plan = ParameterPlan::from_alpha(alpha, band, 50).expect("valid plan");
+    println!();
+    println!("# section V.B parameter plan (alpha = 10, 5% band, k = 50)");
+    println!(
+        "m = {}, n2 = alpha*k*m = {}, P(zeta) = {:.4}",
+        plan.m, plan.n2, plan.p_zeta
+    );
+    println!(
+        "paper rounds m up to 20 for margin, giving n2 = {}",
+        (alpha * 50.0 * 20.0) as u64
+    );
+}

@@ -1,0 +1,101 @@
+//! Extension **X3**: single-device counterfeit detection as an ROC study.
+//!
+//! The paper's §I names two verification objectives; the second —
+//! detecting an IP *without* the mark among marked devices — is a binary
+//! decision per device. This experiment builds score populations over many
+//! fabricated dies:
+//!
+//! * positives: (RefD, DUT) pairs where the DUT carries the same
+//!   watermarked IP (different die);
+//! * negatives: DUTs carrying a different key, a different FSM, or no
+//!   leakage component at all (bare-counter counterfeits);
+//!
+//! scores each pair with the negated correlation-set variance (the paper's
+//! best distinguisher, inverted so higher = more likely genuine), and
+//! prints the ROC/AUC per negative class.
+
+use ipmark_attacks::roc::RocCurve;
+use ipmark_bench::quick_mode;
+use ipmark_core::matrix::{ExperimentConfig, IdentificationMatrix};
+use ipmark_core::verify::CorrelationParams;
+use ipmark_core::{ip, CounterKind, IpSpec, WatermarkKey};
+
+fn config(seed: u64, quick: bool) -> ExperimentConfig {
+    let mut c = ExperimentConfig::paper().expect("built-in");
+    c.seed = seed;
+    if quick {
+        c.cycles = 128;
+        c.params = CorrelationParams {
+            n1: 60,
+            n2: 1000,
+            k: 10,
+            m: 10,
+        };
+    } else {
+        c.params = CorrelationParams::paper();
+    }
+    c
+}
+
+/// Runs one RefD row against a DUT panel and returns the per-DUT scores
+/// (negated variance).
+fn scores_for(refd: &IpSpec, duts: &[IpSpec], seed: u64, quick: bool) -> Vec<f64> {
+    let matrix = IdentificationMatrix::run(
+        std::slice::from_ref(refd),
+        duts,
+        &config(seed, quick),
+    )
+    .expect("campaign");
+    matrix.variances()[0].iter().map(|v| -v).collect()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let trials: u64 = if quick { 4 } else { 12 };
+
+    let genuine = ip::ip_b();
+    let wrong_key = IpSpec::watermarked("wrong-key", CounterKind::Gray, WatermarkKey::new(0x11));
+    let wrong_fsm = IpSpec::watermarked("wrong-fsm", CounterKind::Binary, ip::KW1);
+    let unmarked = IpSpec::unmarked("counterfeit", CounterKind::Gray);
+
+    let mut positive = Vec::new();
+    let mut neg_key = Vec::new();
+    let mut neg_fsm = Vec::new();
+    let mut neg_unmarked = Vec::new();
+
+    for t in 0..trials {
+        let duts = vec![
+            genuine.clone(),
+            wrong_key.clone(),
+            wrong_fsm.clone(),
+            unmarked.clone(),
+        ];
+        let s = scores_for(&genuine, &duts, 5000 + t, quick);
+        positive.push(s[0]);
+        neg_key.push(s[1]);
+        neg_fsm.push(s[2]);
+        neg_unmarked.push(s[3]);
+    }
+
+    println!("# X3: counterfeit-detection ROC (score = -variance of C_{{RefD,DUT,m,k}})");
+    println!("# {trials} independent fabrications per class");
+    for (label, negatives) in [
+        ("different watermark key", &neg_key),
+        ("different FSM", &neg_fsm),
+        ("unmarked counterfeit", &neg_unmarked),
+    ] {
+        let roc = RocCurve::from_scores(&positive, negatives).expect("score populations");
+        let youden = roc.best_youden();
+        println!(
+            "negative class: {label:<26} AUC = {:.3}, best operating point: tpr = {:.2}, fpr = {:.2} at threshold {:.3e}",
+            roc.auc(),
+            youden.tpr,
+            youden.fpr,
+            youden.threshold
+        );
+    }
+
+    println!();
+    println!("# expectation: AUC ≈ 1.0 for every negative class — the variance");
+    println!("# statistic cleanly separates genuine devices from counterfeits.");
+}

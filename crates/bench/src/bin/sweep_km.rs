@@ -1,0 +1,64 @@
+//! Extension **X1**: sweep the averaging parameters `k` and `m`.
+//!
+//! §V.B claims that "values for k and m have not had a significant impact
+//! on the effectiveness of the proposed verification process". This sweep
+//! re-runs the identification campaign across a k × m grid and reports the
+//! confidence distances and verdict correctness for each point.
+
+use ipmark_bench::quick_mode;
+use ipmark_core::matrix::{ExperimentConfig, IdentificationMatrix};
+use ipmark_core::verify::CorrelationParams;
+use ipmark_core::{reference_ips, LowerVariance};
+
+fn main() {
+    let ks: &[usize] = if quick_mode() {
+        &[10, 25]
+    } else {
+        &[10, 25, 50, 100]
+    };
+    let ms: &[usize] = if quick_mode() { &[5, 10] } else { &[5, 10, 20, 40] };
+    let alpha = 10;
+    let ips = reference_ips();
+
+    println!("# X1: k/m sweep at alpha = {alpha} (variance distinguisher)");
+    println!("k,m,n2,all_correct,min_delta_v_percent,max_delta_mean_percent");
+    for &k in ks {
+        for &m in ms {
+            let mut config = ExperimentConfig::paper().expect("built-in");
+            config.params = CorrelationParams {
+                n1: 8 * k,
+                n2: alpha * k * m,
+                k,
+                m,
+            };
+            if quick_mode() {
+                config.cycles = 128;
+            }
+            let matrix =
+                IdentificationMatrix::run(&ips, &ips, &config).expect("campaign");
+            let decisions = matrix.decide(&LowerVariance).expect("panel");
+            let all_correct = decisions.iter().enumerate().all(|(i, d)| d.best == i);
+            let min_dv = matrix
+                .delta_vs()
+                .expect("≥ 2 DUTs")
+                .into_iter()
+                .fold(f64::INFINITY, f64::min);
+            let max_dmean = matrix
+                .delta_means()
+                .expect("≥ 2 DUTs")
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "{k},{m},{},{all_correct},{min_dv:.2},{max_dmean:.2}",
+                config.params.n2
+            );
+        }
+    }
+    println!();
+    println!("# expectation: at the paper's operating point (k = 50, m = 20) and");
+    println!("# above, identification is always correct with delta_v >> delta_mean.");
+    println!("# The sweep also exposes the envelope the paper does not chart: for");
+    println!("# small k*m the k-averages stay noisy and the m-sample variance");
+    println!("# estimate is unstable, so verdicts become unreliable — k and m are");
+    println!("# only 'insignificant' once both are large enough.");
+}

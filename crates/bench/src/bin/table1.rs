@@ -1,0 +1,54 @@
+//! Regenerates **Table I** of the paper: the means of the correlation sets
+//! `C̄_{X,y,k,m}` for every (reference IP, DUT) pair, with the
+//! mean-distinguisher confidence distance `Δmean` per row.
+
+use ipmark_bench::{campaign_config, mark_winners, render_table, run_reference_matrix};
+use ipmark_core::HigherMean;
+
+fn main() {
+    let config = campaign_config().expect("built-in configuration");
+    eprintln!(
+        "Table I campaign: n1 = {}, n2 = {}, k = {}, m = {}",
+        config.params.n1, config.params.n2, config.params.k, config.params.m
+    );
+    let matrix = run_reference_matrix().expect("campaign");
+
+    let means = matrix.means();
+    let deltas = matrix.delta_means().expect("≥ 2 DUTs");
+    let cols: Vec<String> = (1..=matrix.dut_names().len())
+        .map(|j| format!("DUT#{j}"))
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "TABLE I — MEANS OF THE DIFFERENT SETS OF CORRELATION COEFFICIENTS",
+            matrix.refd_names(),
+            &cols,
+            &means,
+            "Δmean",
+            &deltas,
+            false,
+        )
+    );
+
+    let winners = mark_winners(&means, false);
+    println!("\nhigher-mean verdicts:");
+    for (i, &w) in winners.iter().enumerate() {
+        let correct = if w == i { "correct" } else { "WRONG" };
+        println!(
+            "  {} -> DUT#{} ({correct}, Δmean = {:.2}%)",
+            matrix.refd_names()[i],
+            w + 1,
+            deltas[i]
+        );
+    }
+
+    let decisions = matrix.decide(&HigherMean).expect("panel decision");
+    assert!(
+        decisions
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.best == winners[i]),
+        "distinguisher and table disagree"
+    );
+}

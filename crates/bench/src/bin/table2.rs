@@ -1,0 +1,64 @@
+//! Regenerates **Table II** of the paper: the variances of the correlation
+//! sets `v(C_{X,y,k,m})` for every (reference IP, DUT) pair, with the
+//! variance-distinguisher confidence distance `Δv` per row — the paper's
+//! headline result (Δv ≫ Δmean).
+
+use ipmark_bench::{campaign_config, mark_winners, render_table, run_reference_matrix};
+use ipmark_core::LowerVariance;
+
+fn main() {
+    let config = campaign_config().expect("built-in configuration");
+    eprintln!(
+        "Table II campaign: n1 = {}, n2 = {}, k = {}, m = {}",
+        config.params.n1, config.params.n2, config.params.k, config.params.m
+    );
+    let matrix = run_reference_matrix().expect("campaign");
+
+    let variances = matrix.variances();
+    let delta_vs = matrix.delta_vs().expect("≥ 2 DUTs");
+    let delta_means = matrix.delta_means().expect("≥ 2 DUTs");
+    let cols: Vec<String> = (1..=matrix.dut_names().len())
+        .map(|j| format!("DUT#{j}"))
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "TABLE II — VARIANCE OF THE DIFFERENT SETS OF CORRELATION COEFFICIENTS",
+            matrix.refd_names(),
+            &cols,
+            &variances,
+            "Δv",
+            &delta_vs,
+            true,
+        )
+    );
+
+    let winners = mark_winners(&variances, true);
+    println!("\nlower-variance verdicts:");
+    for (i, &w) in winners.iter().enumerate() {
+        let correct = if w == i { "correct" } else { "WRONG" };
+        println!(
+            "  {} -> DUT#{} ({correct}, Δv = {:.2}%)",
+            matrix.refd_names()[i],
+            w + 1,
+            delta_vs[i]
+        );
+    }
+
+    let decisions = matrix.decide(&LowerVariance).expect("panel decision");
+    assert!(
+        decisions
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.best == winners[i]),
+        "distinguisher and table disagree"
+    );
+
+    // The paper's §V.A conclusion, checked numerically.
+    let min_dv = delta_vs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_dmean = delta_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nconclusion check: min Δv = {min_dv:.1}% vs max Δmean = {max_dmean:.1}% — variance {} the better distinguisher",
+        if min_dv > max_dmean { "is" } else { "is NOT" }
+    );
+}

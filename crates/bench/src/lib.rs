@@ -1,0 +1,160 @@
+//! # ipmark-bench
+//!
+//! The experiment harness of the `ipmark` reproduction of *"IP Watermark
+//! Verification Based on Power Consumption Analysis"* (SOCC 2014): one
+//! binary per table/figure of the paper, plus the extension experiments
+//! indexed in `DESIGN.md`, plus Criterion micro-benchmarks.
+//!
+//! | artefact | binary |
+//! |---|---|
+//! | Figure 4 (correlation sets) | `cargo run --release -p ipmark-bench --bin fig4` |
+//! | Table I (means + Δmean) | `--bin table1` |
+//! | Table II (variances + Δv) | `--bin table2` |
+//! | Figure 5 (`f_α(m)`) | `--bin fig5` |
+//! | X1: k/m sweep | `--bin sweep_km` |
+//! | X2: noise & variation sensitivity | `--bin sensitivity` |
+//! | X3: counterfeit ROC | `--bin roc` |
+//! | X4: CPA + S-Box ablation | `--bin cpa_ablation` |
+//!
+//! Set `IPMARK_QUICK=1` to run every binary on reduced campaigns (useful
+//! in CI); the printed tables keep the same format.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ipmark_core::matrix::{ExperimentConfig, IdentificationMatrix};
+use ipmark_core::verify::CorrelationParams;
+use ipmark_core::{reference_ips, CoreError};
+
+/// Whether the harness should run reduced campaigns
+/// (`IPMARK_QUICK` set to anything but `0` or empty).
+pub fn quick_mode() -> bool {
+    std::env::var("IPMARK_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// The campaign configuration for the current mode: the paper's full
+/// parameters, or a reduced set under [`quick_mode`].
+///
+/// # Errors
+///
+/// Never fails for the built-in constants.
+pub fn campaign_config() -> Result<ExperimentConfig, CoreError> {
+    if quick_mode() {
+        let mut c = ExperimentConfig::reduced()?;
+        c.cycles = 128;
+        c.params = CorrelationParams {
+            n1: 60,
+            n2: 1000,
+            k: 10,
+            m: 10,
+        };
+        Ok(c)
+    } else {
+        ExperimentConfig::paper()
+    }
+}
+
+/// Runs the paper's 4 RefD × 4 DUT campaign under the current mode.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run_reference_matrix() -> Result<IdentificationMatrix, CoreError> {
+    let config = campaign_config()?;
+    let ips = reference_ips();
+    IdentificationMatrix::run(&ips, &ips, &config)
+}
+
+/// Renders a labelled table of `f64` cells with a trailing annotation
+/// column, in the layout of the paper's Tables I/II.
+pub fn render_table(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    cells: &[Vec<f64>],
+    annotation_label: &str,
+    annotations: &[f64],
+    scientific: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<8}", "");
+    for c in col_labels {
+        let _ = write!(out, "{c:>12}");
+    }
+    let _ = writeln!(out, "{annotation_label:>12}");
+    for (i, row) in cells.iter().enumerate() {
+        let _ = write!(out, "{:<8}", row_labels[i]);
+        for v in row {
+            if scientific {
+                let _ = write!(out, "{v:>12.3e}");
+            } else {
+                let _ = write!(out, "{v:>12.3}");
+            }
+        }
+        let _ = writeln!(out, "{:>11.2}%", annotations[i]);
+    }
+    out
+}
+
+/// Marks the winning cell of each row with an asterisk for quick reading.
+pub fn mark_winners(cells: &[Vec<f64>], lower_wins: bool) -> Vec<usize> {
+    cells
+        .iter()
+        .map(|row| {
+            let mut best = 0usize;
+            for (j, v) in row.iter().enumerate() {
+                let better = if lower_wins {
+                    *v < row[best]
+                } else {
+                    *v > row[best]
+                };
+                if better {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_reads_environment() {
+        // The test environment may or may not set the variable; just check
+        // the call does not panic and is consistent.
+        let a = quick_mode();
+        let b = quick_mode();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_table_formats_all_rows() {
+        let s = render_table(
+            "T",
+            &["r1".into(), "r2".into()],
+            &["c1".into(), "c2".into()],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+            "Δ",
+            &[10.0, 20.0],
+            false,
+        );
+        assert!(s.contains("r1"));
+        assert!(s.contains("c2"));
+        assert!(s.contains("10.00%"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn mark_winners_picks_extremes() {
+        let cells = vec![vec![0.9, 0.1, 0.5], vec![0.2, 0.8, 0.3]];
+        assert_eq!(mark_winners(&cells, false), vec![0, 1]);
+        assert_eq!(mark_winners(&cells, true), vec![1, 0]);
+    }
+}

@@ -1,0 +1,651 @@
+//! The CLI subcommands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use ipmark_attacks::collision::analyze_collisions;
+use ipmark_attacks::cpa::{recover_key, recover_key_phase_robust};
+use ipmark_core::ip::{
+    default_chain, ip_a, ip_b, ip_c, ip_d, FabricatedDevice, IpSpec, Substitution,
+    DEFAULT_CYCLES, SAMPLES_PER_CYCLE,
+};
+use ipmark_core::params::ParameterPlan;
+use ipmark_core::report::VerificationReport;
+use ipmark_core::screen::CounterfeitScreen;
+use ipmark_core::{
+    correlation_process, CorrelationParams, CorrelationSet, CounterKind, WatermarkKey,
+};
+use ipmark_netlist::vcd::dump_vcd;
+use ipmark_power::ProcessVariation;
+use ipmark_traces::{io as trace_io, TraceSet};
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// The top-level usage text.
+pub fn help() -> String {
+    "\
+ipmark — IP watermark verification based on power-consumption analysis
+(reproduction of Marchand/Bossuet/Jung, IEEE SOCC 2014)
+
+USAGE: ipmark <command> [--flag value]...
+
+COMMANDS
+  simulate   Simulate a watermarked IP netlist.
+             --ip A|B|C|D | --counter binary|gray [--key 0xNN | --unmarked]
+             [--cycles N=256] [--vcd out.vcd]
+  acquire    Measure a trace campaign on a fabricated die (Pw(device, n)).
+             <ip flags as above> [--die-seed N=1] [--traces N=400]
+             [--cycles N=256] [--seed N=0] --out FILE [--format bin|csv]
+  verify     Verify which DUT campaign matches a reference campaign.
+             --refd FILE --dut FILE [--dut FILE]... [--k N=50] [--m N=20]
+             [--n1 N] [--n2 N] [--seed N=0] [--json]
+  params     Plan (alpha, m, k, n2) from a reselection-probability target.
+             [--alpha X=10] [--band F=0.05] [--k N=50] [--n1 N=400]
+  cpa        Recover the watermark key from a trace campaign.
+             --traces FILE --counter binary|gray [--spc N=8] [--limit N]
+             [--identity] [--phase-robust]
+  collision  Pairwise key-collision analysis of the leakage sequences.
+             [--counter gray] [--keys N=32] [--cycles N=256]
+             [--threshold F=0.5] [--identity]
+  screen     Absolute genuine/counterfeit decision for one DUT campaign.
+             --refd FILE --dut FILE (--threshold X | --genuine FILE...
+             [--margin F=2.5]) [--k N=50] [--m N=20] [--n1 N] [--n2 N]
+             [--seed N=0]
+  help       Show this text.
+
+Trace files: `.csv` for one-trace-per-line CSV, anything else for the
+compact binary format (IPMKTRC1)."
+        .to_owned()
+}
+
+/// Dispatches one parsed command line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage mistakes, I/O failures and library
+/// errors; the caller prints the message and sets the exit code.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(help()),
+        "simulate" => simulate(args),
+        "acquire" => acquire(args),
+        "verify" => verify(args),
+        "params" => params(args),
+        "cpa" => cpa(args),
+        "collision" => collision(args),
+        "screen" => screen(args),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `ipmark help`"
+        ))),
+    }
+}
+
+fn parse_counter(s: &str) -> Result<CounterKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "binary" | "bin" => Ok(CounterKind::Binary),
+        "gray" | "grey" => Ok(CounterKind::Gray),
+        other => Err(CliError::Usage(format!(
+            "unknown counter `{other}` (binary|gray)"
+        ))),
+    }
+}
+
+fn parse_key(s: &str) -> Result<WatermarkKey, CliError> {
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u8::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    v.map(WatermarkKey::new)
+        .map_err(|_| CliError::Usage(format!("cannot parse key `{s}` (0x00..0xff)")))
+}
+
+/// Builds the IP spec from `--ip A|B|C|D` or from
+/// `--counter ... [--key ... | --unmarked] [--identity]`.
+fn parse_ip(args: &Args) -> Result<IpSpec, CliError> {
+    if let Some(name) = args.get("ip")? {
+        return match name.to_ascii_uppercase().as_str() {
+            "A" | "IP_A" => Ok(ip_a()),
+            "B" | "IP_B" => Ok(ip_b()),
+            "C" | "IP_C" => Ok(ip_c()),
+            "D" | "IP_D" => Ok(ip_d()),
+            other => Err(CliError::Usage(format!(
+                "unknown reference IP `{other}` (A|B|C|D)"
+            ))),
+        };
+    }
+    let counter = parse_counter(args.get("counter")?.ok_or_else(|| {
+        CliError::Usage("need --ip A|B|C|D or --counter binary|gray".into())
+    })?)?;
+    if args.has("unmarked") {
+        return Ok(IpSpec::unmarked("unmarked", counter));
+    }
+    let key = parse_key(args.get("key")?.unwrap_or("0xa7"))?;
+    let substitution = if args.has("identity") {
+        Substitution::Identity
+    } else {
+        Substitution::AesSbox
+    };
+    Ok(IpSpec::watermarked_with_substitution(
+        format!("custom-{key}"),
+        counter,
+        key,
+        substitution,
+    ))
+}
+
+fn load_traces(path: &str) -> Result<TraceSet, CliError> {
+    let device = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("device")
+        .to_owned();
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let set = if path.ends_with(".csv") {
+        trace_io::read_csv(&device, reader)?
+    } else {
+        trace_io::read_binary(&device, reader)?
+    };
+    Ok(set)
+}
+
+fn save_traces(set: &TraceSet, path: &str, format: &str) -> Result<(), CliError> {
+    let file = File::create(path)?;
+    let writer = BufWriter::new(file);
+    match format {
+        "csv" => trace_io::write_csv(set, writer)?,
+        "bin" | "binary" => trace_io::write_binary(set, writer)?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format `{other}` (bin|csv)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<String, CliError> {
+    let spec = parse_ip(args)?;
+    let cycles: usize = args.get_or("cycles", DEFAULT_CYCLES)?;
+    let mut circuit = spec.circuit()?;
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "IP: {} ({:?} counter, key {:?})", spec.name(), spec.counter(), spec.key());
+    let _ = writeln!(out, "components:");
+    for info in circuit.component_infos() {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:<16} {}",
+            info.name,
+            info.type_name,
+            if info.sequential { "sequential" } else { "combinational" }
+        );
+    }
+
+    if let Some(vcd_path) = args.get("vcd")? {
+        let file = File::create(vcd_path)?;
+        dump_vcd(&mut circuit, cycles, spec.name(), BufWriter::new(file))??;
+        let _ = writeln!(out, "wrote {cycles}-cycle VCD to {vcd_path}");
+    }
+
+    circuit.reset();
+    let records = circuit.run_free(cycles)?;
+    let total_hd: u32 = records.iter().map(|r| r.total_state_hd()).sum();
+    let total_out: u32 = records.iter().map(|r| r.total_output_hd()).sum();
+    let _ = writeln!(
+        out,
+        "{cycles} cycles simulated: {} register-bit toggles ({:.3}/cycle), {} net-bit toggles",
+        total_hd,
+        f64::from(total_hd) / cycles as f64,
+        total_out
+    );
+    Ok(out)
+}
+
+fn acquire(args: &Args) -> Result<String, CliError> {
+    let spec = parse_ip(args)?;
+    let die_seed: u64 = args.get_or("die-seed", 1)?;
+    let traces: usize = args.get_or("traces", 400)?;
+    let cycles: usize = args.get_or("cycles", DEFAULT_CYCLES)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let out_path = args.require("out")?;
+    // Default the write format from the extension so that load_traces
+    // (which dispatches reads by extension) can read the file back.
+    let default_format = if out_path.ends_with(".csv") { "csv" } else { "bin" };
+    let format = args.get("format")?.unwrap_or(default_format).to_owned();
+
+    let chain = default_chain()?;
+    let mut die = FabricatedDevice::fabricate(&spec, &ProcessVariation::typical(), die_seed)?;
+    let acq = die.acquisition(&chain, cycles, traces, seed)?;
+    let set = acq.acquire_all()?;
+    save_traces(&set, out_path, &format)?;
+    Ok(format!(
+        "acquired {traces} traces x {} samples on {} (die seed {die_seed}) -> {out_path}",
+        set.trace_len(),
+        die.device().name()
+    ))
+}
+
+fn verify(args: &Args) -> Result<String, CliError> {
+    let refd_path = args.require("refd")?;
+    let dut_paths = args.all("dut");
+    if dut_paths.is_empty() {
+        return Err(CliError::Usage("need at least one --dut FILE".into()));
+    }
+    let refd = load_traces(refd_path)?;
+    let duts: Vec<TraceSet> = dut_paths
+        .iter()
+        .map(|p| load_traces(p))
+        .collect::<Result<_, _>>()?;
+
+    let k: usize = args.get_or("k", 50)?;
+    let m: usize = args.get_or("m", 20)?;
+    let n1: usize = args.get_or("n1", refd.len())?;
+    let n2_default = duts.iter().map(TraceSet::len).min().unwrap_or(0);
+    let n2: usize = args.get_or("n2", n2_default)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let params = CorrelationParams { n1, n2, k, m };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sets: Vec<CorrelationSet> = duts
+        .iter()
+        .map(|dut| correlation_process(&refd, dut, &params, &mut rng))
+        .collect::<Result<_, _>>()?;
+    let names: Vec<String> = duts.iter().map(|d| d.device().to_owned()).collect();
+
+    if duts.len() == 1 {
+        // Single-candidate mode: report the statistics without a
+        // comparative verdict.
+        let c = &sets[0];
+        return Ok(format!(
+            "reference {} vs {}: mean = {:.4}, variance = {:.4e} over m = {} coefficients\n\
+             (comparative verdicts need >= 2 --dut campaigns)",
+            refd.device(),
+            names[0],
+            c.mean(),
+            c.variance(),
+            c.len()
+        ));
+    }
+
+    let report = VerificationReport::new(refd.device(), params, &names, &sets)?;
+    if args.has("json") {
+        Ok(report.to_json()?)
+    } else {
+        Ok(report.render_text())
+    }
+}
+
+fn params(args: &Args) -> Result<String, CliError> {
+    let alpha: f64 = args.get_or("alpha", 10.0)?;
+    let band: f64 = args.get_or("band", 0.05)?;
+    let k: usize = args.get_or("k", 50)?;
+    let n1: usize = args.get_or("n1", 400)?;
+    let plan = ParameterPlan::from_alpha(alpha, band, k)?;
+    let params = plan.into_params(n1)?;
+    Ok(format!(
+        "alpha = {alpha}, limit band = {band}\n\
+         m  = {} (smallest m within the band of the m->inf limit)\n\
+         k  = {k} (acquisition-budget parameter)\n\
+         n2 = {} (= alpha * k * m)\n\
+         n1 = {n1}\n\
+         P(zeta) = {:.6}\n\
+         correlation parameters valid: {:?}",
+        plan.m,
+        plan.n2,
+        plan.p_zeta,
+        params.validate().is_ok()
+    ))
+}
+
+fn cpa(args: &Args) -> Result<String, CliError> {
+    let path = args.require("traces")?;
+    let counter = parse_counter(args.get("counter")?.unwrap_or("gray"))?;
+    let spc: usize = args.get_or("spc", SAMPLES_PER_CYCLE)?;
+    let set = load_traces(path)?;
+    let limit: usize = args.get_or("limit", set.len())?;
+    let substitution = if args.has("identity") {
+        Substitution::Identity
+    } else {
+        Substitution::AesSbox
+    };
+    let true_key = match args.get("true-key")? {
+        Some(s) => Some(parse_key(s)?),
+        None => None,
+    };
+    let result = if args.has("phase-robust") {
+        recover_key_phase_robust(&set, limit, spc, counter, substitution, true_key)?
+    } else {
+        recover_key(&set, limit, spc, counter, substitution, true_key)?
+    };
+    let mut out = format!(
+        "recovered key: {} (margin {:.4} over {} traces)",
+        result.best_key, result.margin, limit
+    );
+    if let Some(rank) = result.true_key_rank {
+        out.push_str(&format!("\ntrue key rank: {rank}"));
+    }
+    Ok(out)
+}
+
+fn collision(args: &Args) -> Result<String, CliError> {
+    let counter = parse_counter(args.get("counter")?.unwrap_or("gray"))?;
+    let num_keys: usize = args.get_or("keys", 32)?;
+    let cycles: usize = args.get_or("cycles", DEFAULT_CYCLES)?;
+    let threshold: f64 = args.get_or("threshold", 0.5)?;
+    let substitution = if args.has("identity") {
+        Substitution::Identity
+    } else {
+        Substitution::AesSbox
+    };
+    if !(2..=256).contains(&num_keys) {
+        return Err(CliError::Usage(format!(
+            "--keys must be 2..=256, got {num_keys}"
+        )));
+    }
+    let stride = 256 / num_keys;
+    let keys: Vec<WatermarkKey> = (0..num_keys)
+        .map(|i| WatermarkKey::new((i * stride) as u8))
+        .collect();
+    let analysis = analyze_collisions(counter, substitution, &keys, cycles, threshold)?;
+    Ok(format!(
+        "{} keys over {cycles} cycles ({counter:?} counter, {substitution:?}):\n\
+         max |rho|  = {:.4} (worst pair {} / {})\n\
+         mean |rho| = {:.4}\n\
+         collision rate at |rho| > {threshold}: {:.4}",
+        analysis.num_keys,
+        analysis.max_abs_correlation,
+        analysis.worst_pair.0,
+        analysis.worst_pair.1,
+        analysis.mean_abs_correlation,
+        analysis.collision_rate
+    ))
+}
+
+fn screen(args: &Args) -> Result<String, CliError> {
+    let refd = load_traces(args.require("refd")?)?;
+    let dut = load_traces(args.require("dut")?)?;
+    let k: usize = args.get_or("k", 50)?;
+    let m: usize = args.get_or("m", 20)?;
+    let n1: usize = args.get_or("n1", refd.len())?;
+    let n2: usize = args.get_or("n2", dut.len())?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let params = CorrelationParams { n1, n2, k, m };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let screen = if let Some(t) = args.get("threshold")? {
+        let threshold: f64 = t
+            .parse()
+            .map_err(|_| CliError::Usage(format!("cannot parse threshold `{t}`")))?;
+        CounterfeitScreen::with_threshold(threshold)?
+    } else {
+        let genuine_paths = args.all("genuine");
+        if genuine_paths.is_empty() {
+            return Err(CliError::Usage(
+                "need --threshold X or at least one --genuine FILE to calibrate".into(),
+            ));
+        }
+        let margin: f64 = args.get_or("margin", 2.5)?;
+        let mut variances = Vec::new();
+        for path in genuine_paths {
+            let genuine = load_traces(path)?;
+            let p = CorrelationParams {
+                n1,
+                n2: genuine.len().min(n2),
+                k,
+                m,
+            };
+            let c = correlation_process(&refd, &genuine, &p, &mut rng)?;
+            variances.push(c.variance());
+        }
+        CounterfeitScreen::calibrate(&variances, margin)?
+    };
+
+    let verdict = screen.screen(&refd, &dut, &params, &mut rng)?;
+    Ok(format!(
+        "device {}: variance = {:.4e} (mean {:.4}), threshold = {:.4e}\nverdict: {}",
+        dut.device(),
+        verdict.variance,
+        verdict.mean,
+        verdict.threshold,
+        if verdict.genuine { "GENUINE" } else { "COUNTERFEIT" }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, CliError> {
+        dispatch(&Args::parse(tokens.iter().copied()).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("ipmark-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = help();
+        for cmd in ["simulate", "acquire", "verify", "params", "cpa", "collision"] {
+            assert!(h.contains(cmd), "help is missing `{cmd}`");
+        }
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_ip_variants() {
+        let a = Args::parse(["x", "--ip", "a"]).unwrap();
+        assert_eq!(parse_ip(&a).unwrap().name(), "IP_A");
+        let c = Args::parse(["x", "--counter", "gray", "--key", "0x3c"]).unwrap();
+        let spec = parse_ip(&c).unwrap();
+        assert_eq!(spec.key().unwrap().value(), 0x3c);
+        let u = Args::parse(["x", "--counter", "binary", "--unmarked"]).unwrap();
+        assert!(parse_ip(&u).unwrap().key().is_none());
+        let bad = Args::parse(["x", "--ip", "z"]).unwrap();
+        assert!(parse_ip(&bad).is_err());
+        let none = Args::parse(["x"]).unwrap();
+        assert!(parse_ip(&none).is_err());
+    }
+
+    #[test]
+    fn key_parsing() {
+        assert_eq!(parse_key("0xff").unwrap().value(), 0xff);
+        assert_eq!(parse_key("10").unwrap().value(), 10);
+        assert!(parse_key("0x100").is_err());
+        assert!(parse_key("zz").is_err());
+    }
+
+    #[test]
+    fn simulate_reports_components() {
+        let out = run(&["simulate", "--ip", "B", "--cycles", "32"]).unwrap();
+        assert!(out.contains("gray-counter"));
+        assert!(out.contains("sync-rom"));
+        assert!(out.contains("32 cycles simulated"));
+    }
+
+    #[test]
+    fn simulate_writes_vcd() {
+        let vcd = tmp("sim.vcd");
+        let out = run(&["simulate", "--ip", "A", "--cycles", "16", "--vcd", &vcd]).unwrap();
+        assert!(out.contains("VCD"));
+        let text = std::fs::read_to_string(&vcd).unwrap();
+        assert!(text.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn acquire_then_verify_round_trip() {
+        let refd = tmp("refd.bin");
+        let dut_good = tmp("dut_good.bin");
+        let dut_bad = tmp("dut_bad.bin");
+        run(&[
+            "acquire", "--ip", "b", "--die-seed", "1", "--traces", "60", "--cycles", "128",
+            "--seed", "1", "--out", &refd,
+        ])
+        .unwrap();
+        run(&[
+            "acquire", "--ip", "b", "--die-seed", "2", "--traces", "600", "--cycles", "128",
+            "--seed", "2", "--out", &dut_good,
+        ])
+        .unwrap();
+        run(&[
+            "acquire", "--ip", "c", "--die-seed", "3", "--traces", "600", "--cycles", "128",
+            "--seed", "3", "--out", &dut_bad,
+        ])
+        .unwrap();
+        let out = run(&[
+            "verify", "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15",
+            "--m", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("VERDICT"), "output:\n{out}");
+        assert!(
+            out.lines()
+                .find(|l| l.contains("VERDICT"))
+                .unwrap()
+                .contains("dut_good"),
+            "wrong verdict:\n{out}"
+        );
+        // JSON mode parses back.
+        let json = run(&[
+            "verify", "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15",
+            "--m", "10", "--json",
+        ])
+        .unwrap();
+        assert!(ipmark_core::report::VerificationReport::from_json(&json).is_ok());
+    }
+
+    #[test]
+    fn verify_single_dut_reports_statistics() {
+        let refd = tmp("single_refd.bin");
+        let dut = tmp("single_dut.bin");
+        for (ip, seed, path, n) in [("a", "1", &refd, "40"), ("a", "2", &dut, "300")] {
+            run(&[
+                "acquire", "--ip", ip, "--die-seed", seed, "--traces", n, "--cycles", "64",
+                "--seed", seed, "--out", path,
+            ])
+            .unwrap();
+        }
+        let out = run(&[
+            "verify", "--refd", &refd, "--dut", &dut, "--k", "10", "--m", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("mean ="));
+        assert!(out.contains("variance ="));
+    }
+
+    #[test]
+    fn verify_requires_duts() {
+        let refd = tmp("verify_refd.bin");
+        run(&[
+            "acquire", "--ip", "a", "--traces", "20", "--cycles", "32", "--out", &refd,
+        ])
+        .unwrap();
+        assert!(matches!(
+            run(&["verify", "--refd", &refd]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn csv_format_round_trips() {
+        let path = tmp("traces.csv");
+        run(&[
+            "acquire", "--ip", "d", "--traces", "5", "--cycles", "16", "--out", &path,
+            "--format", "csv",
+        ])
+        .unwrap();
+        let set = load_traces(&path).unwrap();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.trace_len(), 16 * SAMPLES_PER_CYCLE);
+        assert!(matches!(
+            save_traces(&set, &tmp("x.bin"), "nope"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn params_command_reproduces_paper_plan() {
+        let out = run(&["params", "--alpha", "10", "--band", "0.05", "--k", "50"]).unwrap();
+        assert!(out.contains("P(zeta)"), "output:\n{out}");
+        assert!(out.contains("valid: true"));
+    }
+
+    #[test]
+    fn cpa_command_recovers_key_from_file() {
+        let path = tmp("cpa_traces.bin");
+        run(&[
+            "acquire", "--counter", "gray", "--key", "0x5b", "--die-seed", "4",
+            "--traces", "150", "--cycles", "256", "--seed", "9", "--out", &path,
+        ])
+        .unwrap();
+        let out = run(&[
+            "cpa", "--traces", &path, "--counter", "gray", "--true-key", "0x5b",
+        ])
+        .unwrap();
+        assert!(out.contains("Kw(0x5b)"), "output:\n{out}");
+        assert!(out.contains("true key rank: 0"), "output:\n{out}");
+    }
+
+    #[test]
+    fn screen_command_flags_counterfeit() {
+        let refd = tmp("screen_refd.bin");
+        let genuine = tmp("screen_genuine.bin");
+        let fake = tmp("screen_fake.bin");
+        run(&[
+            "acquire", "--ip", "c", "--die-seed", "1", "--traces", "80", "--cycles", "128",
+            "--seed", "1", "--out", &refd,
+        ])
+        .unwrap();
+        run(&[
+            "acquire", "--ip", "c", "--die-seed", "2", "--traces", "800", "--cycles", "128",
+            "--seed", "2", "--out", &genuine,
+        ])
+        .unwrap();
+        run(&[
+            "acquire", "--counter", "gray", "--unmarked", "--die-seed", "3", "--traces",
+            "800", "--cycles", "128", "--seed", "3", "--out", &fake,
+        ])
+        .unwrap();
+        let ok = run(&[
+            "screen", "--refd", &refd, "--dut", &genuine, "--genuine", &genuine, "--k", "20",
+            "--m", "10",
+        ])
+        .unwrap();
+        assert!(ok.contains("GENUINE"), "output:\n{ok}");
+        let bad = run(&[
+            "screen", "--refd", &refd, "--dut", &fake, "--genuine", &genuine, "--k", "20",
+            "--m", "10",
+        ])
+        .unwrap();
+        assert!(bad.contains("COUNTERFEIT"), "output:\n{bad}");
+        assert!(matches!(
+            run(&["screen", "--refd", &refd, "--dut", &fake]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn collision_command_summarizes() {
+        let out = run(&["collision", "--keys", "8", "--cycles", "128"]).unwrap();
+        assert!(out.contains("max |rho|"));
+        assert!(matches!(
+            run(&["collision", "--keys", "1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

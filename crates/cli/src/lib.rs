@@ -1,0 +1,58 @@
+//! # ipmark-cli
+//!
+//! The command-line front end of the `ipmark` reproduction of *"IP
+//! Watermark Verification Based on Power Consumption Analysis"*
+//! (SOCC 2014): simulate watermarked IPs, measure trace campaigns to
+//! files, verify devices-under-test against a reference, plan the §V.B
+//! parameters, and run the CPA/collision analyses — all from the shell.
+//!
+//! ```console
+//! $ ipmark acquire --ip B --die-seed 1 --traces 400 --out refd.bin
+//! $ ipmark acquire --ip B --die-seed 2 --traces 10000 --out dut1.bin
+//! $ ipmark acquire --ip C --die-seed 3 --traces 10000 --out dut2.bin
+//! $ ipmark verify --refd refd.bin --dut dut1.bin --dut dut2.bin
+//! ```
+//!
+//! The library surface ([`run`]) is what the binary calls; tests drive it
+//! directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::Args;
+pub use error::CliError;
+
+/// Parses raw arguments (without the program name) and runs the command,
+/// returning its stdout text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage mistakes, I/O failures and library
+/// errors.
+pub fn run<I, S>(tokens: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = Args::parse(tokens)?;
+    commands::dispatch(&args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_routes_to_help() {
+        assert!(run(["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn run_surfaces_usage_errors() {
+        assert!(matches!(run(Vec::<String>::new()), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,25 @@
+//! `ipmark` binary entry point: parse, dispatch, print, exit.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match ipmark_cli::run(tokens) {
+        Ok(output) => {
+            // Tolerate a closed pipe (`ipmark ... | head`): dropping the
+            // rest of the output is what the user asked for.
+            let _ = writeln!(std::io::stdout(), "{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ipmark: {e}");
+            if matches!(e, ipmark_cli::CliError::Usage(_)) {
+                eprintln!("try `ipmark help`");
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for the verification library.
+
+use std::fmt;
+
+use ipmark_netlist::NetlistError;
+use ipmark_power::PowerError;
+use ipmark_traces::{StatsError, TraceError};
+
+/// Error raised by the watermark verification pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Circuit construction failed.
+    Netlist(NetlistError),
+    /// Power simulation failed.
+    Power(PowerError),
+    /// Trace handling failed.
+    Trace(TraceError),
+    /// A statistic could not be computed.
+    Stats(StatsError),
+    /// The correlation-process parameters are inconsistent.
+    InvalidParams {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A comparative decision needs at least two candidates.
+    NotEnoughCandidates {
+        /// Number of candidates provided.
+        provided: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Power(e) => write!(f, "power simulation error: {e}"),
+            CoreError::Trace(e) => write!(f, "trace error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::InvalidParams { reason } => {
+                write!(f, "invalid correlation parameters: {reason}")
+            }
+            CoreError::NotEnoughCandidates { provided } => write!(
+                f,
+                "comparative verification needs at least 2 candidate devices, got {provided}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Power(e) => Some(e),
+            CoreError::Trace(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<ipmark_netlist::BitsError> for CoreError {
+    fn from(e: ipmark_netlist::BitsError) -> Self {
+        CoreError::Netlist(e.into())
+    }
+}
+
+impl From<PowerError> for CoreError {
+    fn from(e: PowerError) -> Self {
+        CoreError::Power(e)
+    }
+}
+
+impl From<TraceError> for CoreError {
+    fn from(e: TraceError) -> Self {
+        CoreError::Trace(e)
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors: Vec<CoreError> = vec![
+            CoreError::Netlist(NetlistError::UnknownComponent { id: 0 }),
+            CoreError::Power(PowerError::Config("x".into())),
+            CoreError::Trace(TraceError::EmptySet),
+            CoreError::Stats(StatsError::ZeroVariance),
+            CoreError::InvalidParams {
+                reason: "k > n1".into(),
+            },
+            CoreError::NotEnoughCandidates { provided: 1 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        assert!(CoreError::Stats(StatsError::ZeroVariance).source().is_some());
+        assert!(CoreError::NotEnoughCandidates { provided: 0 }
+            .source()
+            .is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Watermark keys.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit watermark key `Kw`, XOR-mixed with the FSM state before the
+/// S-Box lookup (Fig. 3 of the paper).
+///
+/// Two IPs with the *same* FSM but *different* keys produce uncorrelated
+/// S-Box-output sequences, which is how the key "reduces the risk of
+/// collision between different IPs with the same FSM" (§I).
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_core::WatermarkKey;
+///
+/// let kw = WatermarkKey::new(0xa7);
+/// assert_eq!(kw.value(), 0xa7);
+/// assert_eq!(kw.to_string(), "Kw(0xa7)");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct WatermarkKey(u8);
+
+impl WatermarkKey {
+    /// Wraps a key byte.
+    pub fn new(value: u8) -> Self {
+        Self(value)
+    }
+
+    /// `const` constructor for compile-time key constants.
+    pub const fn from_const(value: u8) -> Self {
+        Self(value)
+    }
+
+    /// Draws a uniformly random key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self(rng.gen())
+    }
+
+    /// The key byte.
+    pub fn value(&self) -> u8 {
+        self.0
+    }
+
+    /// Mixes the key into an FSM state byte (the XOR stage of the leakage
+    /// component).
+    pub fn mix(&self, state: u8) -> u8 {
+        state ^ self.0
+    }
+}
+
+impl fmt::Display for WatermarkKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kw({:#04x})", self.0)
+    }
+}
+
+impl From<u8> for WatermarkKey {
+    fn from(v: u8) -> Self {
+        Self(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mix_is_self_inverse() {
+        let kw = WatermarkKey::new(0x3c);
+        for s in 0..=255u8 {
+            assert_eq!(kw.mix(kw.mix(s)), s);
+        }
+    }
+
+    #[test]
+    fn random_keys_cover_the_space() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4096 {
+            seen.insert(WatermarkKey::random(&mut rng).value());
+        }
+        assert!(seen.len() > 250, "only {} distinct keys", seen.len());
+    }
+
+    #[test]
+    fn display_and_conversion() {
+        let kw: WatermarkKey = 0xffu8.into();
+        assert_eq!(kw.to_string(), "Kw(0xff)");
+        assert_eq!(WatermarkKey::default().value(), 0);
+    }
+}

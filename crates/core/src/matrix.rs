@@ -1,0 +1,301 @@
+//! The full identification experiment of §IV: every reference device
+//! against every device under test.
+//!
+//! The paper fabricates four RefD boards (IP_A…IP_D) and four DUT boards
+//! (DUT#1…DUT#4 carrying the same IPs), measures `n1 = 400` traces per
+//! RefD and `n2 = 10 000` per DUT, and computes the 16 correlation sets
+//! `C_{X,y,k,m}` shown in Figure 4. [`IdentificationMatrix::run`]
+//! reproduces that campaign end-to-end on the simulated substrate.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use ipmark_power::chain::MeasurementChain;
+use ipmark_power::device::ProcessVariation;
+use ipmark_power::SimulatedAcquisition;
+
+use crate::distinguisher::{delta_mean, delta_v, Decision, Distinguisher};
+use crate::error::CoreError;
+use crate::ip::{default_chain, FabricatedDevice, IpSpec, DEFAULT_CYCLES};
+use crate::verify::{correlation_process, CorrelationParams, CorrelationSet};
+
+/// Everything that defines one verification campaign.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Correlation-process parameters `(n1, n2, k, m)`.
+    pub params: CorrelationParams,
+    /// Clock cycles captured per trace (must exceed the FSM period for
+    /// unambiguous verification).
+    pub cycles: usize,
+    /// Process-variation corner the dies are drawn from.
+    pub variation: ProcessVariation,
+    /// The oscilloscope model.
+    pub chain: MeasurementChain,
+    /// Master seed: dies, campaigns and selections all derive from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's full campaign: `n1 = 400`, `n2 = 10 000`, `k = 50`,
+    /// `m = 20`, 256-cycle traces.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn paper() -> Result<Self, CoreError> {
+        Ok(Self {
+            params: CorrelationParams::paper(),
+            cycles: DEFAULT_CYCLES,
+            variation: ProcessVariation::typical(),
+            chain: default_chain()?,
+            seed: 2014,
+        })
+    }
+
+    /// A reduced campaign for fast tests: same α, an order of magnitude
+    /// fewer traces, full-period captures.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn reduced() -> Result<Self, CoreError> {
+        Ok(Self {
+            params: CorrelationParams::reduced(),
+            cycles: DEFAULT_CYCLES,
+            variation: ProcessVariation::typical(),
+            chain: default_chain()?,
+            seed: 2014,
+        })
+    }
+}
+
+/// The 16 (or R×D) correlation sets of one campaign, plus the derived
+/// tables of the paper's §V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdentificationMatrix {
+    refd_names: Vec<String>,
+    dut_names: Vec<String>,
+    sets: Vec<Vec<CorrelationSet>>,
+}
+
+impl IdentificationMatrix {
+    /// Runs the campaign: fabricate one die per reference IP and one die
+    /// per DUT IP (distinct dies, as in the paper's eight FPGAs), measure
+    /// `n1` / `n2` traces, and compute every `C_{X,y,k,m}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabrication, acquisition and correlation errors.
+    pub fn run(
+        refd_specs: &[IpSpec],
+        dut_specs: &[IpSpec],
+        config: &ExperimentConfig,
+    ) -> Result<Self, CoreError> {
+        config.params.validate()?;
+        if refd_specs.is_empty() || dut_specs.is_empty() {
+            return Err(CoreError::InvalidParams {
+                reason: "need at least one reference and one DUT".into(),
+            });
+        }
+
+        // Fabricate and measure the DUT boards once; the same boards serve
+        // every reference row (as in the paper).
+        let mut dut_acqs: Vec<SimulatedAcquisition> = Vec::with_capacity(dut_specs.len());
+        for (j, spec) in dut_specs.iter().enumerate() {
+            let die_seed = config.seed.wrapping_mul(1009).wrapping_add(100 + j as u64);
+            let mut die = FabricatedDevice::fabricate(spec, &config.variation, die_seed)?;
+            let campaign_seed = config
+                .seed
+                .wrapping_mul(31)
+                .wrapping_add(j as u64)
+                .wrapping_add(0x00D0_7000);
+            dut_acqs.push(die.acquisition(
+                &config.chain,
+                config.cycles,
+                config.params.n2,
+                campaign_seed,
+            )?);
+        }
+
+        let mut sets = Vec::with_capacity(refd_specs.len());
+        for (i, spec) in refd_specs.iter().enumerate() {
+            let die_seed = config.seed.wrapping_mul(1009).wrapping_add(i as u64);
+            let mut die = FabricatedDevice::fabricate(spec, &config.variation, die_seed)?;
+            let campaign_seed = config.seed.wrapping_mul(37).wrapping_add(i as u64);
+            let refd_acq = die.acquisition(
+                &config.chain,
+                config.cycles,
+                config.params.n1,
+                campaign_seed,
+            )?;
+
+            let mut row = Vec::with_capacity(dut_acqs.len());
+            for (j, dut_acq) in dut_acqs.iter().enumerate() {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_mul(7919)
+                        .wrapping_add((i * dut_acqs.len() + j) as u64),
+                );
+                row.push(correlation_process(
+                    &refd_acq,
+                    dut_acq,
+                    &config.params,
+                    &mut rng,
+                )?);
+            }
+            sets.push(row);
+        }
+
+        Ok(Self {
+            refd_names: refd_specs.iter().map(|s| s.name().to_owned()).collect(),
+            dut_names: dut_specs.iter().map(|s| s.name().to_owned()).collect(),
+            sets,
+        })
+    }
+
+    /// Reference-device names (row labels).
+    pub fn refd_names(&self) -> &[String] {
+        &self.refd_names
+    }
+
+    /// DUT names (column labels).
+    pub fn dut_names(&self) -> &[String] {
+        &self.dut_names
+    }
+
+    /// The correlation set for (reference row, DUT column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for out-of-range indices.
+    pub fn set(&self, refd: usize, dut: usize) -> Result<&CorrelationSet, CoreError> {
+        self.sets
+            .get(refd)
+            .and_then(|row| row.get(dut))
+            .ok_or_else(|| CoreError::InvalidParams {
+                reason: format!("matrix index ({refd}, {dut}) out of range"),
+            })
+    }
+
+    /// All correlation sets, row-major.
+    pub fn sets(&self) -> &[Vec<CorrelationSet>] {
+        &self.sets
+    }
+
+    /// Table I: the mean of every correlation set.
+    pub fn means(&self) -> Vec<Vec<f64>> {
+        self.sets
+            .iter()
+            .map(|row| row.iter().map(CorrelationSet::mean).collect())
+            .collect()
+    }
+
+    /// Table II: the variance of every correlation set.
+    pub fn variances(&self) -> Vec<Vec<f64>> {
+        self.sets
+            .iter()
+            .map(|row| row.iter().map(CorrelationSet::variance).collect())
+            .collect()
+    }
+
+    /// Table I right column: `Δmean` per reference row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a statistics error with fewer than two DUTs.
+    pub fn delta_means(&self) -> Result<Vec<f64>, CoreError> {
+        self.means().iter().map(|row| delta_mean(row)).collect()
+    }
+
+    /// Table II right column: `Δv` per reference row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a statistics error with fewer than two DUTs.
+    pub fn delta_vs(&self) -> Result<Vec<f64>, CoreError> {
+        self.variances().iter().map(|row| delta_v(row)).collect()
+    }
+
+    /// Runs a distinguisher over every reference row, returning one
+    /// [`Decision`] per row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the distinguisher's candidate-count requirements.
+    pub fn decide<D: Distinguisher + ?Sized>(
+        &self,
+        distinguisher: &D,
+    ) -> Result<Vec<Decision>, CoreError> {
+        self.sets.iter().map(|row| distinguisher.decide(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinguisher::{HigherMean, LowerVariance};
+    use crate::ip::{ip_a, ip_b};
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::reduced().unwrap();
+        c.cycles = 128;
+        c.params = CorrelationParams {
+            n1: 45,
+            n2: 1_800,
+            k: 15,
+            m: 12,
+        };
+        c
+    }
+
+    #[test]
+    fn run_rejects_empty_panels() {
+        let config = tiny_config();
+        assert!(IdentificationMatrix::run(&[], &[ip_a()], &config).is_err());
+        assert!(IdentificationMatrix::run(&[ip_a()], &[], &config).is_err());
+    }
+
+    #[test]
+    fn matrix_shape_and_labels() {
+        let config = tiny_config();
+        let m =
+            IdentificationMatrix::run(&[ip_a(), ip_b()], &[ip_a(), ip_b()], &config).unwrap();
+        assert_eq!(m.refd_names(), &["IP_A", "IP_B"]);
+        assert_eq!(m.dut_names(), &["IP_A", "IP_B"]);
+        assert_eq!(m.sets().len(), 2);
+        assert_eq!(m.sets()[0].len(), 2);
+        assert_eq!(m.set(0, 1).unwrap().len(), 12);
+        assert!(m.set(2, 0).is_err());
+        assert_eq!(m.means().len(), 2);
+        assert_eq!(m.variances()[1].len(), 2);
+    }
+
+    #[test]
+    fn two_ip_matrix_identifies_correctly() {
+        let config = tiny_config();
+        let m =
+            IdentificationMatrix::run(&[ip_a(), ip_b()], &[ip_a(), ip_b()], &config).unwrap();
+        let decisions = m.decide(&LowerVariance).unwrap();
+        assert_eq!(decisions[0].best, 0, "IP_A must match DUT carrying IP_A");
+        assert_eq!(decisions[1].best, 1, "IP_B must match DUT carrying IP_B");
+        let dm = m.decide(&HigherMean).unwrap();
+        assert_eq!(dm[0].best, 0);
+        assert_eq!(dm[1].best, 1);
+        assert_eq!(m.delta_means().unwrap().len(), 2);
+        assert!(m.delta_vs().unwrap().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn run_is_deterministic_in_the_seed() {
+        let config = tiny_config();
+        let m1 = IdentificationMatrix::run(&[ip_a()], &[ip_a(), ip_b()], &config).unwrap();
+        let m2 = IdentificationMatrix::run(&[ip_a()], &[ip_a(), ip_b()], &config).unwrap();
+        assert_eq!(m1, m2);
+        let mut other = tiny_config();
+        other.seed = 9999;
+        let m3 = IdentificationMatrix::run(&[ip_a()], &[ip_a(), ip_b()], &other).unwrap();
+        assert_ne!(m1, m3);
+    }
+}

@@ -1,0 +1,338 @@
+//! AES-128 block cipher (FIPS-197).
+//!
+//! The watermark leakage component only needs the S-Box, but shipping the
+//! full cipher lets the test suite validate the table end-to-end against the
+//! official FIPS-197 and NIST-SP-800-38A vectors: if encryption round-trips
+//! and matches the published ciphertexts, the S-Box the leakage component
+//! uses is certainly correct.
+
+use crate::gf256::{mul, xtime};
+use crate::sbox::{inv_sub_byte, sub_byte};
+
+/// Number of 32-bit words in an AES-128 key.
+const NK: usize = 4;
+/// Number of rounds for AES-128.
+const NR: usize = 10;
+
+/// Errors produced by the AES API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesError {
+    /// The provided key is not 16 bytes long.
+    BadKeyLength {
+        /// Length that was provided.
+        provided: usize,
+    },
+}
+
+impl std::fmt::Display for AesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AesError::BadKeyLength { provided } => {
+                write!(f, "AES-128 key must be 16 bytes, got {provided}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AesError {}
+
+/// An expanded AES-128 key, ready to encrypt or decrypt 16-byte blocks.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_crypto::aes::Aes128;
+///
+/// # fn main() -> Result<(), ipmark_crypto::aes::AesError> {
+/// let key = [0u8; 16];
+/// let cipher = Aes128::new(&key)?;
+/// let block = [0u8; 16];
+/// let ct = cipher.encrypt_block(&block);
+/// assert_eq!(cipher.decrypt_block(&ct), block);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; NR + 1],
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AesError::BadKeyLength`] when `key` is not 16 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, AesError> {
+        if key.len() != 16 {
+            return Err(AesError::BadKeyLength {
+                provided: key.len(),
+            });
+        }
+        let mut w = [[0u8; 4]; 4 * (NR + 1)];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        let mut rcon = 1u8;
+        for i in NK..4 * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sub_byte(*b);
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Ok(Self { round_keys })
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..NR {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[NR]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[NR]);
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        for round in (1..NR).rev() {
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+        }
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+
+    /// The expanded round keys (17 × 16 bytes for AES-128 would be 11 × 16).
+    pub fn round_keys(&self) -> &[[u8; 16]; NR + 1] {
+        &self.round_keys
+    }
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (column-major,
+// matching the FIPS-197 "in" ordering).
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = sub_byte(*b);
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = inv_sub_byte(*b);
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row: [u8; 4] = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[4 * c + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row: [u8; 4] = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[4 * c + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = mul(col[0], 2) ^ mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ mul(col[1], 2) ^ mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ mul(col[2], 2) ^ mul(col[3], 3);
+        state[4 * c + 3] = mul(col[0], 3) ^ col[1] ^ col[2] ^ mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = mul(col[0], 0x0e) ^ mul(col[1], 0x0b) ^ mul(col[2], 0x0d) ^ mul(col[3], 0x09);
+        state[4 * c + 1] =
+            mul(col[0], 0x09) ^ mul(col[1], 0x0e) ^ mul(col[2], 0x0b) ^ mul(col[3], 0x0d);
+        state[4 * c + 2] =
+            mul(col[0], 0x0d) ^ mul(col[1], 0x09) ^ mul(col[2], 0x0e) ^ mul(col[3], 0x0b);
+        state[4 * c + 3] =
+            mul(col[0], 0x0b) ^ mul(col[1], 0x0d) ^ mul(col[2], 0x09) ^ mul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_key_length() {
+        assert_eq!(
+            Aes128::new(&[0u8; 15]).unwrap_err(),
+            AesError::BadKeyLength { provided: 15 }
+        );
+        assert!(Aes128::new(&[0u8; 17]).is_err());
+    }
+
+    #[test]
+    fn fips_197_appendix_b_vector() {
+        // FIPS-197 Appendix B: full worked example.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex("3243f6a8885a308d313198a2e0370734");
+        let expected = hex("3925841d02dc09fbdc118597196a0b32");
+        let cipher = Aes128::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&pt);
+        assert_eq!(cipher.encrypt_block(&block).to_vec(), expected);
+    }
+
+    #[test]
+    fn fips_197_appendix_c_vector() {
+        // FIPS-197 Appendix C.1: AES-128 example vectors.
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let expected = hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let cipher = Aes128::new(&key).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&pt);
+        let ct = cipher.encrypt_block(&block);
+        assert_eq!(ct.to_vec(), expected);
+        assert_eq!(cipher.decrypt_block(&ct), block);
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_vectors() {
+        // NIST SP 800-38A F.1.1 (ECB-AES128.Encrypt), all four blocks.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let cipher = Aes128::new(&key).unwrap();
+        let cases = [
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
+        ];
+        for (pt_hex, ct_hex) in cases {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&hex(pt_hex));
+            assert_eq!(cipher.encrypt_block(&block).to_vec(), hex(ct_hex));
+        }
+    }
+
+    #[test]
+    fn key_expansion_first_and_last_round_keys() {
+        // FIPS-197 Appendix A.1 key expansion for 2b7e...4f3c.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let cipher = Aes128::new(&key).unwrap();
+        assert_eq!(cipher.round_keys()[0].to_vec(), key);
+        let last = hex("d014f9a8c9ee2589e13f0cc8b6630ca6");
+        assert_eq!(cipher.round_keys()[10].to_vec(), last);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_many_blocks() {
+        let cipher = Aes128::new(&hex("000102030405060708090a0b0c0d0e0f")).unwrap();
+        let mut block = [0x5au8; 16];
+        for i in 0..100 {
+            block[0] = i as u8;
+            let ct = cipher.encrypt_block(&block);
+            assert_eq!(cipher.decrypt_block(&ct), block);
+            block = ct;
+        }
+    }
+
+    #[test]
+    fn shift_rows_inverse_round_trip() {
+        let mut state = [0u8; 16];
+        for (i, b) in state.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let orig = state;
+        shift_rows(&mut state);
+        assert_ne!(state, orig);
+        inv_shift_rows(&mut state);
+        assert_eq!(state, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverse_round_trip() {
+        let mut state = [0u8; 16];
+        for (i, b) in state.iter_mut().enumerate() {
+            *b = (i * 17 + 3) as u8;
+        }
+        let orig = state;
+        mix_columns(&mut state);
+        assert_ne!(state, orig);
+        inv_mix_columns(&mut state);
+        assert_eq!(state, orig);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!AesError::BadKeyLength { provided: 3 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! The AES substitution box.
+//!
+//! The paper's side-channel leakage component stores the AES S-Box in memory
+//! (2⁸ entries) and routes the key-mixed FSM state through it: substitution
+//! tables are "strongly non-linear functions" (§IV.A), which is what makes
+//! the power signature key-dependent and collision-resistant.
+//!
+//! The table here is *constructed* at compile time from the algebraic
+//! definition — multiplicative inverse in GF(2⁸) followed by the affine map —
+//! and cross-checked against FIPS-197 test values in the test suite.
+
+use crate::gf256;
+
+/// The affine constant of the AES S-Box ({63}).
+pub const AFFINE_CONST: u8 = 0x63;
+
+/// Applies the AES affine transformation to `x`:
+/// `b'_i = b_i ⊕ b_{(i+4)%8} ⊕ b_{(i+5)%8} ⊕ b_{(i+6)%8} ⊕ b_{(i+7)%8} ⊕ c_i`.
+#[inline]
+pub fn affine(x: u8) -> u8 {
+    let mut out = 0u8;
+    for i in 0..8 {
+        let bit = ((x >> i) & 1)
+            ^ ((x >> ((i + 4) % 8)) & 1)
+            ^ ((x >> ((i + 5) % 8)) & 1)
+            ^ ((x >> ((i + 6) % 8)) & 1)
+            ^ ((x >> ((i + 7) % 8)) & 1)
+            ^ ((AFFINE_CONST >> i) & 1);
+        out |= bit << i;
+    }
+    out
+}
+
+/// Computes one S-Box entry from the algebraic definition.
+#[inline]
+pub fn sbox_entry(x: u8) -> u8 {
+    affine(gf256::inv(x))
+}
+
+const fn build_sbox() -> [u8; 256] {
+    // const-compatible reimplementation of inv + affine.
+    const fn cmul(mut a: u8, mut b: u8) -> u8 {
+        let mut acc = 0u8;
+        while b != 0 {
+            if b & 1 == 1 {
+                acc ^= a;
+            }
+            let carry = a & 0x80 != 0;
+            a <<= 1;
+            if carry {
+                a ^= 0x1b;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+    const fn cinv(a: u8) -> u8 {
+        if a == 0 {
+            return 0;
+        }
+        // a^254 by square-and-multiply.
+        let mut base = a;
+        let mut e = 254u32;
+        let mut acc = 1u8;
+        while e != 0 {
+            if e & 1 == 1 {
+                acc = cmul(acc, base);
+            }
+            base = cmul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+    const fn caffine(x: u8) -> u8 {
+        let mut out = 0u8;
+        let mut i = 0;
+        while i < 8 {
+            let bit = ((x >> i) & 1)
+                ^ ((x >> ((i + 4) % 8)) & 1)
+                ^ ((x >> ((i + 5) % 8)) & 1)
+                ^ ((x >> ((i + 6) % 8)) & 1)
+                ^ ((x >> ((i + 7) % 8)) & 1)
+                ^ ((0x63u8 >> i) & 1);
+            out |= bit << i;
+            i += 1;
+        }
+        out
+    }
+    let mut table = [0u8; 256];
+    let mut x = 0usize;
+    while x < 256 {
+        table[x] = caffine(cinv(x as u8));
+        x += 1;
+    }
+    table
+}
+
+const fn invert_table(table: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut x = 0usize;
+    while x < 256 {
+        inv[table[x] as usize] = x as u8;
+        x += 1;
+    }
+    inv
+}
+
+/// The AES S-Box, derived at compile time from the algebraic definition.
+pub const AES_SBOX: [u8; 256] = build_sbox();
+
+/// The inverse AES S-Box.
+pub const AES_INV_SBOX: [u8; 256] = invert_table(&AES_SBOX);
+
+/// Forward substitution: `SBox[x]`.
+#[inline]
+pub fn sub_byte(x: u8) -> u8 {
+    AES_SBOX[x as usize]
+}
+
+/// Inverse substitution: `SBox⁻¹[x]`.
+#[inline]
+pub fn inv_sub_byte(x: u8) -> u8 {
+    AES_INV_SBOX[x as usize]
+}
+
+/// The S-Box as a `Vec<u64>` table, the format the netlist memory
+/// components consume.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_crypto::sbox::{sbox_table_u64, AES_SBOX};
+///
+/// let t = sbox_table_u64();
+/// assert_eq!(t.len(), 256);
+/// assert_eq!(t[0x53], AES_SBOX[0x53] as u64);
+/// ```
+pub fn sbox_table_u64() -> Vec<u64> {
+    AES_SBOX.iter().map(|&b| u64::from(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fips_values() {
+        // Spot values from the FIPS-197 S-Box table.
+        assert_eq!(sub_byte(0x00), 0x63);
+        assert_eq!(sub_byte(0x01), 0x7c);
+        assert_eq!(sub_byte(0x53), 0xed);
+        assert_eq!(sub_byte(0x10), 0xca);
+        assert_eq!(sub_byte(0xff), 0x16);
+        assert_eq!(sub_byte(0x9a), 0xb8);
+        assert_eq!(sub_byte(0xc9), 0xdd);
+    }
+
+    #[test]
+    fn const_table_matches_runtime_definition() {
+        for x in 0..=255u8 {
+            assert_eq!(AES_SBOX[x as usize], sbox_entry(x), "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for x in 0..=255u8 {
+            let y = sub_byte(x);
+            assert!(!seen[y as usize], "duplicate output {y:#x}");
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inverse_sbox_inverts() {
+        for x in 0..=255u8 {
+            assert_eq!(inv_sub_byte(sub_byte(x)), x);
+            assert_eq!(sub_byte(inv_sub_byte(x)), x);
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points() {
+        for x in 0..=255u8 {
+            assert_ne!(sub_byte(x), x);
+            // Also no "anti-fixed" points:
+            assert_ne!(sub_byte(x), !x);
+        }
+    }
+
+    #[test]
+    fn sbox_nonlinearity_differs_from_any_affine_map() {
+        // If SBox were affine, SBox(x) ^ SBox(y) ^ SBox(x^y) ^ SBox(0) = 0
+        // for all x, y. Count violations — a strongly non-linear map violates
+        // this almost everywhere.
+        let mut violations = 0u32;
+        let s0 = sub_byte(0);
+        for x in 0..=255u8 {
+            for y in 0..=255u8 {
+                if sub_byte(x) ^ sub_byte(y) ^ sub_byte(x ^ y) ^ s0 != 0 {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(violations > 60_000, "violations = {violations}");
+    }
+
+    #[test]
+    fn avalanche_mean_output_distance_near_half() {
+        // Flipping one input bit flips ~4 output bits on average.
+        let mut total = 0u32;
+        let mut count = 0u32;
+        for x in 0..=255u8 {
+            for bit in 0..8 {
+                let d = (sub_byte(x) ^ sub_byte(x ^ (1 << bit))).count_ones();
+                total += d;
+                count += 1;
+            }
+        }
+        let mean = f64::from(total) / f64::from(count);
+        assert!((3.5..=4.5).contains(&mean), "mean avalanche = {mean}");
+    }
+
+    #[test]
+    fn u64_table_matches() {
+        let t = sbox_table_u64();
+        for (i, &w) in t.iter().enumerate() {
+            assert_eq!(w, u64::from(AES_SBOX[i]));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for GF(2⁸), the S-Box and AES-128.
+
+use ipmark_crypto::aes::Aes128;
+use ipmark_crypto::gf256::{add, inv, mul, pow};
+use ipmark_crypto::sbox::{inv_sub_byte, sub_byte};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gf_mul_commutative(a: u8, b: u8) {
+        prop_assert_eq!(mul(a, b), mul(b, a));
+    }
+
+    #[test]
+    fn gf_mul_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+    }
+
+    #[test]
+    fn gf_distributive(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+
+    #[test]
+    fn gf_inverse_cancels(a in 1u8..=255) {
+        prop_assert_eq!(mul(a, inv(a)), 1);
+    }
+
+    #[test]
+    fn gf_pow_additive_in_exponent(a in 1u8..=255, e1 in 0u32..300, e2 in 0u32..300) {
+        prop_assert_eq!(mul(pow(a, e1), pow(a, e2)), pow(a, e1 + e2));
+    }
+
+    #[test]
+    fn sbox_round_trip(x: u8) {
+        prop_assert_eq!(inv_sub_byte(sub_byte(x)), x);
+    }
+
+    #[test]
+    fn sbox_injective(x: u8, y: u8) {
+        prop_assume!(x != y);
+        prop_assert_ne!(sub_byte(x), sub_byte(y));
+    }
+
+    #[test]
+    fn aes_encrypt_decrypt_round_trip(key: [u8; 16], block: [u8; 16]) {
+        let cipher = Aes128::new(&key).unwrap();
+        let ct = cipher.encrypt_block(&block);
+        prop_assert_eq!(cipher.decrypt_block(&ct), block);
+    }
+
+    #[test]
+    fn aes_different_keys_give_different_ciphertexts(
+        key1: [u8; 16],
+        key2: [u8; 16],
+        block: [u8; 16],
+    ) {
+        prop_assume!(key1 != key2);
+        let c1 = Aes128::new(&key1).unwrap().encrypt_block(&block);
+        let c2 = Aes128::new(&key2).unwrap().encrypt_block(&block);
+        // Not a theorem, but a collision would be a 2^-128 event; any failure
+        // here indicates a key-schedule bug.
+        prop_assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn aes_is_a_permutation_per_key(key: [u8; 16], b1: [u8; 16], b2: [u8; 16]) {
+        prop_assume!(b1 != b2);
+        let cipher = Aes128::new(&key).unwrap();
+        prop_assert_ne!(cipher.encrypt_block(&b1), cipher.encrypt_block(&b2));
+    }
+}

@@ -1,0 +1,127 @@
+//! Graphviz (DOT) export of state-transition graphs.
+//!
+//! Watermark embedding decisions (which transitions were planted, which
+//! states duplicated) are graph-structural; a DOT rendering makes them
+//! reviewable. The output is deterministic, so snapshots can be diffed.
+
+use std::fmt::Write as _;
+
+use crate::machine::Fsm;
+
+/// Options controlling the rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Mark these states visually (e.g. watermark duplicates).
+    pub highlighted_states: Vec<usize>,
+    /// Mark these `(state, input)` transitions visually (e.g. planted
+    /// watermark transitions).
+    pub highlighted_transitions: Vec<(usize, usize)>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            name: "fsm".to_owned(),
+            highlighted_states: Vec::new(),
+            highlighted_transitions: Vec::new(),
+        }
+    }
+}
+
+/// Renders the machine as a DOT digraph.
+pub fn to_dot(fsm: &Fsm, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&options.name));
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [shape=circle];");
+    let _ = writeln!(
+        out,
+        "    s{} [shape=doublecircle]; // initial",
+        fsm.initial()
+    );
+    for s in &options.highlighted_states {
+        let _ = writeln!(out, "    s{s} [style=filled, fillcolor=gold];");
+    }
+    for state in 0..fsm.num_states() {
+        for input in 0..fsm.num_inputs() {
+            let (next, output) = fsm.step(state, input).expect("valid machine");
+            let highlighted = options
+                .highlighted_transitions
+                .contains(&(state, input));
+            let attrs = if highlighted {
+                ", color=red, penwidth=2.0"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    s{state} -> s{next} [label=\"{input}/{output:#x}\"{attrs}];"
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "fsm".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_transitions() {
+        let fsm = Fsm::binary_counter(2).unwrap();
+        let dot = to_dot(&fsm, &DotOptions::default());
+        assert!(dot.starts_with("digraph fsm {"));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("s3 -> s0"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 4 states x 1 input = 4 edges.
+        assert_eq!(dot.matches(" -> ").count(), 4);
+    }
+
+    #[test]
+    fn highlights_are_rendered() {
+        let fsm = Fsm::binary_counter(2).unwrap();
+        let options = DotOptions {
+            name: "marked".into(),
+            highlighted_states: vec![2],
+            highlighted_transitions: vec![(1, 0)],
+        };
+        let dot = to_dot(&fsm, &options);
+        assert!(dot.contains("digraph marked"));
+        assert!(dot.contains("s2 [style=filled"));
+        assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("my graph!"), "my_graph_");
+        assert_eq!(sanitize("7up"), "g7up");
+        assert_eq!(sanitize(""), "fsm");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let fsm = Fsm::gray_counter(3).unwrap();
+        let a = to_dot(&fsm, &DotOptions::default());
+        let b = to_dot(&fsm, &DotOptions::default());
+        assert_eq!(a, b);
+    }
+}

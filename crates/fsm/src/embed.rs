@@ -1,0 +1,504 @@
+//! Watermark embedding baselines from the literature the paper builds on.
+//!
+//! The paper's own leakage-component scheme embeds "without any addition of
+//! edge or state" (§IV.A); the *traditional* FSM watermarking methods it
+//! cites do the opposite — they add redundancy:
+//!
+//! * [`embed_transition_watermark`] — Torunoglu–Charbon style \[12\]: plant
+//!   watermark bits in *unspecified* transitions of a partially specified
+//!   Mealy machine, producing an input sequence (the secret challenge)
+//!   whose output sequence proves authorship.
+//! * [`embed_redundant_states`] — state-redundancy style \[9\]\[13\]: duplicate
+//!   keyed states so the machine is behaviourally identical but structurally
+//!   non-minimal in a pattern only the owner can name.
+//!
+//! These are exactly the schemes whose *verification problem* motivates the
+//! paper: transition proofs need I/O access, state redundancy needs netlist
+//! access — while the paper's power-based verification needs neither.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FsmError;
+use crate::machine::Fsm;
+
+/// A partially specified Mealy machine: the starting point of
+/// transition-based embedding, where unspecified (state, input) pairs are
+/// free design space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncompleteFsm {
+    num_states: usize,
+    num_inputs: usize,
+    output_width: u16,
+    initial: usize,
+    transitions: Vec<Option<(usize, u64)>>,
+}
+
+impl IncompleteFsm {
+    /// Starts an empty machine of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::EmptyMachine`] or [`FsmError::OutputTooWide`]
+    /// for degenerate shapes.
+    pub fn new(num_states: usize, num_inputs: usize, output_width: u16) -> Result<Self, FsmError> {
+        if num_states == 0 || num_inputs == 0 {
+            return Err(FsmError::EmptyMachine);
+        }
+        if output_width == 0 || output_width > 64 {
+            return Err(FsmError::OutputTooWide {
+                output: 0,
+                width: output_width,
+            });
+        }
+        Ok(Self {
+            num_states,
+            num_inputs,
+            output_width,
+            initial: 0,
+            transitions: vec![None; num_states * num_inputs],
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Input alphabet size.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Output width in bits.
+    pub fn output_width(&self) -> u16 {
+        self.output_width
+    }
+
+    /// The reset state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// Sets the reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::UnknownState`] for an out-of-range state.
+    pub fn set_initial(&mut self, state: usize) -> Result<(), FsmError> {
+        if state >= self.num_states {
+            return Err(FsmError::UnknownState {
+                state,
+                available: self.num_states,
+            });
+        }
+        self.initial = state;
+        Ok(())
+    }
+
+    /// Specifies the transition `(state, input) → (next, output)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns range errors for bad indices and
+    /// [`FsmError::OutputTooWide`] for an overwide output.
+    pub fn transition(
+        &mut self,
+        state: usize,
+        input: usize,
+        next: usize,
+        output: u64,
+    ) -> Result<(), FsmError> {
+        if state >= self.num_states {
+            return Err(FsmError::UnknownState {
+                state,
+                available: self.num_states,
+            });
+        }
+        if next >= self.num_states {
+            return Err(FsmError::UnknownState {
+                state: next,
+                available: self.num_states,
+            });
+        }
+        if input >= self.num_inputs {
+            return Err(FsmError::UnknownInput {
+                input,
+                available: self.num_inputs,
+            });
+        }
+        if self.output_width < 64 && output >> self.output_width != 0 {
+            return Err(FsmError::OutputTooWide {
+                output,
+                width: self.output_width,
+            });
+        }
+        self.transitions[state * self.num_inputs + input] = Some((next, output));
+        Ok(())
+    }
+
+    /// Whether `(state, input)` is already specified.
+    pub fn is_specified(&self, state: usize, input: usize) -> bool {
+        state < self.num_states
+            && input < self.num_inputs
+            && self.transitions[state * self.num_inputs + input].is_some()
+    }
+
+    /// Number of still-unspecified transitions — the embedding capacity.
+    pub fn unspecified_count(&self) -> usize {
+        self.transitions.iter().filter(|t| t.is_none()).count()
+    }
+
+    /// Completes every unspecified transition as a self-loop with output 0
+    /// (the conventional "safe" completion) and returns the machine.
+    pub fn complete_with_self_loops(&self) -> Fsm {
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        let mut outputs = Vec::with_capacity(self.transitions.len());
+        for (idx, t) in self.transitions.iter().enumerate() {
+            match t {
+                Some((next, out)) => {
+                    transitions.push(*next);
+                    outputs.push(*out);
+                }
+                None => {
+                    transitions.push(idx / self.num_inputs);
+                    outputs.push(0);
+                }
+            }
+        }
+        Fsm::from_tables(
+            self.num_states,
+            self.num_inputs,
+            self.output_width,
+            self.initial,
+            transitions,
+            outputs,
+        )
+    }
+}
+
+/// The owner's secret: a challenge input word and the response the
+/// watermarked machine must produce.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatermarkProof {
+    /// The secret challenge input sequence.
+    pub inputs: Vec<usize>,
+    /// The expected output sequence.
+    pub outputs: Vec<u64>,
+    /// How many of the outputs carry planted watermark bits (the rest are
+    /// coincidental outputs of already-specified transitions).
+    pub planted_bits: usize,
+}
+
+/// The result of transition-based embedding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddedWatermark {
+    /// The completed, watermarked machine.
+    pub fsm: Fsm,
+    /// The owner's challenge/response proof.
+    pub proof: WatermarkProof,
+}
+
+/// Plants `watermark` bits into the unspecified transitions of
+/// `incomplete`, Torunoglu–Charbon style: a random walk takes the
+/// already-specified transitions where it must and defines an unspecified
+/// transition (output LSB = next watermark bit) whenever it can, until
+/// every bit is placed. Remaining unspecified transitions are completed as
+/// self-loops.
+///
+/// # Errors
+///
+/// Returns [`FsmError::EmptyWatermark`] for an empty payload and
+/// [`FsmError::EmbeddingFailed`] when the walk cannot reach enough
+/// unspecified transitions (capacity exhausted or walk budget exceeded).
+pub fn embed_transition_watermark<R: Rng + ?Sized>(
+    incomplete: &IncompleteFsm,
+    watermark: &[bool],
+    rng: &mut R,
+) -> Result<EmbeddedWatermark, FsmError> {
+    if watermark.is_empty() {
+        return Err(FsmError::EmptyWatermark);
+    }
+    if incomplete.unspecified_count() < watermark.len() {
+        return Err(FsmError::EmbeddingFailed {
+            reason: format!(
+                "capacity {} < watermark length {}",
+                incomplete.unspecified_count(),
+                watermark.len()
+            ),
+        });
+    }
+
+    let mut work = incomplete.clone();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut planted = 0usize;
+    let mut state = work.initial();
+    let budget = 200 * watermark.len() + 50 * work.num_states() * work.num_inputs() + 1000;
+
+    for _ in 0..budget {
+        if planted == watermark.len() {
+            break;
+        }
+        let unspecified: Vec<usize> = (0..work.num_inputs())
+            .filter(|&i| !work.is_specified(state, i))
+            .collect();
+        if !unspecified.is_empty() {
+            // Plant the next bit here.
+            let input = unspecified[rng.gen_range(0..unspecified.len())];
+            let next = rng.gen_range(0..work.num_states());
+            let bit = u64::from(watermark[planted]);
+            let high = if work.output_width() > 1 {
+                let mask = if work.output_width() >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << work.output_width()) - 1
+                };
+                (rng.gen::<u64>() << 1) & mask
+            } else {
+                0
+            };
+            let output = high | bit;
+            work.transition(state, input, next, output)?;
+            inputs.push(input);
+            outputs.push(output);
+            planted += 1;
+            state = next;
+        } else {
+            // Forced move along an existing transition; its output becomes a
+            // coincidental part of the proof.
+            let input = rng.gen_range(0..work.num_inputs());
+            let (next, out) = work.complete_with_self_loops().step(state, input)?;
+            inputs.push(input);
+            outputs.push(out);
+            state = next;
+        }
+    }
+
+    if planted < watermark.len() {
+        return Err(FsmError::EmbeddingFailed {
+            reason: format!(
+                "walk budget exhausted after planting {planted}/{} bits",
+                watermark.len()
+            ),
+        });
+    }
+
+    Ok(EmbeddedWatermark {
+        fsm: work.complete_with_self_loops(),
+        proof: WatermarkProof {
+            inputs,
+            outputs,
+            planted_bits: planted,
+        },
+    })
+}
+
+/// Replays a challenge/response proof against a machine.
+///
+/// # Errors
+///
+/// Propagates symbol-range errors (a proof for a different alphabet).
+pub fn verify_proof(fsm: &Fsm, proof: &WatermarkProof) -> Result<bool, FsmError> {
+    let response = fsm.run(&proof.inputs)?;
+    Ok(response == proof.outputs)
+}
+
+/// Adds `num_extra` redundant states by duplicating keyed reachable states:
+/// each duplicate copies its original's outgoing transitions, and one
+/// incoming transition of the original is redirected to the duplicate. The
+/// result is behaviourally equivalent but structurally non-minimal in a
+/// seed-determined pattern — the state-redundancy watermark of the
+/// graph-based schemes.
+///
+/// # Errors
+///
+/// Returns [`FsmError::EmbeddingFailed`] when the machine has no incoming
+/// transitions to redirect.
+pub fn embed_redundant_states<R: Rng + ?Sized>(
+    fsm: &Fsm,
+    num_extra: usize,
+    rng: &mut R,
+) -> Result<Fsm, FsmError> {
+    let k = fsm.num_inputs();
+    let mut num_states = fsm.num_states();
+    let mut transitions: Vec<usize> = (0..num_states * k)
+        .map(|idx| fsm.step(idx / k, idx % k).unwrap().0)
+        .collect();
+    let mut outputs: Vec<u64> = (0..num_states * k)
+        .map(|idx| fsm.step(idx / k, idx % k).unwrap().1)
+        .collect();
+
+    for _ in 0..num_extra {
+        // Pick a transition to redirect (its target gets duplicated).
+        let candidates: Vec<usize> = (0..transitions.len()).collect();
+        if candidates.is_empty() {
+            return Err(FsmError::EmbeddingFailed {
+                reason: "no transitions to redirect".into(),
+            });
+        }
+        let edge = candidates[rng.gen_range(0..candidates.len())];
+        let target = transitions[edge];
+        // Duplicate `target`.
+        let dup = num_states;
+        num_states += 1;
+        for a in 0..k {
+            transitions.push(transitions[target * k + a]);
+            outputs.push(outputs[target * k + a]);
+        }
+        // Redirect the chosen edge to the duplicate.
+        transitions[edge] = dup;
+    }
+
+    Ok(Fsm::from_tables(
+        num_states,
+        k,
+        fsm.output_width(),
+        fsm.initial(),
+        transitions,
+        outputs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{equivalent, minimize};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A 6-state, 4-input machine with half its transitions unspecified.
+    fn half_specified() -> IncompleteFsm {
+        let mut m = IncompleteFsm::new(6, 4, 4).unwrap();
+        for s in 0..6 {
+            for i in 0..2 {
+                m.transition(s, i, (s + 1 + i) % 6, ((s * 4 + i) % 16) as u64)
+                    .unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn incomplete_machine_accounting() {
+        let m = half_specified();
+        assert_eq!(m.unspecified_count(), 12);
+        assert!(m.is_specified(0, 0));
+        assert!(!m.is_specified(0, 2));
+        assert!(!m.is_specified(99, 0));
+    }
+
+    #[test]
+    fn incomplete_validation() {
+        assert!(IncompleteFsm::new(0, 1, 1).is_err());
+        assert!(IncompleteFsm::new(1, 1, 65).is_err());
+        let mut m = IncompleteFsm::new(2, 2, 2).unwrap();
+        assert!(m.transition(5, 0, 0, 0).is_err());
+        assert!(m.transition(0, 5, 0, 0).is_err());
+        assert!(m.transition(0, 0, 5, 0).is_err());
+        assert!(m.transition(0, 0, 0, 4).is_err());
+        assert!(m.set_initial(3).is_err());
+        m.set_initial(1).unwrap();
+        assert_eq!(m.initial(), 1);
+    }
+
+    #[test]
+    fn completion_self_loops_unspecified() {
+        let m = half_specified();
+        let fsm = m.complete_with_self_loops();
+        let (next, out) = fsm.step(3, 3).unwrap();
+        assert_eq!(next, 3);
+        assert_eq!(out, 0);
+        // Specified transitions survive.
+        assert_eq!(fsm.step(0, 1).unwrap(), (2, 1));
+    }
+
+    #[test]
+    fn transition_embedding_round_trip() {
+        let m = half_specified();
+        let watermark = [true, false, true, true, false, false, true, false];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let embedded = embed_transition_watermark(&m, &watermark, &mut rng).unwrap();
+        assert_eq!(embedded.proof.planted_bits, watermark.len());
+        assert!(verify_proof(&embedded.fsm, &embedded.proof).unwrap());
+    }
+
+    #[test]
+    fn proof_fails_on_unwatermarked_machine() {
+        let m = half_specified();
+        let watermark = [true; 8];
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let embedded = embed_transition_watermark(&m, &watermark, &mut rng).unwrap();
+        // The naive completion (all zeros) must not satisfy the proof.
+        let clean = m.complete_with_self_loops();
+        assert!(!verify_proof(&clean, &embedded.proof).unwrap());
+    }
+
+    #[test]
+    fn proof_fails_on_machine_with_other_key() {
+        let m = half_specified();
+        let watermark = [true, true, false, true];
+        let mut rng1 = ChaCha8Rng::seed_from_u64(3);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(4);
+        let e1 = embed_transition_watermark(&m, &watermark, &mut rng1).unwrap();
+        let e2 = embed_transition_watermark(&m, &watermark, &mut rng2).unwrap();
+        // Same payload, different embedding randomness: cross-verification
+        // should fail (different planted transitions).
+        assert!(!verify_proof(&e2.fsm, &e1.proof).unwrap() || e1.proof != e2.proof);
+    }
+
+    #[test]
+    fn embedding_respects_capacity() {
+        let mut m = IncompleteFsm::new(2, 2, 1).unwrap();
+        for s in 0..2 {
+            for i in 0..2 {
+                m.transition(s, i, 0, 0).unwrap();
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(matches!(
+            embed_transition_watermark(&m, &[true], &mut rng),
+            Err(FsmError::EmbeddingFailed { .. })
+        ));
+        assert!(matches!(
+            embed_transition_watermark(&half_specified(), &[], &mut rng),
+            Err(FsmError::EmptyWatermark)
+        ));
+    }
+
+    #[test]
+    fn embedding_preserves_specified_behaviour() {
+        let m = half_specified();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let embedded = embed_transition_watermark(&m, &[true, false, true], &mut rng).unwrap();
+        // Walks that only use specified inputs (0 and 1) see identical
+        // behaviour on clean and watermarked machines.
+        let clean = m.complete_with_self_loops();
+        let probe: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        assert_eq!(
+            clean.run(&probe).unwrap(),
+            embedded.fsm.run(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn redundant_states_preserve_behaviour() {
+        let fsm = Fsm::gray_counter(4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let marked = embed_redundant_states(&fsm, 5, &mut rng).unwrap();
+        assert_eq!(marked.num_states(), fsm.num_states() + 5);
+        assert!(equivalent(&fsm, &marked).unwrap());
+    }
+
+    #[test]
+    fn redundant_states_detected_by_minimization() {
+        let fsm = Fsm::binary_counter(4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let marked = embed_redundant_states(&fsm, 3, &mut rng).unwrap();
+        let min = minimize(&marked).unwrap();
+        // The watermark is the non-minimality: minimization recovers the
+        // original size.
+        assert_eq!(min.num_states(), fsm.num_states());
+        assert!(marked.num_states() > min.num_states());
+    }
+}

@@ -1,0 +1,289 @@
+//! Moore machines: outputs attached to states rather than transitions.
+//!
+//! The paper's counters are Moore machines ("the FSM state *is* the
+//! output"), and most hardware controllers are specified Moore-style.
+//! [`MooreFsm`] is a thin, type-safe layer over the Mealy [`Fsm`]: it keeps
+//! the per-state output table and lowers to an equivalent Mealy machine
+//! (every outgoing transition of a state emits that state's output) for
+//! all the analysis/embedding machinery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FsmError;
+use crate::machine::Fsm;
+
+/// A complete deterministic Moore machine.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_fsm::moore::MooreFsm;
+///
+/// # fn main() -> Result<(), ipmark_fsm::FsmError> {
+/// // A 3-state ring whose output names the current state.
+/// let mut m = MooreFsm::new(3, 1, 8)?;
+/// m.set_output(0, 0xa0)?;
+/// m.set_output(1, 0xa1)?;
+/// m.set_output(2, 0xa2)?;
+/// for s in 0..3 {
+///     m.set_transition(s, 0, (s + 1) % 3)?;
+/// }
+/// assert_eq!(m.run(&[0, 0, 0, 0])?, vec![0xa0, 0xa1, 0xa2, 0xa0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MooreFsm {
+    num_states: usize,
+    num_inputs: usize,
+    output_width: u16,
+    initial: usize,
+    transitions: Vec<Option<usize>>,
+    outputs: Vec<Option<u64>>,
+}
+
+impl MooreFsm {
+    /// Starts a machine of the given shape; transitions and outputs are
+    /// then filled in with [`MooreFsm::set_transition`] /
+    /// [`MooreFsm::set_output`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::EmptyMachine`] / [`FsmError::OutputTooWide`] for
+    /// degenerate shapes.
+    pub fn new(num_states: usize, num_inputs: usize, output_width: u16) -> Result<Self, FsmError> {
+        if num_states == 0 || num_inputs == 0 {
+            return Err(FsmError::EmptyMachine);
+        }
+        if output_width == 0 || output_width > 64 {
+            return Err(FsmError::OutputTooWide {
+                output: 0,
+                width: output_width,
+            });
+        }
+        Ok(Self {
+            num_states,
+            num_inputs,
+            output_width,
+            initial: 0,
+            transitions: vec![None; num_states * num_inputs],
+            outputs: vec![None; num_states],
+        })
+    }
+
+    /// Sets the reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::UnknownState`] for an out-of-range state.
+    pub fn set_initial(&mut self, state: usize) -> Result<(), FsmError> {
+        if state >= self.num_states {
+            return Err(FsmError::UnknownState {
+                state,
+                available: self.num_states,
+            });
+        }
+        self.initial = state;
+        Ok(())
+    }
+
+    /// Sets the output emitted *in* `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns range/width errors.
+    pub fn set_output(&mut self, state: usize, output: u64) -> Result<(), FsmError> {
+        if state >= self.num_states {
+            return Err(FsmError::UnknownState {
+                state,
+                available: self.num_states,
+            });
+        }
+        if self.output_width < 64 && output >> self.output_width != 0 {
+            return Err(FsmError::OutputTooWide {
+                output,
+                width: self.output_width,
+            });
+        }
+        self.outputs[state] = Some(output);
+        Ok(())
+    }
+
+    /// Sets the transition `(state, input) → next`.
+    ///
+    /// # Errors
+    ///
+    /// Returns range errors.
+    pub fn set_transition(
+        &mut self,
+        state: usize,
+        input: usize,
+        next: usize,
+    ) -> Result<(), FsmError> {
+        if state >= self.num_states {
+            return Err(FsmError::UnknownState {
+                state,
+                available: self.num_states,
+            });
+        }
+        if next >= self.num_states {
+            return Err(FsmError::UnknownState {
+                state: next,
+                available: self.num_states,
+            });
+        }
+        if input >= self.num_inputs {
+            return Err(FsmError::UnknownInput {
+                input,
+                available: self.num_inputs,
+            });
+        }
+        self.transitions[state * self.num_inputs + input] = Some(next);
+        Ok(())
+    }
+
+    /// Runs the machine from reset, emitting the output of each *visited*
+    /// state (Moore convention: the output of the state the machine is in
+    /// when the input is applied).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::IncompleteTransition`] when the walk hits an
+    /// undefined transition or output.
+    pub fn run(&self, inputs: &[usize]) -> Result<Vec<u64>, FsmError> {
+        let mut state = self.initial;
+        let mut out = Vec::with_capacity(inputs.len());
+        for &i in inputs {
+            if i >= self.num_inputs {
+                return Err(FsmError::UnknownInput {
+                    input: i,
+                    available: self.num_inputs,
+                });
+            }
+            let output = self.outputs[state].ok_or(FsmError::IncompleteTransition {
+                state,
+                input: i,
+            })?;
+            out.push(output);
+            state = self.transitions[state * self.num_inputs + i].ok_or(
+                FsmError::IncompleteTransition { state, input: i },
+            )?;
+        }
+        Ok(out)
+    }
+
+    /// Lowers to an equivalent Mealy machine: transition `(s, i)` emits
+    /// state `s`'s output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::IncompleteTransition`] for any undefined
+    /// transition or state output.
+    pub fn to_mealy(&self) -> Result<Fsm, FsmError> {
+        let mut b = crate::machine::FsmBuilder::new(
+            self.num_states,
+            self.num_inputs,
+            self.output_width,
+        )?;
+        b.initial(self.initial)?;
+        for state in 0..self.num_states {
+            let output = self.outputs[state].ok_or(FsmError::IncompleteTransition {
+                state,
+                input: 0,
+            })?;
+            for input in 0..self.num_inputs {
+                let next = self.transitions[state * self.num_inputs + input].ok_or(
+                    FsmError::IncompleteTransition { state, input },
+                )?;
+                b.transition(state, input, next, output)?;
+            }
+        }
+        b.build()
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Input alphabet size.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Output width in bits.
+    pub fn output_width(&self) -> u16 {
+        self.output_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::equivalent;
+
+    fn ring() -> MooreFsm {
+        let mut m = MooreFsm::new(4, 2, 4).unwrap();
+        for s in 0..4 {
+            m.set_output(s, s as u64).unwrap();
+            m.set_transition(s, 0, (s + 1) % 4).unwrap();
+            m.set_transition(s, 1, s).unwrap(); // input 1 = hold
+        }
+        m
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(MooreFsm::new(0, 1, 1).is_err());
+        assert!(MooreFsm::new(1, 0, 1).is_err());
+        assert!(MooreFsm::new(1, 1, 0).is_err());
+        assert!(MooreFsm::new(1, 1, 65).is_err());
+        let mut m = MooreFsm::new(2, 1, 2).unwrap();
+        assert!(m.set_output(5, 0).is_err());
+        assert!(m.set_output(0, 4).is_err());
+        assert!(m.set_transition(5, 0, 0).is_err());
+        assert!(m.set_transition(0, 5, 0).is_err());
+        assert!(m.set_transition(0, 0, 5).is_err());
+        assert!(m.set_initial(5).is_err());
+        m.set_initial(1).unwrap();
+    }
+
+    #[test]
+    fn run_emits_state_outputs() {
+        let m = ring();
+        assert_eq!(m.run(&[0, 0, 1, 0]).unwrap(), vec![0, 1, 2, 2]);
+        assert!(m.run(&[7]).is_err());
+    }
+
+    #[test]
+    fn incomplete_machine_errors_on_use() {
+        let mut m = MooreFsm::new(2, 1, 1).unwrap();
+        m.set_output(0, 0).unwrap();
+        m.set_transition(0, 0, 1).unwrap();
+        // state 1 has no output/transition.
+        assert!(m.run(&[0, 0]).is_err());
+        assert!(m.to_mealy().is_err());
+    }
+
+    #[test]
+    fn mealy_lowering_preserves_io_behaviour() {
+        let m = ring();
+        let mealy = m.to_mealy().unwrap();
+        let probe: Vec<usize> = (0..64).map(|i| (i / 3) % 2).collect();
+        assert_eq!(m.run(&probe).unwrap(), mealy.run(&probe).unwrap());
+        // And the lowering is stable under repetition.
+        assert!(equivalent(&mealy, &m.to_mealy().unwrap()).unwrap());
+    }
+
+    #[test]
+    fn counters_as_moore_machines_match_builtins() {
+        let mut m = MooreFsm::new(8, 1, 3).unwrap();
+        for s in 0..8 {
+            m.set_output(s, s as u64).unwrap();
+            m.set_transition(s, 0, (s + 1) % 8).unwrap();
+        }
+        let mealy = m.to_mealy().unwrap();
+        let builtin = Fsm::binary_counter(3).unwrap();
+        assert!(equivalent(&mealy, &builtin).unwrap());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the FSM toolkit.
+
+use ipmark_fsm::analysis::{
+    distinguishing_sequence, equivalent, minimize, periodicity, reachable_states,
+    shortest_input_sequence, signature,
+};
+use ipmark_fsm::embed::{
+    embed_redundant_states, embed_transition_watermark, verify_proof, IncompleteFsm,
+};
+use ipmark_fsm::generate::{random_fsm, RandomFsmConfig};
+use ipmark_fsm::Fsm;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_config() -> impl Strategy<Value = RandomFsmConfig> {
+    (2usize..20, 1usize..4, 1u16..12).prop_map(|(s, i, w)| RandomFsmConfig {
+        num_states: s,
+        num_inputs: i,
+        output_width: w,
+        connected: true,
+    })
+}
+
+proptest! {
+    #[test]
+    fn minimize_preserves_behaviour(config in arb_config(), seed: u64) {
+        let fsm = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let min = minimize(&fsm).unwrap();
+        prop_assert!(min.num_states() <= fsm.num_states());
+        prop_assert!(equivalent(&fsm, &min).unwrap());
+        // Minimization is idempotent.
+        prop_assert_eq!(minimize(&min).unwrap().num_states(), min.num_states());
+    }
+
+    #[test]
+    fn equivalent_iff_no_distinguishing_sequence(config in arb_config(), s1: u64, s2: u64) {
+        let a = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(s1)).unwrap();
+        let b = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(s2)).unwrap();
+        let eq = equivalent(&a, &b).unwrap();
+        let witness = distinguishing_sequence(&a, &b).unwrap();
+        prop_assert_eq!(eq, witness.is_none());
+        if let Some(w) = witness {
+            prop_assert_ne!(a.run(&w).unwrap(), b.run(&w).unwrap());
+        }
+    }
+
+    #[test]
+    fn connected_random_machines_are_fully_reachable(config in arb_config(), seed: u64) {
+        let fsm = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(reachable_states(&fsm).unwrap().len(), fsm.num_states());
+        // Every state therefore has a shortest input sequence.
+        for s in 0..fsm.num_states() {
+            let seq = shortest_input_sequence(&fsm, s).unwrap();
+            prop_assert!(seq.is_some(), "state {} unreachable", s);
+        }
+    }
+
+    #[test]
+    fn shortest_sequence_actually_arrives(config in arb_config(), seed: u64, target_raw: usize) {
+        let fsm = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let target = target_raw % fsm.num_states();
+        if let Some(seq) = shortest_input_sequence(&fsm, target).unwrap() {
+            let mut state = fsm.initial();
+            for &i in &seq {
+                state = fsm.step(state, i).unwrap().0;
+            }
+            prop_assert_eq!(state, target);
+        }
+    }
+
+    #[test]
+    fn periodicity_tail_and_period_are_consistent(config in arb_config(), seed: u64) {
+        let fsm = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let (tail, period) = periodicity(&fsm, 0).unwrap();
+        prop_assert!(period >= 1);
+        prop_assert!(tail + period <= fsm.num_states());
+        // After the tail, the trajectory repeats with the given period.
+        let steps = tail + 2 * period;
+        let traj = fsm.state_trajectory(&vec![0; steps + 1]).unwrap();
+        prop_assert_eq!(traj[tail], traj[tail + period]);
+    }
+
+    #[test]
+    fn redundant_state_embedding_preserves_behaviour(
+        config in arb_config(),
+        seed: u64,
+        extra in 1usize..6,
+    ) {
+        let fsm = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let marked =
+            embed_redundant_states(&fsm, extra, &mut ChaCha8Rng::seed_from_u64(seed ^ 1)).unwrap();
+        prop_assert_eq!(marked.num_states(), fsm.num_states() + extra);
+        prop_assert!(equivalent(&fsm, &marked).unwrap());
+        prop_assert_eq!(
+            signature(&fsm, 42, 256).unwrap(),
+            signature(&marked, 42, 256).unwrap()
+        );
+    }
+
+    #[test]
+    fn transition_embedding_round_trips(
+        seed: u64,
+        bits in prop::collection::vec(any::<bool>(), 1..12),
+    ) {
+        // A half-specified machine with generous capacity.
+        let mut design = IncompleteFsm::new(10, 4, 4).unwrap();
+        for s in 0..10 {
+            design.transition(s, 0, (s + 1) % 10, (s % 16) as u64).unwrap();
+            design.transition(s, 1, (s + 3) % 10, ((s * 5) % 16) as u64).unwrap();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let embedded = embed_transition_watermark(&design, &bits, &mut rng).unwrap();
+        prop_assert_eq!(embedded.proof.planted_bits, bits.len());
+        prop_assert!(verify_proof(&embedded.fsm, &embedded.proof).unwrap());
+        // The zero-completion never satisfies the proof (it would need every
+        // planted output to be 0 with matching walk, which the planted LSBs
+        // prevent whenever any bit is 1).
+        if bits.iter().any(|&b| b) {
+            prop_assert!(!verify_proof(&design.complete_with_self_loops(), &embedded.proof).unwrap());
+        }
+    }
+
+    #[test]
+    fn counters_have_full_period(bits in 2u16..10) {
+        for fsm in [Fsm::binary_counter(bits).unwrap(), Fsm::gray_counter(bits).unwrap()] {
+            prop_assert_eq!(periodicity(&fsm, 0).unwrap(), (0, 1usize << bits));
+            prop_assert_eq!(minimize(&fsm).unwrap().num_states(), 1 << bits);
+        }
+    }
+}

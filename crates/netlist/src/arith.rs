@@ -1,0 +1,321 @@
+//! Arithmetic and word-level combinational components: adders,
+//! comparators, decoders — plus a universal shift register. These extend
+//! the component library beyond what the paper's four IPs need, so that
+//! richer watermarked designs (datapaths, controllers) can be simulated
+//! and verified with the same pipeline.
+
+use crate::bits::BitVec;
+use crate::component::{check_arity, Component};
+use crate::error::NetlistError;
+
+/// Ripple-style adder: `sum = a + b + cin`, with carry-out.
+///
+/// Ports: inputs `a`, `b` (width bits), `cin` (1 bit); outputs `sum`
+/// (width bits), `cout` (1 bit).
+#[derive(Debug, Clone)]
+pub struct Adder {
+    width: u16,
+}
+
+impl Adder {
+    /// Creates an adder over `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 63 (the carry computation needs
+    /// one spare bit).
+    pub fn new(width: u16) -> Self {
+        assert!(
+            (1..=63).contains(&width),
+            "adder width must be 1..=63, got {width}"
+        );
+        Self { width }
+    }
+}
+
+impl Component for Adder {
+    fn type_name(&self) -> &'static str {
+        "adder"
+    }
+
+    fn input_widths(&self) -> Vec<u16> {
+        vec![self.width, self.width, 1]
+    }
+
+    fn output_widths(&self) -> Vec<u16> {
+        vec![self.width, 1]
+    }
+
+    fn eval(&self, inputs: &[BitVec], outputs: &mut Vec<BitVec>) -> Result<(), NetlistError> {
+        check_arity(self.type_name(), inputs, 3)?;
+        let total = inputs[0].value() + inputs[1].value() + inputs[2].value();
+        outputs.push(BitVec::truncated(total, self.width));
+        outputs.push(BitVec::truncated(total >> self.width, 1));
+        Ok(())
+    }
+}
+
+/// Unsigned comparator. Ports: inputs `a`, `b`; outputs `eq`, `lt`, `gt`
+/// (1 bit each).
+#[derive(Debug, Clone)]
+pub struct Comparator {
+    width: u16,
+}
+
+impl Comparator {
+    /// Creates a comparator over `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds
+    /// [`MAX_WIDTH`](crate::bits::MAX_WIDTH).
+    pub fn new(width: u16) -> Self {
+        let _ = BitVec::zero(width);
+        Self { width }
+    }
+}
+
+impl Component for Comparator {
+    fn type_name(&self) -> &'static str {
+        "comparator"
+    }
+
+    fn input_widths(&self) -> Vec<u16> {
+        vec![self.width, self.width]
+    }
+
+    fn output_widths(&self) -> Vec<u16> {
+        vec![1, 1, 1]
+    }
+
+    fn eval(&self, inputs: &[BitVec], outputs: &mut Vec<BitVec>) -> Result<(), NetlistError> {
+        check_arity(self.type_name(), inputs, 2)?;
+        let (a, b) = (inputs[0].value(), inputs[1].value());
+        outputs.push(BitVec::from(a == b));
+        outputs.push(BitVec::from(a < b));
+        outputs.push(BitVec::from(a > b));
+        Ok(())
+    }
+}
+
+/// One-hot decoder: `addr_width`-bit input selects one of `2^addr_width`
+/// output bits.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    addr_width: u16,
+}
+
+impl Decoder {
+    /// Creates a decoder with the given address width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidMemory`] when `addr_width` is zero or
+    /// the one-hot output would exceed 64 bits.
+    pub fn new(addr_width: u16) -> Result<Self, NetlistError> {
+        if addr_width == 0 || addr_width > 6 {
+            return Err(NetlistError::InvalidMemory {
+                reason: format!(
+                    "decoder address width must be 1..=6 (one-hot fits 64 bits), got {addr_width}"
+                ),
+            });
+        }
+        Ok(Self { addr_width })
+    }
+}
+
+impl Component for Decoder {
+    fn type_name(&self) -> &'static str {
+        "decoder"
+    }
+
+    fn input_widths(&self) -> Vec<u16> {
+        vec![self.addr_width]
+    }
+
+    fn output_widths(&self) -> Vec<u16> {
+        vec![1 << self.addr_width]
+    }
+
+    fn eval(&self, inputs: &[BitVec], outputs: &mut Vec<BitVec>) -> Result<(), NetlistError> {
+        check_arity(self.type_name(), inputs, 1)?;
+        outputs.push(BitVec::truncated(
+            1u64 << inputs[0].value(),
+            1 << self.addr_width,
+        ));
+        Ok(())
+    }
+}
+
+/// A universal shift register.
+///
+/// Ports: inputs `mode` (2 bits: 0 = hold, 1 = shift left, 2 = shift
+/// right, 3 = load), `data` (width bits, parallel load), `serial` (1 bit,
+/// shifted in); output `q` (width bits).
+#[derive(Debug, Clone)]
+pub struct ShiftRegister {
+    width: u16,
+    init: u64,
+    state: u64,
+}
+
+impl ShiftRegister {
+    /// Creates a `width`-bit shift register starting at `init`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bit-vector error when `init` does not fit.
+    pub fn new(width: u16, init: u64) -> Result<Self, NetlistError> {
+        BitVec::new(init, width)?;
+        Ok(Self {
+            width,
+            init,
+            state: init,
+        })
+    }
+
+    /// The current contents.
+    pub fn current(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Component for ShiftRegister {
+    fn type_name(&self) -> &'static str {
+        "shift-register"
+    }
+
+    fn input_widths(&self) -> Vec<u16> {
+        vec![2, self.width, 1]
+    }
+
+    fn output_widths(&self) -> Vec<u16> {
+        vec![self.width]
+    }
+
+    fn eval(&self, inputs: &[BitVec], outputs: &mut Vec<BitVec>) -> Result<(), NetlistError> {
+        check_arity(self.type_name(), inputs, 3)?;
+        outputs.push(BitVec::truncated(self.state, self.width));
+        Ok(())
+    }
+
+    fn clock(&mut self, inputs: &[BitVec]) -> Result<(), NetlistError> {
+        check_arity(self.type_name(), inputs, 3)?;
+        let mode = inputs[0].value();
+        let data = inputs[1].value();
+        let serial = inputs[2].value() & 1;
+        self.state = match mode {
+            0 => self.state,
+            1 => BitVec::truncated((self.state << 1) | serial, self.width).value(),
+            2 => (self.state >> 1) | (serial << (self.width - 1)),
+            _ => BitVec::truncated(data, self.width).value(),
+        };
+        Ok(())
+    }
+
+    fn state(&self) -> Option<BitVec> {
+        Some(BitVec::truncated(self.state, self.width))
+    }
+
+    fn is_sequential(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {
+        self.state = self.init;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(c: &dyn Component, inputs: &[BitVec]) -> Vec<BitVec> {
+        let mut out = Vec::new();
+        c.eval(inputs, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn adder_adds_with_carry() {
+        let a = Adder::new(8);
+        let out = eval(
+            &a,
+            &[BitVec::from(200u8), BitVec::from(100u8), BitVec::from(true)],
+        );
+        assert_eq!(out[0].value(), (200 + 100 + 1) & 0xff);
+        assert_eq!(out[1].value(), 1);
+        let out = eval(
+            &a,
+            &[BitVec::from(1u8), BitVec::from(2u8), BitVec::from(false)],
+        );
+        assert_eq!(out[0].value(), 3);
+        assert_eq!(out[1].value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "adder width")]
+    fn adder_rejects_width_64() {
+        let _ = Adder::new(64);
+    }
+
+    #[test]
+    fn comparator_outputs_eq_lt_gt() {
+        let c = Comparator::new(8);
+        let out = eval(&c, &[BitVec::from(5u8), BitVec::from(5u8)]);
+        assert_eq!(
+            (out[0].value(), out[1].value(), out[2].value()),
+            (1, 0, 0)
+        );
+        let out = eval(&c, &[BitVec::from(3u8), BitVec::from(9u8)]);
+        assert_eq!(
+            (out[0].value(), out[1].value(), out[2].value()),
+            (0, 1, 0)
+        );
+        let out = eval(&c, &[BitVec::from(9u8), BitVec::from(3u8)]);
+        assert_eq!(
+            (out[0].value(), out[1].value(), out[2].value()),
+            (0, 0, 1)
+        );
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let d = Decoder::new(3).unwrap();
+        for addr in 0..8u64 {
+            let out = eval(&d, &[BitVec::truncated(addr, 3)]);
+            assert_eq!(out[0].value(), 1 << addr);
+            assert_eq!(out[0].hamming_weight(), 1);
+        }
+        assert!(Decoder::new(0).is_err());
+        assert!(Decoder::new(7).is_err());
+    }
+
+    #[test]
+    fn shift_register_modes() {
+        let mut s = ShiftRegister::new(4, 0b1001).unwrap();
+        let mk = |mode: u64, data: u64, serial: bool| {
+            [
+                BitVec::truncated(mode, 2),
+                BitVec::truncated(data, 4),
+                BitVec::from(serial),
+            ]
+        };
+        s.clock(&mk(0, 0xf, true)).unwrap(); // hold
+        assert_eq!(s.current(), 0b1001);
+        s.clock(&mk(1, 0, true)).unwrap(); // shift left, serial 1
+        assert_eq!(s.current(), 0b0011);
+        s.clock(&mk(2, 0, true)).unwrap(); // shift right, serial 1
+        assert_eq!(s.current(), 0b1001);
+        s.clock(&mk(3, 0b0110, false)).unwrap(); // parallel load
+        assert_eq!(s.current(), 0b0110);
+        s.reset();
+        assert_eq!(s.current(), 0b1001);
+    }
+
+    #[test]
+    fn shift_register_validates_init() {
+        assert!(ShiftRegister::new(4, 16).is_err());
+        assert!(ShiftRegister::new(4, 15).is_ok());
+    }
+}

@@ -1,0 +1,599 @@
+//! Fixed-width bit vectors used as signal values on netlist ports.
+//!
+//! A [`BitVec`] is a little word: at most 64 bits wide, value stored in a
+//! `u64`, with the width carried alongside so that arithmetic wraps at the
+//! declared width and widths can be checked when signals are connected.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported signal width in bits.
+pub const MAX_WIDTH: u16 = 64;
+
+/// A fixed-width bit vector (1..=64 bits).
+///
+/// `BitVec` is the value type travelling on netlist ports. All operations
+/// that combine two `BitVec`s require equal widths and return
+/// [`BitsError::WidthMismatch`] otherwise; arithmetic wraps modulo `2^width`.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_netlist::BitVec;
+///
+/// # fn main() -> Result<(), ipmark_netlist::BitsError> {
+/// let a = BitVec::new(0b1010, 4)?;
+/// let b = BitVec::new(0b0110, 4)?;
+/// assert_eq!(a.xor(&b)?.value(), 0b1100);
+/// assert_eq!(a.hamming_distance(&b)?, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct BitVec {
+    value: u64,
+    width: u16,
+}
+
+impl<'de> Deserialize<'de> for BitVec {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Raw {
+            value: u64,
+            width: u16,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        BitVec::new(raw.value, raw.width).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Error raised by [`BitVec`] constructors and binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitsError {
+    /// The requested width is zero or exceeds [`MAX_WIDTH`].
+    InvalidWidth {
+        /// Requested width.
+        width: u16,
+    },
+    /// The value does not fit in the requested width.
+    ValueTooWide {
+        /// Offending value.
+        value: u64,
+        /// Declared width.
+        width: u16,
+    },
+    /// A binary operation combined vectors of unequal widths.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: u16,
+        /// Width of the right operand.
+        right: u16,
+    },
+    /// A bit index is out of range for the vector width.
+    BitOutOfRange {
+        /// Requested bit index.
+        index: u16,
+        /// Vector width.
+        width: u16,
+    },
+}
+
+impl fmt::Display for BitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BitsError::InvalidWidth { width } => {
+                write!(f, "invalid bit-vector width {width} (must be 1..={MAX_WIDTH})")
+            }
+            BitsError::ValueTooWide { value, width } => {
+                write!(f, "value {value:#x} does not fit in {width} bits")
+            }
+            BitsError::WidthMismatch { left, right } => {
+                write!(f, "bit-vector width mismatch: {left} vs {right}")
+            }
+            BitsError::BitOutOfRange { index, width } => {
+                write!(f, "bit index {index} out of range for width {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitsError {}
+
+/// Mask with the low `width` bits set.
+#[inline]
+fn mask(width: u16) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl BitVec {
+    /// Creates a bit vector with the given value and width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::InvalidWidth`] if `width` is zero or greater than
+    /// [`MAX_WIDTH`], and [`BitsError::ValueTooWide`] if `value` has bits set
+    /// above `width`.
+    pub fn new(value: u64, width: u16) -> Result<Self, BitsError> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(BitsError::InvalidWidth { width });
+        }
+        if value & !mask(width) != 0 {
+            return Err(BitsError::ValueTooWide { value, width });
+        }
+        Ok(Self { value, width })
+    }
+
+    /// Creates a bit vector, truncating `value` to the low `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`]; widths are
+    /// design-time constants, so this indicates a construction bug rather
+    /// than a data error.
+    pub fn truncated(value: u64, width: u16) -> Self {
+        assert!(
+            width > 0 && width <= MAX_WIDTH,
+            "invalid bit-vector width {width}"
+        );
+        Self {
+            value: value & mask(width),
+            width,
+        }
+    }
+
+    /// The all-zero vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+    pub fn zero(width: u16) -> Self {
+        Self::truncated(0, width)
+    }
+
+    /// The all-ones vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+    pub fn ones(width: u16) -> Self {
+        Self::truncated(u64::MAX, width)
+    }
+
+    /// Underlying integer value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Reads the bit at `index` (bit 0 is the least significant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::BitOutOfRange`] if `index >= width`.
+    pub fn bit(&self, index: u16) -> Result<bool, BitsError> {
+        if index >= self.width {
+            return Err(BitsError::BitOutOfRange {
+                index,
+                width: self.width,
+            });
+        }
+        Ok((self.value >> index) & 1 == 1)
+    }
+
+    /// Returns a copy with the bit at `index` set to `bit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::BitOutOfRange`] if `index >= width`.
+    pub fn with_bit(&self, index: u16, bit: bool) -> Result<Self, BitsError> {
+        if index >= self.width {
+            return Err(BitsError::BitOutOfRange {
+                index,
+                width: self.width,
+            });
+        }
+        let value = if bit {
+            self.value | (1u64 << index)
+        } else {
+            self.value & !(1u64 << index)
+        };
+        Ok(Self {
+            value,
+            width: self.width,
+        })
+    }
+
+    /// Number of set bits (Hamming weight).
+    #[inline]
+    pub fn hamming_weight(&self) -> u32 {
+        self.value.count_ones()
+    }
+
+    /// Number of differing bits between `self` and `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::WidthMismatch`] if the widths differ.
+    pub fn hamming_distance(&self, other: &Self) -> Result<u32, BitsError> {
+        self.check_width(other)?;
+        Ok((self.value ^ other.value).count_ones())
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::WidthMismatch`] if the widths differ.
+    pub fn xor(&self, other: &Self) -> Result<Self, BitsError> {
+        self.check_width(other)?;
+        Ok(Self {
+            value: self.value ^ other.value,
+            width: self.width,
+        })
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::WidthMismatch`] if the widths differ.
+    pub fn and(&self, other: &Self) -> Result<Self, BitsError> {
+        self.check_width(other)?;
+        Ok(Self {
+            value: self.value & other.value,
+            width: self.width,
+        })
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::WidthMismatch`] if the widths differ.
+    pub fn or(&self, other: &Self) -> Result<Self, BitsError> {
+        self.check_width(other)?;
+        Ok(Self {
+            value: self.value | other.value,
+            width: self.width,
+        })
+    }
+
+    /// Bitwise complement within the vector width.
+    pub fn not(&self) -> Self {
+        Self {
+            value: !self.value & mask(self.width),
+            width: self.width,
+        }
+    }
+
+    /// Wrapping addition modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::WidthMismatch`] if the widths differ.
+    pub fn wrapping_add(&self, other: &Self) -> Result<Self, BitsError> {
+        self.check_width(other)?;
+        Ok(Self {
+            value: self.value.wrapping_add(other.value) & mask(self.width),
+            width: self.width,
+        })
+    }
+
+    /// Wrapping increment modulo `2^width`.
+    pub fn wrapping_incr(&self) -> Self {
+        Self {
+            value: self.value.wrapping_add(1) & mask(self.width),
+            width: self.width,
+        }
+    }
+
+    /// Concatenates `self` (high bits) with `low` (low bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::InvalidWidth`] if the combined width exceeds
+    /// [`MAX_WIDTH`].
+    pub fn concat(&self, low: &Self) -> Result<Self, BitsError> {
+        let width = self.width + low.width;
+        if width > MAX_WIDTH {
+            return Err(BitsError::InvalidWidth { width });
+        }
+        Ok(Self {
+            value: (self.value << low.width) | low.value,
+            width,
+        })
+    }
+
+    /// Extracts bits `[lo, lo+width)` as a new vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitsError::BitOutOfRange`] if the slice does not fit, or
+    /// [`BitsError::InvalidWidth`] if `width` is zero.
+    pub fn slice(&self, lo: u16, width: u16) -> Result<Self, BitsError> {
+        if width == 0 {
+            return Err(BitsError::InvalidWidth { width });
+        }
+        if u32::from(lo) + u32::from(width) > u32::from(self.width) {
+            return Err(BitsError::BitOutOfRange {
+                index: lo.saturating_add(width).saturating_sub(1),
+                width: self.width,
+            });
+        }
+        Ok(Self {
+            value: (self.value >> lo) & mask(width),
+            width,
+        })
+    }
+
+    /// Iterator over bits from least significant to most significant.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width).map(move |i| (self.value >> i) & 1 == 1)
+    }
+
+    #[inline]
+    fn check_width(&self, other: &Self) -> Result<(), BitsError> {
+        if self.width != other.width {
+            Err(BitsError::WidthMismatch {
+                left: self.width,
+                right: other.width,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for BitVec {
+    /// A single zero bit.
+    fn default() -> Self {
+        Self::zero(1)
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.value, width = self.width as usize)
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.value, f)
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::UpperHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::Octal for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.value, f)
+    }
+}
+
+impl From<bool> for BitVec {
+    fn from(b: bool) -> Self {
+        Self::truncated(u64::from(b), 1)
+    }
+}
+
+impl From<u8> for BitVec {
+    fn from(v: u8) -> Self {
+        Self::truncated(u64::from(v), 8)
+    }
+}
+
+impl From<u16> for BitVec {
+    fn from(v: u16) -> Self {
+        Self::truncated(u64::from(v), 16)
+    }
+}
+
+impl From<u32> for BitVec {
+    fn from(v: u32) -> Self {
+        Self::truncated(u64::from(v), 32)
+    }
+}
+
+impl From<u64> for BitVec {
+    fn from(v: u64) -> Self {
+        Self::truncated(v, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_width() {
+        assert_eq!(BitVec::new(0, 0), Err(BitsError::InvalidWidth { width: 0 }));
+    }
+
+    #[test]
+    fn new_rejects_overwide_width() {
+        assert_eq!(
+            BitVec::new(0, 65),
+            Err(BitsError::InvalidWidth { width: 65 })
+        );
+    }
+
+    #[test]
+    fn new_rejects_too_wide_value() {
+        assert_eq!(
+            BitVec::new(0x1ff, 8),
+            Err(BitsError::ValueTooWide {
+                value: 0x1ff,
+                width: 8
+            })
+        );
+    }
+
+    #[test]
+    fn new_accepts_full_width_value() {
+        let v = BitVec::new(u64::MAX, 64).unwrap();
+        assert_eq!(v.value(), u64::MAX);
+        assert_eq!(v.width(), 64);
+    }
+
+    #[test]
+    fn truncated_masks_high_bits() {
+        let v = BitVec::truncated(0x1ff, 8);
+        assert_eq!(v.value(), 0xff);
+    }
+
+    #[test]
+    fn bit_access_and_update() {
+        let v = BitVec::new(0b0100, 4).unwrap();
+        assert!(!v.bit(0).unwrap());
+        assert!(v.bit(2).unwrap());
+        assert!(v.bit(4).is_err());
+        let w = v.with_bit(0, true).unwrap();
+        assert_eq!(w.value(), 0b0101);
+        let x = w.with_bit(2, false).unwrap();
+        assert_eq!(x.value(), 0b0001);
+    }
+
+    #[test]
+    fn hamming_weight_counts_ones() {
+        assert_eq!(BitVec::new(0b1011, 4).unwrap().hamming_weight(), 3);
+        assert_eq!(BitVec::zero(8).hamming_weight(), 0);
+        assert_eq!(BitVec::ones(8).hamming_weight(), 8);
+    }
+
+    #[test]
+    fn hamming_distance_is_xor_weight() {
+        let a = BitVec::new(0b1100, 4).unwrap();
+        let b = BitVec::new(0b1010, 4).unwrap();
+        assert_eq!(a.hamming_distance(&b).unwrap(), 2);
+        assert_eq!(a.hamming_distance(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn binary_ops_require_equal_widths() {
+        let a = BitVec::zero(4);
+        let b = BitVec::zero(8);
+        assert!(matches!(
+            a.xor(&b),
+            Err(BitsError::WidthMismatch { left: 4, right: 8 })
+        ));
+        assert!(a.and(&b).is_err());
+        assert!(a.or(&b).is_err());
+        assert!(a.wrapping_add(&b).is_err());
+        assert!(a.hamming_distance(&b).is_err());
+    }
+
+    #[test]
+    fn not_stays_in_width() {
+        let v = BitVec::new(0b0101, 4).unwrap().not();
+        assert_eq!(v.value(), 0b1010);
+        assert_eq!(v.width(), 4);
+    }
+
+    #[test]
+    fn wrapping_add_wraps_at_width() {
+        let a = BitVec::new(0xff, 8).unwrap();
+        let b = BitVec::new(0x01, 8).unwrap();
+        assert_eq!(a.wrapping_add(&b).unwrap().value(), 0);
+        assert_eq!(a.wrapping_incr().value(), 0);
+    }
+
+    #[test]
+    fn concat_and_slice_round_trip() {
+        let hi = BitVec::new(0b101, 3).unwrap();
+        let lo = BitVec::new(0b0011, 4).unwrap();
+        let joined = hi.concat(&lo).unwrap();
+        assert_eq!(joined.width(), 7);
+        assert_eq!(joined.value(), 0b101_0011);
+        assert_eq!(joined.slice(4, 3).unwrap(), hi);
+        assert_eq!(joined.slice(0, 4).unwrap(), lo);
+    }
+
+    #[test]
+    fn concat_rejects_overflow() {
+        let a = BitVec::zero(40);
+        let b = BitVec::zero(30);
+        assert!(matches!(a.concat(&b), Err(BitsError::InvalidWidth { .. })));
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let v = BitVec::new(0xab, 8).unwrap();
+        assert!(v.slice(5, 4).is_err());
+        assert!(v.slice(0, 0).is_err());
+        assert_eq!(v.slice(0, 8).unwrap(), v);
+    }
+
+    #[test]
+    fn slice_rejects_u16_overflowing_ranges() {
+        // lo + width would overflow u16; the check must still fire instead
+        // of wrapping (panicking in debug, silently passing in release).
+        let v = BitVec::zero(64);
+        assert!(matches!(
+            v.slice(u16::MAX, 10),
+            Err(BitsError::BitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            v.slice(65_530, 10),
+            Err(BitsError::BitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn display_pads_to_width() {
+        let v = BitVec::new(0b101, 8).unwrap();
+        assert_eq!(v.to_string(), "00000101");
+    }
+
+    #[test]
+    fn iter_bits_lsb_first() {
+        let v = BitVec::new(0b0110, 4).unwrap();
+        let bits: Vec<bool> = v.iter_bits().collect();
+        assert_eq!(bits, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn from_primitives() {
+        assert_eq!(BitVec::from(0xabu8).width(), 8);
+        assert_eq!(BitVec::from(true).value(), 1);
+        assert_eq!(BitVec::from(0xffffu16).value(), 0xffff);
+        assert_eq!(BitVec::from(1u32).width(), 32);
+        assert_eq!(BitVec::from(1u64).width(), 64);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            BitsError::InvalidWidth { width: 0 },
+            BitsError::ValueTooWide { value: 9, width: 3 },
+            BitsError::WidthMismatch { left: 1, right: 2 },
+            BitsError::BitOutOfRange { index: 8, width: 8 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

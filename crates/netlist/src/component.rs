@@ -1,0 +1,87 @@
+//! The [`Component`] trait: the unit of structure in a netlist.
+//!
+//! A component is either *combinational* (outputs are a pure function of its
+//! inputs) or *sequential* (outputs are a function of registered internal
+//! state; the state advances on the clock edge). Sequential components are
+//! Moore-style: their outputs never combinationally depend on their inputs,
+//! which is what lets the [`Circuit`](crate::Circuit) scheduler break cycles
+//! at registers, exactly as synthesis tools do.
+
+use crate::bits::BitVec;
+use crate::error::NetlistError;
+
+/// A hardware component instance inside a [`Circuit`](crate::Circuit).
+///
+/// Implementors provide the port shape ([`Component::input_widths`] /
+/// [`Component::output_widths`]), a combinational evaluation function
+/// ([`Component::eval`]) and, for sequential components, a clock-edge update
+/// ([`Component::clock`]) plus the registered state ([`Component::state`])
+/// used for switching-activity accounting.
+pub trait Component: Send {
+    /// Short type label used in error messages and activity reports.
+    fn type_name(&self) -> &'static str;
+
+    /// Widths (in bits) of the input ports, in port order.
+    fn input_widths(&self) -> Vec<u16>;
+
+    /// Widths (in bits) of the output ports, in port order.
+    fn output_widths(&self) -> Vec<u16>;
+
+    /// Evaluates the outputs for the current cycle.
+    ///
+    /// For combinational components the outputs are a pure function of
+    /// `inputs`; for sequential components they must depend only on the
+    /// registered state (Moore outputs) and must not read `inputs` at all —
+    /// the scheduler may pass placeholder values, because a sequential
+    /// component can be evaluated before its producers. The implementation
+    /// pushes exactly `output_widths().len()` values into `outputs` (which
+    /// is passed in empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] when the number of inputs is
+    /// wrong and propagates bit-vector width errors.
+    fn eval(&self, inputs: &[BitVec], outputs: &mut Vec<BitVec>) -> Result<(), NetlistError>;
+
+    /// Advances registered state at the clock edge. No-op for combinational
+    /// components.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bit-vector width errors from malformed inputs.
+    fn clock(&mut self, _inputs: &[BitVec]) -> Result<(), NetlistError> {
+        Ok(())
+    }
+
+    /// The registered internal state, if the component has one.
+    ///
+    /// Used by the activity recorder to charge register-toggle power.
+    fn state(&self) -> Option<BitVec> {
+        None
+    }
+
+    /// Whether the component holds registered state.
+    fn is_sequential(&self) -> bool {
+        false
+    }
+
+    /// Restores the component to its power-on state.
+    fn reset(&mut self) {}
+}
+
+/// Helper: checks an input slice against an expected arity.
+pub(crate) fn check_arity(
+    name: &'static str,
+    inputs: &[BitVec],
+    expected: usize,
+) -> Result<(), NetlistError> {
+    if inputs.len() != expected {
+        Err(NetlistError::ArityMismatch {
+            component: name.to_owned(),
+            provided: inputs.len(),
+            expected,
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,574 @@
+//! The measurement chain: per-cycle power → oscilloscope samples.
+//!
+//! A real acquisition (the paper measures FPGAs with an oscilloscope over a
+//! shunt) involves several transformations that this module models
+//! explicitly:
+//!
+//! 1. **pulse shaping** — the current drawn at a clock edge is spread over
+//!    the cycle as a decaying pulse ([`PulseShape`]);
+//! 2. **analog bandwidth** — the probe/scope front-end low-pass filters the
+//!    signal (single-pole IIR);
+//! 3. **additive noise** — thermal + quantization-floor noise, Gaussian per
+//!    sample;
+//! 4. **ADC quantization** — the scope digitizes into `bits` levels over a
+//!    fixed full-scale range ([`AdcConfig`]).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PowerError;
+use crate::noise::NoiseProfile;
+
+/// How one cycle's energy is distributed over the oscilloscope samples of
+/// that cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PulseShape {
+    /// One coefficient per sample within a cycle; the cycle's power scalar
+    /// is multiplied by each coefficient in turn.
+    coefficients: Vec<f64>,
+}
+
+impl PulseShape {
+    /// A flat (rectangular) pulse over `samples_per_cycle` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] when `samples_per_cycle` is zero.
+    pub fn rectangular(samples_per_cycle: usize) -> Result<Self, PowerError> {
+        Self::from_coefficients(vec![1.0; samples_per_cycle])
+    }
+
+    /// An exponentially decaying pulse `exp(-i/tau)` — the classic
+    /// current-spike shape after a clock edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] when `samples_per_cycle` is zero or
+    /// `tau` is not positive.
+    pub fn exponential(samples_per_cycle: usize, tau: f64) -> Result<Self, PowerError> {
+        if tau <= 0.0 || !tau.is_finite() {
+            return Err(PowerError::Config(format!(
+                "pulse tau must be positive, got {tau}"
+            )));
+        }
+        Self::from_coefficients(
+            (0..samples_per_cycle)
+                .map(|i| (-(i as f64) / tau).exp())
+                .collect(),
+        )
+    }
+
+    /// A raised-cosine pulse peaking early in the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] when `samples_per_cycle` is zero.
+    pub fn raised_cosine(samples_per_cycle: usize) -> Result<Self, PowerError> {
+        let n = samples_per_cycle as f64;
+        Self::from_coefficients(
+            (0..samples_per_cycle)
+                .map(|i| 0.5 * (1.0 + (std::f64::consts::PI * (2.0 * i as f64 / n - 0.25)).cos()))
+                .collect(),
+        )
+    }
+
+    /// Builds a pulse from raw coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] for an empty or non-finite coefficient
+    /// list.
+    pub fn from_coefficients(coefficients: Vec<f64>) -> Result<Self, PowerError> {
+        if coefficients.is_empty() {
+            return Err(PowerError::Config(
+                "pulse shape needs at least one sample per cycle".to_owned(),
+            ));
+        }
+        if coefficients.iter().any(|c| !c.is_finite()) {
+            return Err(PowerError::Config(
+                "pulse shape coefficients must be finite".to_owned(),
+            ));
+        }
+        Ok(Self { coefficients })
+    }
+
+    /// Samples per clock cycle.
+    pub fn samples_per_cycle(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+}
+
+/// Oscilloscope ADC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdcConfig {
+    /// Resolution in bits (scopes are typically 8–12 bit).
+    pub bits: u8,
+    /// Bottom of the full-scale range.
+    pub full_scale_min: f64,
+    /// Top of the full-scale range.
+    pub full_scale_max: f64,
+}
+
+impl AdcConfig {
+    /// Validates resolution and range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] for zero/overwide resolution or an
+    /// empty range.
+    pub fn validate(&self) -> Result<(), PowerError> {
+        if self.bits == 0 || self.bits > 24 {
+            return Err(PowerError::Config(format!(
+                "ADC resolution must be 1..=24 bits, got {}",
+                self.bits
+            )));
+        }
+        if self.full_scale_max.partial_cmp(&self.full_scale_min)
+            != Some(std::cmp::Ordering::Greater)
+            || !self.full_scale_min.is_finite()
+            || !self.full_scale_max.is_finite()
+        {
+            return Err(PowerError::Config(format!(
+                "ADC full scale [{}, {}] is invalid",
+                self.full_scale_min, self.full_scale_max
+            )));
+        }
+        Ok(())
+    }
+
+    /// Quantizes one sample: clamp to full scale, round to the nearest of
+    /// `2^bits` levels, return the level's center value.
+    pub fn quantize(&self, x: f64) -> f64 {
+        let levels = (1u64 << self.bits) as f64 - 1.0;
+        let span = self.full_scale_max - self.full_scale_min;
+        let clamped = x.clamp(self.full_scale_min, self.full_scale_max);
+        let code = ((clamped - self.full_scale_min) / span * levels).round();
+        self.full_scale_min + code / levels * span
+    }
+}
+
+/// The complete measurement chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementChain {
+    pulse: PulseShape,
+    /// Single-pole low-pass coefficient in (0, 1]; 1.0 = no filtering.
+    bandwidth_alpha: f64,
+    /// The per-sample noise mixture.
+    noise: NoiseProfile,
+    /// Single-pole high-pass (AC-coupling) coefficient in (0, 1); `None`
+    /// for DC coupling.
+    ac_alpha: Option<f64>,
+    adc: Option<AdcConfig>,
+}
+
+impl MeasurementChain {
+    /// Creates a chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] when `bandwidth_alpha` is outside
+    /// (0, 1], `noise_sigma` is negative/non-finite, or the ADC config is
+    /// invalid.
+    pub fn new(
+        pulse: PulseShape,
+        bandwidth_alpha: f64,
+        noise_sigma: f64,
+        adc: Option<AdcConfig>,
+    ) -> Result<Self, PowerError> {
+        if !(bandwidth_alpha > 0.0 && bandwidth_alpha <= 1.0) {
+            return Err(PowerError::Config(format!(
+                "bandwidth alpha must be in (0, 1], got {bandwidth_alpha}"
+            )));
+        }
+        if !noise_sigma.is_finite() || noise_sigma < 0.0 {
+            return Err(PowerError::Config(format!(
+                "noise sigma must be finite and non-negative, got {noise_sigma}"
+            )));
+        }
+        if let Some(a) = &adc {
+            a.validate()?;
+        }
+        Ok(Self {
+            pulse,
+            bandwidth_alpha,
+            noise: NoiseProfile::white(noise_sigma),
+            ac_alpha: None,
+            adc,
+        })
+    }
+
+    /// Creates a chain with a full noise mixture and optional AC coupling
+    /// (high-pass) at the scope input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] for an out-of-range bandwidth or
+    /// AC-coupling coefficient, an invalid noise profile, or an invalid
+    /// ADC configuration.
+    pub fn with_extras(
+        pulse: PulseShape,
+        bandwidth_alpha: f64,
+        noise: NoiseProfile,
+        ac_coupling_alpha: Option<f64>,
+        adc: Option<AdcConfig>,
+    ) -> Result<Self, PowerError> {
+        let mut chain = Self::new(pulse, bandwidth_alpha, 0.0, adc)?;
+        noise.validate()?;
+        if let Some(a) = ac_coupling_alpha {
+            if !(a > 0.0 && a < 1.0) {
+                return Err(PowerError::Config(format!(
+                    "AC-coupling alpha must be in (0, 1), got {a}"
+                )));
+            }
+        }
+        chain.noise = noise;
+        chain.ac_alpha = ac_coupling_alpha;
+        Ok(chain)
+    }
+
+    /// An ideal chain: rectangular pulse, full bandwidth, no noise, no ADC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] when `samples_per_cycle` is zero.
+    pub fn ideal(samples_per_cycle: usize) -> Result<Self, PowerError> {
+        Self::new(PulseShape::rectangular(samples_per_cycle)?, 1.0, 0.0, None)
+    }
+
+    /// Samples per clock cycle.
+    pub fn samples_per_cycle(&self) -> usize {
+        self.pulse.samples_per_cycle()
+    }
+
+    /// Per-sample white-noise standard deviation.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise.white_sigma
+    }
+
+    /// The full noise mixture.
+    pub fn noise_profile(&self) -> &NoiseProfile {
+        &self.noise
+    }
+
+    /// The AC-coupling (high-pass) coefficient, if enabled.
+    pub fn ac_coupling_alpha(&self) -> Option<f64> {
+        self.ac_alpha
+    }
+
+    /// Low-pass coefficient.
+    pub fn bandwidth_alpha(&self) -> f64 {
+        self.bandwidth_alpha
+    }
+
+    /// The ADC, if any.
+    pub fn adc(&self) -> Option<&AdcConfig> {
+        self.adc.as_ref()
+    }
+
+    /// Expands per-cycle powers into the clean (noise-free, unfiltered)
+    /// sample waveform: each cycle scalar × pulse coefficients.
+    pub fn expand(&self, cycle_powers: &[f64]) -> Vec<f64> {
+        let spc = self.pulse.samples_per_cycle();
+        let mut out = Vec::with_capacity(cycle_powers.len() * spc);
+        for &p in cycle_powers {
+            for &c in self.pulse.coefficients() {
+                out.push(p * c);
+            }
+        }
+        out
+    }
+
+    /// Applies the analog-bandwidth low-pass filter in place.
+    pub fn filter_in_place(&self, signal: &mut [f64]) {
+        if self.bandwidth_alpha >= 1.0 {
+            return;
+        }
+        let a = self.bandwidth_alpha;
+        let mut y = signal.first().copied().unwrap_or(0.0);
+        for s in signal.iter_mut() {
+            y += a * (*s - y);
+            *s = y;
+        }
+    }
+
+    /// Applies AC coupling (single-pole high-pass) in place.
+    pub fn ac_couple_in_place(&self, signal: &mut [f64]) {
+        let Some(a) = self.ac_alpha else {
+            return;
+        };
+        let mut prev_x = signal.first().copied().unwrap_or(0.0);
+        let mut prev_y = 0.0;
+        for s in signal.iter_mut() {
+            let x = *s;
+            let y = a * (prev_y + x - prev_x);
+            *s = y;
+            prev_x = x;
+            prev_y = y;
+        }
+    }
+
+    /// Produces one measured trace from the clean expanded waveform:
+    /// add the noise mixture, band-limit, AC-couple, quantize.
+    pub fn measure<R: Rng + ?Sized>(&self, clean: &[f64], rng: &mut R) -> Vec<f64> {
+        let mut signal = clean.to_vec();
+        self.noise.add_into(&mut signal, rng);
+        self.filter_in_place(&mut signal);
+        self.ac_couple_in_place(&mut signal);
+        if let Some(adc) = &self.adc {
+            for s in &mut signal {
+                *s = adc.quantize(*s);
+            }
+        }
+        signal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pulse_constructors_validate() {
+        assert!(PulseShape::rectangular(0).is_err());
+        assert!(PulseShape::exponential(4, 0.0).is_err());
+        assert!(PulseShape::exponential(4, -1.0).is_err());
+        assert!(PulseShape::from_coefficients(vec![]).is_err());
+        assert!(PulseShape::from_coefficients(vec![f64::NAN]).is_err());
+        assert_eq!(PulseShape::raised_cosine(8).unwrap().samples_per_cycle(), 8);
+    }
+
+    #[test]
+    fn exponential_pulse_decays() {
+        let p = PulseShape::exponential(4, 1.5).unwrap();
+        let c = p.coefficients();
+        assert_eq!(c[0], 1.0);
+        assert!(c.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn adc_validation() {
+        assert!(AdcConfig {
+            bits: 0,
+            full_scale_min: 0.0,
+            full_scale_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(AdcConfig {
+            bits: 8,
+            full_scale_min: 1.0,
+            full_scale_max: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(AdcConfig {
+            bits: 8,
+            full_scale_min: 0.0,
+            full_scale_max: 1.0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn adc_quantizes_and_clamps() {
+        let adc = AdcConfig {
+            bits: 3,
+            full_scale_min: 0.0,
+            full_scale_max: 7.0,
+        };
+        // 8 levels over [0,7]: integers are representable exactly.
+        assert_eq!(adc.quantize(3.2), 3.0);
+        assert_eq!(adc.quantize(3.6), 4.0);
+        assert_eq!(adc.quantize(-5.0), 0.0);
+        assert_eq!(adc.quantize(99.0), 7.0);
+    }
+
+    #[test]
+    fn chain_validates_parameters() {
+        let p = PulseShape::rectangular(2).unwrap();
+        assert!(MeasurementChain::new(p.clone(), 0.0, 0.0, None).is_err());
+        assert!(MeasurementChain::new(p.clone(), 1.5, 0.0, None).is_err());
+        assert!(MeasurementChain::new(p.clone(), 0.5, -1.0, None).is_err());
+        assert!(MeasurementChain::new(p, 0.5, 0.1, None).is_ok());
+    }
+
+    #[test]
+    fn expand_multiplies_pulse() {
+        let chain = MeasurementChain::new(
+            PulseShape::from_coefficients(vec![1.0, 0.5]).unwrap(),
+            1.0,
+            0.0,
+            None,
+        )
+        .unwrap();
+        assert_eq!(chain.expand(&[2.0, 4.0]), vec![2.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn ideal_chain_measure_is_identity() {
+        let chain = MeasurementChain::ideal(3).unwrap();
+        let clean = chain.expand(&[1.0, 2.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(chain.measure(&clean, &mut rng), clean);
+    }
+
+    #[test]
+    fn filter_smooths_steps() {
+        let chain = MeasurementChain::new(
+            PulseShape::rectangular(1).unwrap(),
+            0.3,
+            0.0,
+            None,
+        )
+        .unwrap();
+        let mut signal = vec![0.0, 0.0, 10.0, 10.0, 10.0];
+        chain.filter_in_place(&mut signal);
+        assert!(signal[2] > 0.0 && signal[2] < 10.0);
+        assert!(signal[3] > signal[2]);
+        assert!(signal[4] > signal[3]);
+    }
+
+    #[test]
+    fn noise_has_requested_spread() {
+        let chain = MeasurementChain::new(
+            PulseShape::rectangular(1).unwrap(),
+            1.0,
+            0.5,
+            None,
+        )
+        .unwrap();
+        let clean = vec![1.0; 20_000];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let noisy = chain.measure(&clean, &mut rng);
+        let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
+        let var = noisy.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / noisy.len() as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn with_extras_validates_everything() {
+        use crate::noise::NoiseProfile;
+        let pulse = PulseShape::rectangular(2).unwrap();
+        assert!(MeasurementChain::with_extras(
+            pulse.clone(),
+            0.5,
+            NoiseProfile {
+                white_sigma: -1.0,
+                pink_sigma: 0.0,
+                drift_sigma: 0.0
+            },
+            None,
+            None
+        )
+        .is_err());
+        assert!(MeasurementChain::with_extras(
+            pulse.clone(),
+            0.5,
+            NoiseProfile::none(),
+            Some(0.0),
+            None
+        )
+        .is_err());
+        assert!(MeasurementChain::with_extras(
+            pulse.clone(),
+            0.5,
+            NoiseProfile::none(),
+            Some(1.0),
+            None
+        )
+        .is_err());
+        let chain = MeasurementChain::with_extras(
+            pulse,
+            0.5,
+            NoiseProfile {
+                white_sigma: 0.1,
+                pink_sigma: 0.2,
+                drift_sigma: 0.01,
+            },
+            Some(0.99),
+            None,
+        )
+        .unwrap();
+        assert_eq!(chain.noise_sigma(), 0.1);
+        assert_eq!(chain.noise_profile().pink_sigma, 0.2);
+        assert_eq!(chain.ac_coupling_alpha(), Some(0.99));
+    }
+
+    #[test]
+    fn ac_coupling_removes_dc_offset() {
+        use crate::noise::NoiseProfile;
+        let chain = MeasurementChain::with_extras(
+            PulseShape::rectangular(1).unwrap(),
+            1.0,
+            NoiseProfile::none(),
+            Some(0.95),
+            None,
+        )
+        .unwrap();
+        // A large DC level plus a small ripple: after AC coupling the mean
+        // of the tail must be near zero while the ripple survives.
+        let clean: Vec<f64> = (0..2000)
+            .map(|i| 100.0 + (i as f64 * 0.8).sin())
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let coupled = chain.measure(&clean, &mut rng);
+        let tail = &coupled[1000..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(mean.abs() < 0.5, "residual DC {mean}");
+        let spread = tail.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(spread > 0.3, "ripple was destroyed: {spread}");
+    }
+
+    #[test]
+    fn pink_and_drift_noise_flow_through_measure() {
+        use crate::noise::NoiseProfile;
+        let chain = MeasurementChain::with_extras(
+            PulseShape::rectangular(1).unwrap(),
+            1.0,
+            NoiseProfile {
+                white_sigma: 0.0,
+                pink_sigma: 0.5,
+                drift_sigma: 0.0,
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        let clean = vec![0.0; 4000];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let noisy = chain.measure(&clean, &mut rng);
+        let var = noisy.iter().map(|x| x * x).sum::<f64>() / noisy.len() as f64;
+        assert!(var > 0.01, "pink noise missing, var = {var}");
+    }
+
+    #[test]
+    fn measure_is_deterministic_per_rng_seed() {
+        let chain = MeasurementChain::new(
+            PulseShape::exponential(4, 2.0).unwrap(),
+            0.7,
+            0.2,
+            Some(AdcConfig {
+                bits: 10,
+                full_scale_min: -2.0,
+                full_scale_max: 6.0,
+            }),
+        )
+        .unwrap();
+        let clean = chain.expand(&[1.0, 3.0, 2.0]);
+        let a = chain.measure(&clean, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = chain.measure(&clean, &mut ChaCha8Rng::seed_from_u64(9));
+        let c = chain.measure(&clean, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,209 @@
+//! Composite measurement-noise models.
+//!
+//! Real oscilloscope captures contain more than white Gaussian noise: the
+//! front-end adds 1/f (*pink*) noise, and supply/temperature wander shows
+//! up as low-frequency *drift*. [`NoiseProfile`] describes the mixture;
+//! the measurement chain applies it per trace.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::device::gaussian;
+use crate::error::PowerError;
+
+/// Magnitudes of the per-sample noise components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseProfile {
+    /// σ of the white Gaussian component.
+    pub white_sigma: f64,
+    /// σ of the pink (1/f) component.
+    pub pink_sigma: f64,
+    /// Per-step σ of the random-walk drift component.
+    pub drift_sigma: f64,
+}
+
+impl NoiseProfile {
+    /// White noise only — the measurement model of the main experiments.
+    pub fn white(sigma: f64) -> Self {
+        Self {
+            white_sigma: sigma,
+            pink_sigma: 0.0,
+            drift_sigma: 0.0,
+        }
+    }
+
+    /// A noiseless profile.
+    pub fn none() -> Self {
+        Self::white(0.0)
+    }
+
+    /// Whether all components are zero.
+    pub fn is_silent(&self) -> bool {
+        self.white_sigma == 0.0 && self.pink_sigma == 0.0 && self.drift_sigma == 0.0
+    }
+
+    /// Validates that all sigmas are finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::Config`] otherwise.
+    pub fn validate(&self) -> Result<(), PowerError> {
+        for (name, v) in [
+            ("white_sigma", self.white_sigma),
+            ("pink_sigma", self.pink_sigma),
+            ("drift_sigma", self.drift_sigma),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PowerError::Config(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds one realization of the noise mixture onto `signal`.
+    pub fn add_into<R: Rng + ?Sized>(&self, signal: &mut [f64], rng: &mut R) {
+        if self.is_silent() {
+            return;
+        }
+        let mut pink = PinkNoise::new();
+        let mut drift = 0.0f64;
+        for s in signal.iter_mut() {
+            if self.white_sigma > 0.0 {
+                *s += gaussian(rng, 0.0, self.white_sigma);
+            }
+            if self.pink_sigma > 0.0 {
+                *s += self.pink_sigma * pink.next(gaussian(rng, 0.0, 1.0));
+            }
+            if self.drift_sigma > 0.0 {
+                drift += gaussian(rng, 0.0, self.drift_sigma);
+                *s += drift;
+            }
+        }
+    }
+}
+
+impl Default for NoiseProfile {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Paul Kellet's economical pink-noise filter: seven leaky integrators over
+/// a white input give a close 1/f spectrum, normalized to roughly unit
+/// output variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PinkNoise {
+    b: [f64; 7],
+}
+
+impl PinkNoise {
+    /// A fresh filter (zero state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Filters one white sample into one pink sample.
+    pub fn next(&mut self, white: f64) -> f64 {
+        let b = &mut self.b;
+        b[0] = 0.99886 * b[0] + white * 0.0555179;
+        b[1] = 0.99332 * b[1] + white * 0.0750759;
+        b[2] = 0.96900 * b[2] + white * 0.1538520;
+        b[3] = 0.86650 * b[3] + white * 0.3104856;
+        b[4] = 0.55000 * b[4] + white * 0.5329522;
+        b[5] = -0.7616 * b[5] - white * 0.0168980;
+        let out = b[0] + b[1] + b[2] + b[3] + b[4] + b[5] + b[6] + white * 0.5362;
+        b[6] = white * 0.115926;
+        // Empirical normalization to ≈ unit variance.
+        out * 0.25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn variance(xs: &[f64]) -> f64 {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(NoiseProfile::white(1.0).validate().is_ok());
+        assert!(NoiseProfile {
+            white_sigma: -1.0,
+            pink_sigma: 0.0,
+            drift_sigma: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(NoiseProfile {
+            white_sigma: 0.0,
+            pink_sigma: f64::NAN,
+            drift_sigma: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(NoiseProfile::none().is_silent());
+        assert!(!NoiseProfile::white(0.1).is_silent());
+    }
+
+    #[test]
+    fn silent_profile_is_identity() {
+        let mut signal = vec![1.0, 2.0, 3.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        NoiseProfile::none().add_into(&mut signal, &mut rng);
+        assert_eq!(signal, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn white_component_has_requested_power() {
+        let mut signal = vec![0.0; 50_000];
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        NoiseProfile::white(2.0).add_into(&mut signal, &mut rng);
+        let v = variance(&signal);
+        assert!((v - 4.0).abs() < 0.2, "variance {v}");
+    }
+
+    #[test]
+    fn pink_noise_is_roughly_unit_variance_and_low_frequency_heavy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut pink = PinkNoise::new();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| pink.next(gaussian(&mut rng, 0.0, 1.0)))
+            .collect();
+        let v = variance(&xs);
+        assert!((0.4..2.5).contains(&v), "variance {v}");
+        // 1/f: adjacent samples are positively correlated, unlike white.
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let lag1: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!(lag1 / v > 0.3, "lag-1 autocorrelation {}", lag1 / v);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        let mut signal = vec![0.0; 10_000];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        NoiseProfile {
+            white_sigma: 0.0,
+            pink_sigma: 0.0,
+            drift_sigma: 0.1,
+        }
+        .add_into(&mut signal, &mut rng);
+        // A random walk's variance grows with time: the last quarter must
+        // wander much more than the first.
+        let early = variance(&signal[..2500]);
+        let late = variance(&signal[7500..]);
+        let spread_early = signal[..2500].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let spread_late = signal[7500..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(
+            spread_late > spread_early || late > early,
+            "drift did not accumulate"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! k-averaged traces — the paper's `A_device = mean(U_T(k))` operation.
+//!
+//! Averaging `k` randomly chosen traces suppresses measurement noise by
+//! `√k` while preserving the deterministic switching-activity waveform,
+//! which is what makes the subsequent Pearson correlation informative.
+
+use rand::Rng;
+
+use crate::error::TraceError;
+use crate::select::uniform_distinct_indices;
+use crate::trace::{Trace, TraceSource};
+
+/// Averages the traces at the given indices of `source`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::EmptySet`] for an empty index list and propagates
+/// out-of-range indices.
+pub fn mean_of_indices<S: TraceSource + ?Sized>(
+    source: &S,
+    indices: &[usize],
+) -> Result<Trace, TraceError> {
+    if indices.is_empty() {
+        return Err(TraceError::EmptySet);
+    }
+    let mut acc = vec![0.0; source.trace_len()];
+    for &i in indices {
+        source.accumulate(i, &mut acc)?;
+    }
+    let scale = 1.0 / indices.len() as f64;
+    for a in &mut acc {
+        *a *= scale;
+    }
+    Ok(Trace::from_samples(acc))
+}
+
+/// Computes one `k`-averaged trace: `mean(U_T(k))`.
+///
+/// # Errors
+///
+/// Returns a selection error when `k` is zero or exceeds the number of
+/// traces in the source.
+pub fn k_average<S: TraceSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    rng: &mut R,
+) -> Result<Trace, TraceError> {
+    let indices = uniform_distinct_indices(source.num_traces(), k, rng)?;
+    mean_of_indices(source, &indices)
+}
+
+/// Computes `m` independent `k`-averaged traces: the paper's
+/// `A_{device,m} = { mean(U_T(k)) }_m`.
+///
+/// Each of the `m` selections is drawn independently (a trace may appear in
+/// several selections — the probability of that event, `P(ζ)`, is exactly
+/// what the paper's §V.B parameter analysis controls).
+///
+/// # Errors
+///
+/// Returns a selection error when `k` is zero or exceeds the number of
+/// traces, and [`TraceError::EmptySet`] when `m` is zero.
+pub fn k_averages<S: TraceSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Vec<Trace>, TraceError> {
+    if m == 0 {
+        return Err(TraceError::EmptySet);
+    }
+    (0..m).map(|_| k_average(source, k, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSet;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn set_of(vals: &[&[f64]]) -> TraceSet {
+        TraceSet::from_traces(
+            "d",
+            vals.iter()
+                .map(|v| Trace::from_samples(v.to_vec()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mean_of_indices_averages() {
+        let set = set_of(&[&[1.0, 2.0], &[3.0, 6.0], &[5.0, 10.0]]);
+        let avg = mean_of_indices(&set, &[0, 2]).unwrap();
+        assert_eq!(avg.samples(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_of_indices_rejects_empty_and_bad_index() {
+        let set = set_of(&[&[1.0]]);
+        assert!(matches!(
+            mean_of_indices(&set, &[]),
+            Err(TraceError::EmptySet)
+        ));
+        assert!(mean_of_indices(&set, &[3]).is_err());
+    }
+
+    #[test]
+    fn k_average_of_full_set_is_grand_mean() {
+        let set = set_of(&[&[0.0, 4.0], &[2.0, 0.0], &[4.0, 2.0]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let avg = k_average(&set, 3, &mut rng).unwrap();
+        assert_eq!(avg.samples(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn k_average_rejects_k_larger_than_set() {
+        let set = set_of(&[&[1.0], &[2.0]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(k_average(&set, 3, &mut rng).is_err());
+        assert!(k_average(&set, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn k_averages_returns_m_traces() {
+        let set = set_of(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0], &[4.0, 4.0]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let avgs = k_averages(&set, 2, 5, &mut rng).unwrap();
+        assert_eq!(avgs.len(), 5);
+        for t in &avgs {
+            assert_eq!(t.len(), 2);
+            // Every 2-average of values in [1,4] lies in [1.5, 3.5].
+            assert!(t.samples()[0] >= 1.5 && t.samples()[0] <= 3.5);
+        }
+        assert!(matches!(
+            k_averages(&set, 2, 0, &mut rng),
+            Err(TraceError::EmptySet)
+        ));
+    }
+
+    #[test]
+    fn averaging_reduces_noise_spread() {
+        // 200 noisy constant traces; the 50-average must be much closer to
+        // the true mean than a single trace is on average.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        use rand::Rng as _;
+        let mut set = TraceSet::new("noisy");
+        for _ in 0..200 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            set.push(Trace::from_samples(vec![5.0 + v])).unwrap();
+        }
+        let avg = k_average(&set, 50, &mut rng).unwrap();
+        assert!((avg.samples()[0] - 5.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Error types for trace handling and statistics.
+
+use std::fmt;
+
+/// Error raised by statistical primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// The two input series have different lengths.
+    LengthMismatch {
+        /// Length of the left series.
+        left: usize,
+        /// Length of the right series.
+        right: usize,
+    },
+    /// The input series is too short for the requested statistic.
+    TooShort {
+        /// Number of points provided.
+        provided: usize,
+        /// Minimum number of points required.
+        required: usize,
+    },
+    /// A correlation was requested against a constant (zero-variance) series.
+    ZeroVariance,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "series length mismatch: {left} vs {right}")
+            }
+            StatsError::TooShort { provided, required } => {
+                write!(f, "series too short: {provided} points, need at least {required}")
+            }
+            StatsError::ZeroVariance => write!(f, "series has zero variance"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Error raised by random subset selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectError {
+    /// More distinct elements were requested than exist in the set.
+    KExceedsN {
+        /// Number of distinct elements requested.
+        k: usize,
+        /// Size of the set selected from.
+        n: usize,
+    },
+    /// Zero elements were requested.
+    EmptySelection,
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SelectError::KExceedsN { k, n } => {
+                write!(f, "cannot select {k} distinct traces from a set of {n}")
+            }
+            SelectError::EmptySelection => write!(f, "selection of zero traces requested"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// Error raised by trace containers and averaging.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A trace with an unexpected number of samples was inserted or combined.
+    LengthMismatch {
+        /// Expected sample count.
+        expected: usize,
+        /// Provided sample count.
+        provided: usize,
+    },
+    /// An operation that needs at least one trace was given an empty set.
+    EmptySet,
+    /// A trace index was out of range.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Number of traces available.
+        available: usize,
+    },
+    /// A trace with zero samples was provided.
+    EmptyTrace,
+    /// An underlying statistics error.
+    Stats(StatsError),
+    /// An underlying selection error.
+    Select(SelectError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::LengthMismatch { expected, provided } => {
+                write!(f, "trace length mismatch: expected {expected} samples, got {provided}")
+            }
+            TraceError::EmptySet => write!(f, "trace set is empty"),
+            TraceError::IndexOutOfRange { index, available } => {
+                write!(f, "trace index {index} out of range (have {available})")
+            }
+            TraceError::EmptyTrace => write!(f, "trace has zero samples"),
+            TraceError::Stats(e) => write!(f, "statistics error: {e}"),
+            TraceError::Select(e) => write!(f, "selection error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Stats(e) => Some(e),
+            TraceError::Select(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for TraceError {
+    fn from(e: StatsError) -> Self {
+        TraceError::Stats(e)
+    }
+}
+
+impl From<SelectError> for TraceError {
+    fn from(e: SelectError) -> Self {
+        TraceError::Select(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(StatsError::LengthMismatch { left: 1, right: 2 }),
+            Box::new(StatsError::TooShort {
+                provided: 1,
+                required: 2,
+            }),
+            Box::new(StatsError::ZeroVariance),
+            Box::new(SelectError::KExceedsN { k: 5, n: 2 }),
+            Box::new(SelectError::EmptySelection),
+            Box::new(TraceError::LengthMismatch {
+                expected: 10,
+                provided: 9,
+            }),
+            Box::new(TraceError::EmptySet),
+            Box::new(TraceError::IndexOutOfRange {
+                index: 3,
+                available: 3,
+            }),
+            Box::new(TraceError::EmptyTrace),
+            Box::new(TraceError::Stats(StatsError::ZeroVariance)),
+            Box::new(TraceError::Select(SelectError::EmptySelection)),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_error_sources() {
+        use std::error::Error;
+        assert!(TraceError::Stats(StatsError::ZeroVariance).source().is_some());
+        assert!(TraceError::EmptySet.source().is_none());
+    }
+}

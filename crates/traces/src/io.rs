@@ -1,0 +1,277 @@
+//! Reading and writing trace sets.
+//!
+//! Two formats:
+//!
+//! * **CSV** — one trace per line, samples comma-separated; interoperable
+//!   with spreadsheet tools and the plotting scripts of side-channel suites.
+//! * **Binary** — a compact little-endian format (`IPMKTRC1` magic, trace
+//!   count, trace length, raw `f64` samples) for large campaigns.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::error::TraceError;
+use crate::trace::{Trace, TraceSet};
+
+/// Magic bytes opening the binary trace format.
+pub const BINARY_MAGIC: &[u8; 8] = b"IPMKTRC1";
+
+/// Error raised by trace serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a valid trace file.
+    Format(String),
+    /// The decoded traces violate a container invariant.
+    Trace(TraceError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Format(msg) => write!(f, "malformed trace file: {msg}"),
+            IoError::Trace(e) => write!(f, "invalid trace data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Trace(e) => Some(e),
+            IoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<TraceError> for IoError {
+    fn from(e: TraceError) -> Self {
+        IoError::Trace(e)
+    }
+}
+
+/// Writes a trace set as CSV, one trace per line. A mutable reference may be
+/// passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv<W: Write>(set: &TraceSet, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    for trace in set {
+        let mut first = true;
+        for s in trace.samples() {
+            if !first {
+                w.write_all(b",")?;
+            }
+            write!(w, "{s}")?;
+            first = false;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV trace set written by [`write_csv`]. A mutable reference may
+/// be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for unparsable numbers and
+/// [`IoError::Trace`] when lines have inconsistent lengths.
+pub fn read_csv<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError> {
+    let r = BufReader::new(reader);
+    let mut set = TraceSet::new(device);
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let samples: Result<Vec<f64>, _> = line
+            .split(',')
+            .map(|tok| tok.trim().parse::<f64>())
+            .collect();
+        let samples = samples
+            .map_err(|e| IoError::Format(format!("line {}: {e}", lineno + 1)))?;
+        set.push(Trace::from_samples(samples))?;
+    }
+    Ok(set)
+}
+
+/// Writes a trace set in the compact binary format. A mutable reference may
+/// be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_binary<W: Write>(set: &TraceSet, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(set.len() as u64).to_le_bytes())?;
+    w.write_all(&(set.trace_len() as u64).to_le_bytes())?;
+    for trace in set {
+        for s in trace.samples() {
+            w.write_all(&s.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a binary trace set written by [`write_binary`]. A mutable
+/// reference may be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for a bad magic or truncated payload.
+pub fn read_binary<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| IoError::Format("missing magic".to_owned()))?;
+    if &magic != BINARY_MAGIC {
+        return Err(IoError::Format(format!(
+            "bad magic `{}`, expected `{}` — not an ipmark binary trace file",
+            String::from_utf8_lossy(&magic).escape_default(),
+            String::from_utf8_lossy(BINARY_MAGIC)
+        )));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)
+        .map_err(|_| IoError::Format("missing trace count".to_owned()))?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)
+        .map_err(|_| IoError::Format("missing trace length".to_owned()))?;
+    let len = u64::from_le_bytes(u64buf) as usize;
+    if count > 0 && len == 0 {
+        return Err(IoError::Format("zero-length traces".to_owned()));
+    }
+    // The header is untrusted: never pre-allocate from it unboundedly, and
+    // reject sizes whose byte count cannot even be represented.
+    count
+        .checked_mul(len)
+        .and_then(|s| s.checked_mul(8))
+        .ok_or_else(|| {
+            IoError::Format(format!(
+                "declared size {count} x {len} samples overflows"
+            ))
+        })?;
+    let prealloc = len.min(1 << 16);
+    let mut set = TraceSet::new(device);
+    let mut sample = [0u8; 8];
+    for t in 0..count {
+        let mut samples = Vec::with_capacity(prealloc);
+        for s in 0..len {
+            r.read_exact(&mut sample).map_err(|_| {
+                IoError::Format(format!("truncated at trace {t}, sample {s}"))
+            })?;
+            samples.push(f64::from_le_bytes(sample));
+        }
+        set.push(Trace::from_samples(samples))?;
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> TraceSet {
+        TraceSet::from_traces(
+            "dev",
+            vec![
+                Trace::from_samples(vec![1.0, -2.5, 3.25]),
+                Trace::from_samples(vec![0.0, 1e-9, 7.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_csv(&set, &mut buf).unwrap();
+        let back = read_csv("dev", buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.trace(0).unwrap().samples(), set.trace(0).unwrap().samples());
+        assert_eq!(back.trace(1).unwrap().samples(), set.trace(1).unwrap().samples());
+    }
+
+    #[test]
+    fn csv_skips_blank_lines_and_reports_bad_numbers() {
+        let text = "1.0,2.0\n\n3.0,4.0\n";
+        let set = read_csv("d", text.as_bytes()).unwrap();
+        assert_eq!(set.len(), 2);
+        let err = read_csv("d", "1.0,zzz\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let err = read_csv("d", "1.0,2.0\n3.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Trace(_)));
+    }
+
+    #[test]
+    fn binary_round_trip_exact() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_binary(&set, &mut buf).unwrap();
+        let back = read_binary("dev", buf.as_slice()).unwrap();
+        assert_eq!(back, TraceSet::from_traces("dev", set.iter().cloned().collect()).unwrap());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary("d", b"NOTMAGIC".as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let set = sample_set();
+        let mut buf = Vec::new();
+        write_binary(&set, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        let err = read_binary("d", buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn binary_rejects_hostile_headers_without_allocating() {
+        // A crafted header declaring 2^40 traces of 2^40 samples must fail
+        // fast (truncation or overflow), not attempt a giant allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = read_binary("d", buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn binary_empty_set_round_trips() {
+        let set = TraceSet::new("empty");
+        let mut buf = Vec::new();
+        write_binary(&set, &mut buf).unwrap();
+        let back = read_binary("empty", buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(!IoError::Format("x".into()).to_string().is_empty());
+        assert!(!IoError::Trace(TraceError::EmptySet).to_string().is_empty());
+    }
+}

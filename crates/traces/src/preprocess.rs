@@ -1,0 +1,189 @@
+//! Trace preprocessing: standardization and detrending.
+//!
+//! Two devices never share gain, offset or low-frequency drift; both the
+//! verification process and profiled attacks benefit from putting traces
+//! on a common footing first. Standardization (z-scoring) removes
+//! gain/offset; linear detrending removes the drift that AC coupling and
+//! temperature wander leave behind.
+
+use crate::error::{StatsError, TraceError};
+use crate::trace::{Trace, TraceSet};
+
+/// Standardizes a sample slice in place: zero mean, unit variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for fewer than two samples and
+/// [`StatsError::ZeroVariance`] for a constant signal.
+pub fn standardize_in_place(samples: &mut [f64]) -> Result<(), StatsError> {
+    if samples.len() < 2 {
+        return Err(StatsError::TooShort {
+            provided: samples.len(),
+            required: 2,
+        });
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let sd = var.sqrt();
+    for x in samples.iter_mut() {
+        *x = (*x - mean) / sd;
+    }
+    Ok(())
+}
+
+/// Standardizes every trace of a set.
+///
+/// # Errors
+///
+/// Propagates per-trace statistic errors and container errors.
+pub fn standardize_set(set: &TraceSet) -> Result<TraceSet, TraceError> {
+    let mut out = TraceSet::new(set.device().to_owned());
+    for trace in set {
+        let mut samples = trace.samples().to_vec();
+        standardize_in_place(&mut samples).map_err(TraceError::Stats)?;
+        out.push(Trace::from_samples(samples))?;
+    }
+    Ok(out)
+}
+
+/// Removes the least-squares straight line from a sample slice in place,
+/// returning the removed `(intercept, slope)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for fewer than two samples.
+pub fn detrend_linear_in_place(samples: &mut [f64]) -> Result<(f64, f64), StatsError> {
+    let n = samples.len();
+    if n < 2 {
+        return Err(StatsError::TooShort {
+            provided: n,
+            required: 2,
+        });
+    }
+    // Closed-form simple linear regression of y on t = 0..n-1.
+    let nf = n as f64;
+    let t_mean = (nf - 1.0) / 2.0;
+    let y_mean = samples.iter().sum::<f64>() / nf;
+    let mut sty = 0.0;
+    let mut stt = 0.0;
+    for (t, &y) in samples.iter().enumerate() {
+        let dt = t as f64 - t_mean;
+        sty += dt * (y - y_mean);
+        stt += dt * dt;
+    }
+    let slope = if stt == 0.0 { 0.0 } else { sty / stt };
+    let intercept = y_mean - slope * t_mean;
+    for (t, y) in samples.iter_mut().enumerate() {
+        *y -= intercept + slope * t as f64;
+    }
+    Ok((intercept, slope))
+}
+
+/// Detrends every trace of a set.
+///
+/// # Errors
+///
+/// Propagates per-trace statistic errors and container errors.
+pub fn detrend_set(set: &TraceSet) -> Result<TraceSet, TraceError> {
+    let mut out = TraceSet::new(set.device().to_owned());
+    for trace in set {
+        let mut samples = trace.samples().to_vec();
+        detrend_linear_in_place(&mut samples).map_err(TraceError::Stats)?;
+        out.push(Trace::from_samples(samples))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, variance_population};
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_variance() {
+        let mut xs: Vec<f64> = (0..100).map(|i| 3.0 + (i as f64 * 0.37).sin() * 5.0).collect();
+        standardize_in_place(&mut xs).unwrap();
+        assert!(mean(&xs).unwrap().abs() < 1e-12);
+        assert!((variance_population(&xs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_rejects_degenerate_signals() {
+        let mut short = vec![1.0];
+        assert!(matches!(
+            standardize_in_place(&mut short),
+            Err(StatsError::TooShort { .. })
+        ));
+        let mut flat = vec![5.0; 10];
+        assert!(matches!(
+            standardize_in_place(&mut flat),
+            Err(StatsError::ZeroVariance)
+        ));
+    }
+
+    #[test]
+    fn standardize_is_gain_and_offset_invariant() {
+        let base: Vec<f64> = (0..64).map(|i| (i as f64 * 0.5).cos()).collect();
+        let mut a = base.clone();
+        let mut b: Vec<f64> = base.iter().map(|x| 7.0 * x - 3.0).collect();
+        standardize_in_place(&mut a).unwrap();
+        standardize_in_place(&mut b).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn detrend_removes_an_injected_ramp() {
+        let clean: Vec<f64> = (0..200).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut ramped: Vec<f64> = clean
+            .iter()
+            .enumerate()
+            .map(|(t, &y)| y + 2.5 + 0.05 * t as f64)
+            .collect();
+        let (intercept, slope) = detrend_linear_in_place(&mut ramped).unwrap();
+        assert!((slope - 0.05).abs() < 1e-3, "slope {slope}");
+        assert!((intercept - 2.5).abs() < 0.2, "intercept {intercept}");
+        // The residual is close to the zero-mean part of the clean signal.
+        let clean_mean = mean(&clean).unwrap();
+        for (r, &c) in ramped.iter().zip(&clean) {
+            assert!((r - (c - clean_mean)).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn detrend_of_pure_line_leaves_zero() {
+        let mut line: Vec<f64> = (0..50).map(|t| 1.0 + 2.0 * t as f64).collect();
+        detrend_linear_in_place(&mut line).unwrap();
+        for r in line {
+            assert!(r.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn set_level_wrappers() {
+        let set = TraceSet::from_traces(
+            "d",
+            vec![
+                Trace::from_samples((0..32).map(|i| i as f64).collect()),
+                Trace::from_samples((0..32).map(|i| (i as f64).powi(2)).collect()),
+            ],
+        )
+        .unwrap();
+        let std = standardize_set(&set).unwrap();
+        for t in &std {
+            assert!(mean(t.samples()).unwrap().abs() < 1e-9);
+        }
+        let det = detrend_set(&set).unwrap();
+        // The first trace is a pure line: detrending flattens it.
+        assert!(det.trace(0).unwrap().samples().iter().all(|x| x.abs() < 1e-9));
+        // Errors propagate.
+        let flat = TraceSet::from_traces("f", vec![Trace::from_samples(vec![1.0; 4])]).unwrap();
+        assert!(standardize_set(&flat).is_err());
+        assert!(detrend_set(&flat).is_ok());
+    }
+}

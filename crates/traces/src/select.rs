@@ -1,0 +1,135 @@
+//! Uniform random selection of distinct elements — the paper's `U_X(k)`.
+//!
+//! §III defines `U_X(k)` as "a function which randomly selects k distinct
+//! elements uniformly inside a set X". [`uniform_distinct_indices`]
+//! implements it with Robert Floyd's sampling algorithm, which draws exactly
+//! `k` random numbers and needs `O(k)` memory regardless of `n` — important
+//! because the DUT population is `n2 = α·k·m = 10 000` traces.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::error::SelectError;
+
+/// Selects `k` distinct indices uniformly at random from `0..n`.
+///
+/// Every `k`-subset of `0..n` is equally likely (Floyd's algorithm). The
+/// returned order is not itself uniform over permutations, which is
+/// irrelevant here: the verification process only averages over the subset.
+///
+/// # Errors
+///
+/// Returns [`SelectError::KExceedsN`] when `k > n` and
+/// [`SelectError::EmptySelection`] when `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_traces::select::uniform_distinct_indices;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ipmark_traces::SelectError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let picks = uniform_distinct_indices(10_000, 50, &mut rng)?;
+/// assert_eq!(picks.len(), 50);
+/// # Ok(())
+/// # }
+/// ```
+pub fn uniform_distinct_indices<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, SelectError> {
+    if k == 0 {
+        return Err(SelectError::EmptySelection);
+    }
+    if k > n {
+        return Err(SelectError::KExceedsN { k, n });
+    }
+    // Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert t
+    // unless already chosen, in which case insert j.
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        out.push(pick);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(matches!(
+            uniform_distinct_indices(5, 0, &mut rng),
+            Err(SelectError::EmptySelection)
+        ));
+        assert!(matches!(
+            uniform_distinct_indices(5, 6, &mut rng),
+            Err(SelectError::KExceedsN { k: 6, n: 5 })
+        ));
+    }
+
+    #[test]
+    fn returns_exactly_k_distinct_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            let picks = uniform_distinct_indices(100, 30, &mut rng).unwrap();
+            assert_eq!(picks.len(), 30);
+            let set: HashSet<_> = picks.iter().copied().collect();
+            assert_eq!(set.len(), 30, "duplicates in {picks:?}");
+            assert!(picks.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn k_equals_n_selects_everything() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut picks = uniform_distinct_indices(20, 20, &mut rng).unwrap();
+        picks.sort_unstable();
+        assert_eq!(picks, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn selection_is_approximately_uniform() {
+        // Each index should appear with probability k/n = 1/4. Over 8000
+        // draws the expected count per index is 2000; a chi-square-ish bound
+        // of ±15 % catches gross bias without being flaky.
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let n = 40;
+        let k = 10;
+        let rounds = 8000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..rounds {
+            for i in uniform_distinct_indices(n, k, &mut rng).unwrap() {
+                counts[i] += 1;
+            }
+        }
+        let expected = rounds as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.15, "index {i}: count {c}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(
+            uniform_distinct_indices(1000, 50, &mut r1).unwrap(),
+            uniform_distinct_indices(1000, 50, &mut r2).unwrap()
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Summary statistics and the Pearson correlation coefficient.
+//!
+//! The verification scheme reduces each (reference, device-under-test) pair
+//! to a set of Pearson coefficients and then distinguishes on the *mean* and
+//! *variance* of that set, so these primitives are the numerical core of the
+//! whole library. Variance uses Welford's algorithm for numerical stability.
+
+use crate::error::StatsError;
+
+/// Arithmetic mean of a series.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for an empty series.
+pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::TooShort {
+            provided: 0,
+            required: 1,
+        });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divide by `n`) of a series.
+///
+/// This matches the paper's `v(C)` — the spread of the correlation
+/// coefficients themselves, not an estimator of some parent population.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for an empty series.
+pub fn variance_population(xs: &[f64]) -> Result<f64, StatsError> {
+    let mut rs = RunningStats::new();
+    for &x in xs {
+        rs.push(x);
+    }
+    rs.variance_population().ok_or(StatsError::TooShort {
+        provided: xs.len(),
+        required: 1,
+    })
+}
+
+/// Sample variance (divide by `n − 1`) of a series.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for a series with fewer than two points.
+pub fn variance_sample(xs: &[f64]) -> Result<f64, StatsError> {
+    let mut rs = RunningStats::new();
+    for &x in xs {
+        rs.push(x);
+    }
+    rs.variance_sample().ok_or(StatsError::TooShort {
+        provided: xs.len(),
+        required: 2,
+    })
+}
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_traces::stats::RunningStats;
+///
+/// let mut rs = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     rs.push(x);
+/// }
+/// assert_eq!(rs.mean(), Some(5.0));
+/// assert_eq!(rs.variance_population(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance (divide by `n`), or `None` before the first
+    /// observation.
+    pub fn variance_population(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (divide by `n − 1`), or `None` with fewer than two
+    /// observations.
+    pub fn variance_sample(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev_population(&self) -> Option<f64> {
+        self.variance_population().map(f64::sqrt)
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length series — the ρ
+/// of the paper's §III:
+///
+/// `ρ(x, y) = Σ (xᵢ − x̄)(yᵢ − ȳ) / √(Σ (xᵢ − x̄)² · Σ (yᵢ − ȳ)²)`
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when the series lengths differ,
+/// [`StatsError::TooShort`] for fewer than two points, and
+/// [`StatsError::ZeroVariance`] when either series is constant.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_traces::stats::pearson;
+///
+/// # fn main() -> Result<(), ipmark_traces::StatsError> {
+/// let x = [1.0, 2.0, 3.0];
+/// let up = [10.0, 20.0, 30.0];
+/// let down = [3.0, 2.0, 1.0];
+/// assert!((pearson(&x, &up)? - 1.0).abs() < 1e-12);
+/// assert!((pearson(&x, &down)? + 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::TooShort {
+            provided: x.len(),
+            required: 2,
+        });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// The largest and second-largest values of a series, in that order — the
+/// paper's `max` / `max2` pair used by the mean-distinguisher confidence
+/// distance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for fewer than two points.
+pub fn two_largest(xs: &[f64]) -> Result<(f64, f64), StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooShort {
+            provided: xs.len(),
+            required: 2,
+        });
+    }
+    let mut best = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &x in xs {
+        if x > best {
+            second = best;
+            best = x;
+        } else if x > second {
+            second = x;
+        }
+    }
+    Ok((best, second))
+}
+
+/// The smallest and second-smallest values of a series, in that order — the
+/// paper's `min` / `min2` pair used by the variance-distinguisher confidence
+/// distance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for fewer than two points.
+pub fn two_smallest(xs: &[f64]) -> Result<(f64, f64), StatsError> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooShort {
+            provided: xs.len(),
+            required: 2,
+        });
+    }
+    let mut best = f64::INFINITY;
+    let mut second = f64::INFINITY;
+    for &x in xs {
+        if x < best {
+            second = best;
+            best = x;
+        } else if x < second {
+            second = x;
+        }
+    }
+    Ok((best, second))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_errors() {
+        assert!(mean(&[]).is_err());
+        assert_eq!(mean(&[3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn variance_matches_textbook() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance_population(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert!((variance_sample(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_sample_needs_two_points() {
+        assert!(variance_sample(&[1.0]).is_err());
+        assert_eq!(variance_population(&[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_shifted_data() {
+        // Large offset exposes catastrophic cancellation in naive formulas.
+        let xs: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 7) as f64).collect();
+        let m = mean(&xs).unwrap();
+        let naive: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        let welford = variance_population(&xs).unwrap();
+        assert!((naive - welford).abs() < 1e-6, "{naive} vs {welford}");
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean().unwrap() - all.mean().unwrap()).abs() < 1e-12);
+        assert!(
+            (left.variance_population().unwrap() - all.variance_population().unwrap()).abs()
+                < 1e-10
+        );
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v - 2.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -2.0 * v + 7.0).collect();
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_independent_patterns_is_small() {
+        let x: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 101) as f64).collect();
+        let y: Vec<f64> = (0..1000).map(|i| ((i * 104729) % 103) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.2, "r = {r}");
+    }
+
+    #[test]
+    fn pearson_error_cases() {
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatsError::TooShort { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[5.0, 5.0]),
+            Err(StatsError::ZeroVariance)
+        ));
+    }
+
+    #[test]
+    fn pearson_is_symmetric() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 4.0, 4.0, 1.0, 9.0];
+        assert!((pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_largest_and_smallest() {
+        let xs = [3.0, 9.0, 1.0, 9.0, 7.0];
+        assert_eq!(two_largest(&xs).unwrap(), (9.0, 9.0));
+        assert_eq!(two_smallest(&xs).unwrap(), (1.0, 3.0));
+        assert!(two_largest(&[1.0]).is_err());
+        assert!(two_smallest(&[]).is_err());
+    }
+
+    #[test]
+    fn two_largest_distinct_values() {
+        let xs = [0.5, -1.0, 0.25];
+        assert_eq!(two_largest(&xs).unwrap(), (0.5, 0.25));
+        assert_eq!(two_smallest(&xs).unwrap(), (-1.0, 0.25));
+    }
+}

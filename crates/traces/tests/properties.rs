@@ -1,0 +1,143 @@
+//! Property-based tests for trace statistics and selection.
+
+use ipmark_traces::average::{k_average, mean_of_indices};
+use ipmark_traces::select::uniform_distinct_indices;
+use ipmark_traces::stats::{
+    mean, pearson, two_largest, two_smallest, variance_population, RunningStats,
+};
+use ipmark_traces::{Trace, TraceSet};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn series(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, min_len..64)
+}
+
+proptest! {
+    #[test]
+    fn pearson_bounded(x in series(2), y in series(2)) {
+        let n = x.len().min(y.len());
+        if let Ok(r) = pearson(&x[..n], &y[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariant(x in series(3), a in 0.1f64..100.0, b in -100.0f64..100.0) {
+        let y: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        if let Ok(r) = pearson(&x, &y) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn pearson_sign_flips_under_negation(x in series(3), y in series(3)) {
+        let n = x.len().min(y.len());
+        let neg: Vec<f64> = y[..n].iter().map(|v| -v).collect();
+        if let (Ok(r1), Ok(r2)) = (pearson(&x[..n], &y[..n]), pearson(&x[..n], &neg)) {
+            prop_assert!((r1 + r2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn welford_mean_matches_naive(x in series(1)) {
+        let mut rs = RunningStats::new();
+        for &v in &x {
+            rs.push(v);
+        }
+        let naive = mean(&x).unwrap();
+        prop_assert!((rs.mean().unwrap() - naive).abs() < 1e-6 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn variance_is_nonnegative_and_shift_invariant(x in series(2), shift in -1e3f64..1e3) {
+        let v1 = variance_population(&x).unwrap();
+        prop_assert!(v1 >= 0.0);
+        let shifted: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        let v2 = variance_population(&shifted).unwrap();
+        let scale = v1.abs().max(1.0);
+        prop_assert!((v1 - v2).abs() < 1e-6 * scale, "{} vs {}", v1, v2);
+    }
+
+    #[test]
+    fn two_largest_agrees_with_sort(x in series(2)) {
+        let (a, b) = two_largest(&x).unwrap();
+        let mut sorted = x.clone();
+        sorted.sort_by(|p, q| q.partial_cmp(p).unwrap());
+        prop_assert_eq!(a, sorted[0]);
+        prop_assert_eq!(b, sorted[1]);
+        let (lo, lo2) = two_smallest(&x).unwrap();
+        prop_assert_eq!(lo, sorted[sorted.len() - 1]);
+        prop_assert_eq!(lo2, sorted[sorted.len() - 2]);
+    }
+
+    #[test]
+    fn selection_distinct_and_in_range(n in 1usize..500, k in 1usize..100, seed: u64) {
+        prop_assume!(k <= n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let picks = uniform_distinct_indices(n, k, &mut rng).unwrap();
+        prop_assert_eq!(picks.len(), k);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(picks.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn k_average_lies_within_sample_hull(seed: u64, vals in prop::collection::vec(0.0f64..10.0, 4..40)) {
+        let set = TraceSet::from_traces(
+            "d",
+            vals.iter().map(|&v| Trace::from_samples(vec![v])).collect(),
+        ).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = vals.len() / 2 + 1;
+        let avg = k_average(&set, k, &mut rng).unwrap();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg.samples()[0] >= lo - 1e-12 && avg.samples()[0] <= hi + 1e-12);
+    }
+
+    #[test]
+    fn mean_of_all_indices_is_grand_mean(vals in prop::collection::vec(-5.0f64..5.0, 2..20)) {
+        let set = TraceSet::from_traces(
+            "d",
+            vals.iter().map(|&v| Trace::from_samples(vec![v])).collect(),
+        ).unwrap();
+        let indices: Vec<usize> = (0..vals.len()).collect();
+        let avg = mean_of_indices(&set, &indices).unwrap();
+        let grand = mean(&vals).unwrap();
+        prop_assert!((avg.samples()[0] - grand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_values(rows in prop::collection::vec(prop::collection::vec(-1e3f64..1e3, 3), 1..10)) {
+        let set = TraceSet::from_traces(
+            "d",
+            rows.iter().map(|r| Trace::from_samples(r.clone())).collect(),
+        ).unwrap();
+        let mut buf = Vec::new();
+        ipmark_traces::io::write_csv(&set, &mut buf).unwrap();
+        let back = ipmark_traces::io::read_csv("d", buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), set.len());
+        for i in 0..set.len() {
+            for (a, b) in back.trace(i).unwrap().samples().iter()
+                .zip(set.trace(i).unwrap().samples()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact(rows in prop::collection::vec(prop::collection::vec(-1e30f64..1e30, 2), 1..8)) {
+        let set = TraceSet::from_traces(
+            "d",
+            rows.iter().map(|r| Trace::from_samples(r.clone())).collect(),
+        ).unwrap();
+        let mut buf = Vec::new();
+        ipmark_traces::io::write_binary(&set, &mut buf).unwrap();
+        let back = ipmark_traces::io::read_binary("d", buf.as_slice()).unwrap();
+        for i in 0..set.len() {
+            prop_assert_eq!(back.trace(i).unwrap().samples(), set.trace(i).unwrap().samples());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Adversarial perspective: recover the watermark key `Kw` from power
+//! traces with correlation power analysis (ChipWhisperer-style CPA).
+//!
+//! Because the paper's IPs are input-independent and reset to a known
+//! state, an attacker who knows the FSM structure can predict, for each
+//! key guess, the Hamming distance of the S-Box output register — and the
+//! right guess correlates with the measured power. The example also runs
+//! the S-Box ablation: with an identity table the attack (and the key's
+//! discriminating power) vanishes.
+//!
+//! Run with: `cargo run --release --example key_recovery`
+
+use ipmark::attacks::cpa::recover_key;
+use ipmark::core::ip::SAMPLES_PER_CYCLE;
+use ipmark::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let secret = WatermarkKey::new(0x6e);
+    let chain = default_chain()?;
+    let variation = ProcessVariation::typical();
+    let cycles = 256;
+    let traces = 200;
+
+    // --- The victim device: Gray counter + S-Box leakage component. ---
+    let spec = IpSpec::watermarked("victim", CounterKind::Gray, secret);
+    let mut die = FabricatedDevice::fabricate(&spec, &variation, 42)?;
+    let acq = die.acquisition(&chain, cycles, traces, 4242)?;
+
+    let result = recover_key(
+        &acq,
+        traces,
+        SAMPLES_PER_CYCLE,
+        CounterKind::Gray,
+        Substitution::AesSbox,
+        Some(secret),
+    )?;
+    println!("secret key      : {secret}");
+    println!("recovered key   : {}", result.best_key);
+    println!("true-key rank   : {:?}", result.true_key_rank);
+    println!("score margin    : {:.4}", result.margin);
+    assert_eq!(result.best_key, secret);
+
+    // --- Ablation: same attack against an identity-table device. ---
+    let ablated = IpSpec::watermarked_with_substitution(
+        "ablated-victim",
+        CounterKind::Gray,
+        secret,
+        Substitution::Identity,
+    );
+    let mut die2 = FabricatedDevice::fabricate(&ablated, &variation, 43)?;
+    let acq2 = die2.acquisition(&chain, cycles, traces, 4343)?;
+    let ablation = recover_key(
+        &acq2,
+        traces,
+        SAMPLES_PER_CYCLE,
+        CounterKind::Gray,
+        Substitution::Identity,
+        Some(secret),
+    )?;
+    println!("\nwith the S-Box replaced by an identity table:");
+    println!("score margin    : {:.6} (no key contrast)", ablation.margin);
+    assert!(ablation.margin < 1e-9);
+
+    println!("\ntakeaway: the S-Box non-linearity is what makes the power");
+    println!("signature key-dependent — it enables both the owner's collision-free");
+    println!("verification and, symmetrically, CPA key recovery by a measuring");
+    println!("adversary. Kw is an identification tag, not a secret key.");
+    Ok(())
+}

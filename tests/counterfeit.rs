@@ -1,0 +1,85 @@
+//! The paper's second verification objective: counterfeit detection —
+//! devices that do not carry the watermark must be separable from genuine
+//! ones.
+
+use ipmark::attacks::roc::RocCurve;
+use ipmark::core::matrix::{ExperimentConfig, IdentificationMatrix};
+use ipmark::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params() -> CorrelationParams {
+    CorrelationParams {
+        n1: 100,
+        n2: 2_000,
+        k: 25,
+        m: 10,
+    }
+}
+
+fn verify_pair(refd_ip: &IpSpec, dut_ip: &IpSpec, seed: u64) -> CorrelationSet {
+    let chain = default_chain().expect("built-in");
+    let variation = ProcessVariation::typical();
+    let p = params();
+    let mut refd_die = FabricatedDevice::fabricate(refd_ip, &variation, seed).expect("die");
+    let mut dut_die = FabricatedDevice::fabricate(dut_ip, &variation, seed + 1000).expect("die");
+    let refd = refd_die
+        .acquisition(&chain, 128, p.n1, seed * 3 + 1)
+        .expect("campaign");
+    let dut = dut_die
+        .acquisition(&chain, 128, p.n2, seed * 3 + 2)
+        .expect("campaign");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed * 3);
+    correlation_process(&refd, &dut, &p, &mut rng).expect("process")
+}
+
+#[test]
+fn unmarked_clone_has_much_higher_variance_than_genuine() {
+    let genuine_ip = ip_b();
+    let clone_ip = IpSpec::unmarked("clone", CounterKind::Gray);
+    let genuine = verify_pair(&genuine_ip, &genuine_ip, 1);
+    let clone = verify_pair(&genuine_ip, &clone_ip, 2);
+    assert!(
+        clone.variance() > 3.0 * genuine.variance(),
+        "clone variance {:.3e} vs genuine {:.3e}",
+        clone.variance(),
+        genuine.variance()
+    );
+}
+
+#[test]
+fn counterfeit_scores_separate_perfectly_in_roc() {
+    let genuine_ip = ip_b();
+    let clone_ip = IpSpec::unmarked("clone", CounterKind::Gray);
+    let mut genuine_scores = Vec::new();
+    let mut clone_scores = Vec::new();
+    for t in 0..5u64 {
+        genuine_scores.push(-verify_pair(&genuine_ip, &genuine_ip, 10 + t).variance());
+        clone_scores.push(-verify_pair(&genuine_ip, &clone_ip, 50 + t).variance());
+    }
+    let roc = RocCurve::from_scores(&genuine_scores, &clone_scores).expect("populations");
+    assert!(
+        roc.auc() > 0.95,
+        "AUC = {} — counterfeits should be nearly perfectly separable",
+        roc.auc()
+    );
+}
+
+#[test]
+fn counterfeit_panel_is_flagged_by_lower_variance_panel_decision() {
+    // A batch with the genuine device present: the distinguisher must pick
+    // the genuine one over the counterfeit and the re-keyed clone.
+    let mut config = ExperimentConfig::reduced().expect("built-in");
+    config.cycles = 128;
+    config.params = params();
+    let genuine = ip_c();
+    let duts = vec![
+        IpSpec::unmarked("clone", CounterKind::Gray),
+        genuine.clone(),
+        IpSpec::watermarked("rekeyed", CounterKind::Gray, WatermarkKey::new(0x42)),
+    ];
+    let matrix =
+        IdentificationMatrix::run(std::slice::from_ref(&genuine), &duts, &config).expect("campaign");
+    let decision = &matrix.decide(&LowerVariance).expect("panel")[0];
+    assert_eq!(matrix.dut_names()[decision.best], "IP_C");
+}

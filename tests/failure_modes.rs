@@ -1,0 +1,155 @@
+//! Failure injection across the crate boundaries: every degenerate input
+//! must surface as a typed error, never a panic.
+
+use ipmark::core::matrix::{ExperimentConfig, IdentificationMatrix};
+use ipmark::core::CoreError;
+use ipmark::power::{
+    ComponentWeights, DeviceModel, MeasurementChain, ProcessVariation, PulseShape,
+    WeightedComponentModel,
+};
+use ipmark::prelude::*;
+use ipmark::traces::stats::pearson;
+use ipmark::traces::StatsError;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn invalid_correlation_params_are_rejected_with_reason() {
+    // Violating expression (1): n1 < k.
+    let p = CorrelationParams {
+        n1: 10,
+        n2: 1000,
+        k: 20,
+        m: 5,
+    };
+    match p.validate() {
+        Err(CoreError::InvalidParams { reason }) => assert!(reason.contains("n1")),
+        other => panic!("expected InvalidParams, got {other:?}"),
+    }
+    // Violating expression (2): n2 < k·m.
+    let p = CorrelationParams {
+        n1: 100,
+        n2: 99,
+        k: 20,
+        m: 5,
+    };
+    match p.validate() {
+        Err(CoreError::InvalidParams { reason }) => assert!(reason.contains("n2")),
+        other => panic!("expected InvalidParams, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_trace_lengths_are_detected_not_miscorrelated() {
+    let chain = default_chain().expect("built-in");
+    let variation = ProcessVariation::typical();
+    let mut d1 = FabricatedDevice::fabricate(&ip_a(), &variation, 1).expect("die");
+    let mut d2 = FabricatedDevice::fabricate(&ip_a(), &variation, 2).expect("die");
+    let refd = d1.acquisition(&chain, 64, 30, 1).expect("campaign");
+    let dut = d2.acquisition(&chain, 32, 300, 2).expect("campaign"); // half-length traces
+    let params = CorrelationParams {
+        n1: 30,
+        n2: 300,
+        k: 10,
+        m: 5,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    assert!(matches!(
+        correlation_process(&refd, &dut, &params, &mut rng),
+        Err(CoreError::InvalidParams { .. })
+    ));
+}
+
+#[test]
+fn dead_device_flat_traces_surface_as_zero_variance() {
+    // A "dead" device producing a constant waveform cannot be correlated.
+    assert!(matches!(
+        pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+        Err(StatsError::ZeroVariance)
+    ));
+
+    // Through the full pipeline: a device whose model weights are all zero
+    // with no noise yields constant traces, and the process reports the
+    // statistics error instead of fabricating a verdict.
+    let model = WeightedComponentModel::new(1.0, vec![ComponentWeights::default(); 4]);
+    let device = DeviceModel::nominal("dead", model);
+    let chain = MeasurementChain::ideal(4).expect("valid");
+    let mut circuit = ip_a().circuit().expect("netlist");
+    let dead = ipmark::power::SimulatedAcquisition::prepare(
+        &mut circuit, &device, &chain, 32, 200, 0,
+    )
+    .expect("campaign");
+    let params = CorrelationParams {
+        n1: 20,
+        n2: 200,
+        k: 5,
+        m: 4,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    assert!(matches!(
+        correlation_process(&dead, &dead, &params, &mut rng),
+        Err(CoreError::Stats(StatsError::ZeroVariance))
+    ));
+}
+
+#[test]
+fn model_shape_mismatch_is_reported() {
+    // An unmarked IP's 1-component model against a 4-component circuit.
+    let wrong_model = IpSpec::unmarked("x", CounterKind::Gray).nominal_model();
+    let device = DeviceModel::nominal("wrong", wrong_model);
+    let chain = MeasurementChain::ideal(2).expect("valid");
+    let mut circuit = ip_a().circuit().expect("netlist");
+    assert!(ipmark::power::SimulatedAcquisition::prepare(
+        &mut circuit,
+        &device,
+        &chain,
+        16,
+        10,
+        0
+    )
+    .is_err());
+}
+
+#[test]
+fn degenerate_measurement_chains_are_rejected() {
+    assert!(PulseShape::rectangular(0).is_err());
+    assert!(PulseShape::exponential(8, -1.0).is_err());
+    let pulse = PulseShape::rectangular(4).expect("valid");
+    assert!(MeasurementChain::new(pulse.clone(), 0.0, 1.0, None).is_err());
+    assert!(MeasurementChain::new(pulse, 0.5, f64::NAN, None).is_err());
+}
+
+#[test]
+fn empty_panels_and_short_campaigns_error() {
+    let config = ExperimentConfig::reduced().expect("built-in");
+    assert!(IdentificationMatrix::run(&[], &[ip_a()], &config).is_err());
+    assert!(IdentificationMatrix::run(&[ip_a()], &[], &config).is_err());
+
+    let mut die = FabricatedDevice::fabricate(&ip_a(), &ProcessVariation::typical(), 0)
+        .expect("die");
+    let chain = default_chain().expect("built-in");
+    assert!(die.acquisition(&chain, 0, 10, 0).is_err());
+    assert!(die.acquisition(&chain, 10, 0, 0).is_err());
+}
+
+#[test]
+fn comparative_decisions_require_a_panel() {
+    let single = vec![CorrelationSet::new(vec![0.5, 0.6]).expect("non-empty")];
+    assert!(matches!(
+        LowerVariance.decide(&single),
+        Err(CoreError::NotEnoughCandidates { provided: 1 })
+    ));
+    assert!(HigherMean.decide(&[]).is_err());
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let p = CorrelationParams {
+        n1: 10,
+        n2: 1000,
+        k: 20,
+        m: 5,
+    };
+    let msg = p.validate().unwrap_err().to_string();
+    assert!(msg.contains("10") && msg.contains("20"), "message: {msg}");
+}

@@ -1,0 +1,132 @@
+//! End-to-end identification: the paper's §IV experiment across all
+//! crates (netlist → power → traces → core) at reduced scale.
+
+use ipmark::core::matrix::{ExperimentConfig, IdentificationMatrix};
+use ipmark::prelude::*;
+
+fn test_config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::reduced().expect("built-in");
+    c.cycles = 256;
+    c.params = CorrelationParams {
+        n1: 150,
+        n2: 6_000,
+        k: 30,
+        m: 20,
+    };
+    c
+}
+
+#[test]
+fn four_by_four_identification_is_correct_by_variance() {
+    let ips = reference_ips();
+    let matrix = IdentificationMatrix::run(&ips, &ips, &test_config()).expect("campaign");
+    let decisions = matrix.decide(&LowerVariance).expect("panel");
+    for (i, d) in decisions.iter().enumerate() {
+        assert_eq!(
+            d.best, i,
+            "{} misidentified as {}",
+            matrix.refd_names()[i],
+            matrix.dut_names()[d.best]
+        );
+        assert!(d.confidence_percent > 0.0);
+    }
+}
+
+#[test]
+fn matched_pairs_have_highest_mean_and_lowest_variance() {
+    let ips = reference_ips();
+    let matrix = IdentificationMatrix::run(&ips, &ips, &test_config()).expect("campaign");
+    let means = matrix.means();
+    let variances = matrix.variances();
+    for i in 0..4 {
+        for j in 0..4 {
+            if i != j {
+                assert!(
+                    means[i][i] > means[i][j],
+                    "row {i}: matched mean {} not above mismatched {}",
+                    means[i][i],
+                    means[i][j]
+                );
+                assert!(
+                    variances[i][i] < variances[i][j],
+                    "row {i}: matched variance {} not below mismatched {}",
+                    variances[i][i],
+                    variances[i][j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn variance_beats_mean_as_a_distinguisher() {
+    // The paper's §V.A conclusion must hold on the simulated substrate.
+    let ips = reference_ips();
+    let matrix = IdentificationMatrix::run(&ips, &ips, &test_config()).expect("campaign");
+    let min_dv = matrix
+        .delta_vs()
+        .expect("≥ 2 DUTs")
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    let max_dmean = matrix
+        .delta_means()
+        .expect("≥ 2 DUTs")
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        min_dv > max_dmean,
+        "min Δv = {min_dv:.1}% should exceed max Δmean = {max_dmean:.1}%"
+    );
+}
+
+#[test]
+fn same_key_different_fsm_and_same_fsm_different_key_both_distinguish() {
+    // The two axes the paper's four IPs are designed to prove.
+    let config = test_config();
+    // Axis 1: same key (Kw1), different FSMs (IP_A binary vs IP_B gray).
+    let m1 = IdentificationMatrix::run(&[ip_a()], &[ip_a(), ip_b()], &config).expect("campaign");
+    assert_eq!(m1.decide(&LowerVariance).expect("panel")[0].best, 0);
+    // Axis 2: same FSM (gray), different keys (IP_C Kw2 vs IP_D Kw3).
+    let m2 = IdentificationMatrix::run(&[ip_c()], &[ip_c(), ip_d()], &config).expect("campaign");
+    assert_eq!(m2.decide(&LowerVariance).expect("panel")[0].best, 0);
+}
+
+#[test]
+fn verification_is_insensitive_to_process_variation() {
+    // The paper: "the use of different FPGAs shows that the proposed work
+    // is insensitive to the CMOS variation process". Crank variation well
+    // beyond the typical corner and identification must still work.
+    let mut config = test_config();
+    config.variation = ProcessVariation {
+        gain_sigma: 0.06,
+        offset_sigma: 0.04,
+        weight_sigma: 0.04,
+        fingerprint_sigma: 0.5,
+    };
+    let ips = reference_ips();
+    let matrix = IdentificationMatrix::run(&ips, &ips, &config).expect("campaign");
+    let decisions = matrix.decide(&LowerVariance).expect("panel");
+    for (i, d) in decisions.iter().enumerate() {
+        assert_eq!(d.best, i, "row {i} misidentified under 2x process variation");
+    }
+}
+
+#[test]
+fn single_fpga_control_also_identifies() {
+    // The paper notes "similar results are obtained by using only one FPGA
+    // to perform all measurements": zero process variation = same die.
+    let mut config = test_config();
+    config.variation = ProcessVariation::none();
+    let ips = reference_ips();
+    let matrix = IdentificationMatrix::run(&ips, &ips, &config).expect("campaign");
+    let decisions = matrix.decide(&LowerVariance).expect("panel");
+    for (i, d) in decisions.iter().enumerate() {
+        assert_eq!(d.best, i);
+    }
+    // With identical dies the matched correlation is limited only by the
+    // residual measurement noise after k-averaging.
+    let means = matrix.means();
+    for (i, row) in means.iter().enumerate() {
+        assert!(row[i] > 0.85, "matched mean {} too low", row[i]);
+    }
+}

@@ -1,0 +1,116 @@
+//! §V.B parameter theory, cross-checked *empirically* against the actual
+//! uniform selector used by the verification process: the analytic
+//! `P(ζ) = f_α(m)` must match the measured frequency of the reselection
+//! event ζ.
+
+use ipmark::core::params::{choose_m, f_alpha, f_limit, p_zeta, ParameterPlan};
+use ipmark::core::CorrelationParams;
+use ipmark::traces::select::uniform_distinct_indices;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn paper_headline_numbers() {
+    // α = 10, m = 20 ⇒ P(ζ) = 0.0045; Figure 5's 5 % band at m ≈ 17.
+    assert!((p_zeta(10.0, 20).unwrap() - 0.0045).abs() < 5e-5);
+    let m_star = choose_m(10.0, 0.05).unwrap();
+    assert!((17..=18).contains(&m_star));
+    // n2 = α·k·m = 10 000 with the paper's rounding of m to 20.
+    let params = CorrelationParams::paper();
+    assert_eq!(params.n2, 10_000);
+    assert_eq!(params.alpha(), 10.0);
+}
+
+#[test]
+fn analytic_p_zeta_matches_empirical_selector_frequency() {
+    // Use a small α so the event is frequent enough to estimate tightly:
+    // α = 2, k = 10, m = 10 ⇒ n2 = 200.
+    let alpha = 2.0;
+    let k = 10usize;
+    let m = 10usize;
+    let n2 = (alpha as usize) * k * m;
+    let analytic = f_alpha(alpha, m as u64).unwrap();
+
+    // ζ: the fixed trace t₀ appears in more than one of the m selections.
+    let mut rng = ChaCha8Rng::seed_from_u64(20140918);
+    let trials = 40_000;
+    let mut zeta = 0u32;
+    for _ in 0..trials {
+        let mut hits = 0;
+        for _ in 0..m {
+            let sel = uniform_distinct_indices(n2, k, &mut rng).unwrap();
+            if sel.contains(&0) {
+                hits += 1;
+                if hits > 1 {
+                    zeta += 1;
+                    break;
+                }
+            }
+        }
+    }
+    let empirical = f64::from(zeta) / f64::from(trials);
+    // Binomial std-err at p≈0.085 over 40k trials ≈ 0.0014; allow 4σ.
+    assert!(
+        (empirical - analytic).abs() < 0.006,
+        "empirical {empirical:.4} vs analytic {analytic:.4}"
+    );
+}
+
+#[test]
+fn p_zeta_is_independent_of_k_empirically() {
+    // The paper notes f_α(m) does not depend on k. Check with the real
+    // selector at two very different k.
+    let alpha = 2usize;
+    let m = 8usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut estimate = |k: usize| {
+        let n2 = alpha * k * m;
+        let trials = 20_000;
+        let mut zeta = 0u32;
+        for _ in 0..trials {
+            let mut hits = 0;
+            for _ in 0..m {
+                if uniform_distinct_indices(n2, k, &mut rng)
+                    .unwrap()
+                    .contains(&0)
+                {
+                    hits += 1;
+                    if hits > 1 {
+                        zeta += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        f64::from(zeta) / 20_000.0
+    };
+    let p_small_k = estimate(5);
+    let p_large_k = estimate(40);
+    assert!(
+        (p_small_k - p_large_k).abs() < 0.01,
+        "k = 5: {p_small_k:.4} vs k = 40: {p_large_k:.4}"
+    );
+}
+
+#[test]
+fn limit_properties_p1_and_p2() {
+    // P1: α → ∞ drives f_α(m) to 0 for any m.
+    for m in [2u64, 20, 500] {
+        assert!(f_alpha(1e12, m).unwrap() < 1e-10);
+    }
+    // P2: f_α(m) → 1 − ((α+1)/α)e^{−1/α} as m → ∞.
+    for alpha in [1.0, 3.0, 10.0] {
+        let lim = f_limit(alpha).unwrap();
+        let f = f_alpha(alpha, 500_000).unwrap();
+        assert!((f - lim).abs() / lim < 1e-4, "alpha = {alpha}");
+    }
+}
+
+#[test]
+fn plan_drives_a_valid_experiment() {
+    let plan = ParameterPlan::from_alpha(10.0, 0.05, 25).unwrap();
+    let params = plan.into_params(200).unwrap();
+    assert!(params.validate().is_ok());
+    assert_eq!(params.k, 25);
+    assert!((params.alpha() - 10.0).abs() < 1e-9);
+}

@@ -1,0 +1,146 @@
+//! Generalization beyond the paper's counters: *random* FSMs, watermarked
+//! with the leakage-component scheme via the netlist adapter, must verify
+//! exactly like the reference IPs. This exercises every crate in one
+//! sweep: fsm → netlist → crypto → power → traces → core.
+
+use ipmark::core::{correlation_process, CorrelationParams, Distinguisher, LowerVariance};
+use ipmark::crypto::sbox::sbox_table_u64;
+use ipmark::fsm::analysis::periodicity;
+use ipmark::fsm::generate::{random_fsm, RandomFsmConfig};
+use ipmark::fsm::{Fsm, FsmComponent};
+use ipmark::netlist::comb::{Constant, Xor2};
+use ipmark::netlist::memory::SyncRom;
+use ipmark::netlist::{BitVec, Circuit, CircuitBuilder};
+use ipmark::power::{
+    ComponentWeights, DeviceModel, ProcessVariation, SimulatedAcquisition,
+    WeightedComponentModel,
+};
+use ipmark::prelude::default_chain;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Watermarks an arbitrary input-free FSM with the Fig. 3 leakage
+/// component: FSM output → XOR(Kw) → S-Box RAM → H.
+fn watermark_fsm(fsm: Fsm, key: u8) -> Circuit {
+    assert_eq!(fsm.output_width(), 8, "leakage component expects 8-bit FSM output");
+    let mut b = CircuitBuilder::new();
+    let zero = b.add("in", Constant::new(BitVec::zero(1)));
+    let machine = b.add("fsm", FsmComponent::new(fsm).expect("machine"));
+    let kw = b.add("kw", Constant::new(BitVec::truncated(u64::from(key), 8)));
+    let xor = b.add("mix", Xor2::new(8));
+    let sbox = b.add("sbox", SyncRom::new(sbox_table_u64(), 8, 0).expect("table"));
+    b.connect_ports(zero, 0, machine, 0).expect("wire");
+    b.connect_ports(machine, 1, xor, 0).expect("wire");
+    b.connect_ports(kw, 0, xor, 1).expect("wire");
+    b.connect_ports(xor, 0, sbox, 0).expect("wire");
+    b.expose(sbox, 0, "h").expect("output");
+    b.build().expect("netlist")
+}
+
+fn model() -> WeightedComponentModel {
+    WeightedComponentModel::new(
+        5.0,
+        vec![
+            ComponentWeights::default(),
+            ComponentWeights::state_toggle(0.8),
+            ComponentWeights::default(),
+            ComponentWeights {
+                output_hd: 0.3,
+                ..ComponentWeights::default()
+            },
+            ComponentWeights {
+                state_hd: 1.0,
+                state_hw: 0.2,
+                ..ComponentWeights::default()
+            },
+        ],
+    )
+}
+
+fn acquire(fsm: Fsm, key: u8, die_seed: u64, cycles: usize, n: usize) -> SimulatedAcquisition {
+    let mut circuit = watermark_fsm(fsm, key);
+    let device = DeviceModel::sample(
+        format!("die{die_seed}"),
+        &model(),
+        &ProcessVariation::typical(),
+        die_seed,
+    )
+    .expect("device");
+    let chain = default_chain().expect("built-in");
+    SimulatedAcquisition::prepare(&mut circuit, &device, &chain, cycles, n, die_seed * 17 + 3)
+        .expect("campaign")
+}
+
+#[test]
+fn random_fsms_verify_across_many_seeds() {
+    let params = CorrelationParams {
+        n1: 80,
+        n2: 1_600,
+        k: 16,
+        m: 10,
+    };
+    for seed in 0..4u64 {
+        let config = RandomFsmConfig {
+            num_states: 48,
+            num_inputs: 1,
+            output_width: 8,
+            connected: true,
+        };
+        let fsm = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(seed)).expect("machine");
+        // Capture longer than the FSM's period under its single input, as
+        // the paper requires.
+        let (tail, period) = periodicity(&fsm, 0).expect("input in range");
+        let cycles = (tail + 2 * period).max(64);
+
+        let refd = acquire(fsm.clone(), 0x3e, 100 + seed, cycles, params.n1);
+        let genuine = acquire(fsm.clone(), 0x3e, 200 + seed, cycles, params.n2);
+        let rekeyed = acquire(fsm, 0xb1, 300 + seed, cycles, params.n2);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+        let c_match = correlation_process(&refd, &genuine, &params, &mut rng).expect("process");
+        let c_other = correlation_process(&refd, &rekeyed, &params, &mut rng).expect("process");
+        let decision = LowerVariance
+            .decide(&[c_match.clone(), c_other.clone()])
+            .expect("panel");
+        assert_eq!(
+            decision.best, 0,
+            "seed {seed}: matched variance {:.3e} vs rekeyed {:.3e}",
+            c_match.variance(),
+            c_other.variance()
+        );
+    }
+}
+
+#[test]
+fn different_random_fsms_with_same_key_are_distinguishable() {
+    let params = CorrelationParams {
+        n1: 80,
+        n2: 1_600,
+        k: 16,
+        m: 10,
+    };
+    let config = RandomFsmConfig {
+        num_states: 40,
+        num_inputs: 1,
+        output_width: 8,
+        connected: true,
+    };
+    let fsm_a = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(11)).expect("machine");
+    let fsm_b = random_fsm(&config, &mut ChaCha8Rng::seed_from_u64(22)).expect("machine");
+
+    let cycles = 160;
+    let key = 0x77;
+    let refd = acquire(fsm_a.clone(), key, 1, cycles, params.n1);
+    let same = acquire(fsm_a, key, 2, cycles, params.n2);
+    let other = acquire(fsm_b, key, 3, cycles, params.n2);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let c_same = correlation_process(&refd, &same, &params, &mut rng).expect("process");
+    let c_other = correlation_process(&refd, &other, &params, &mut rng).expect("process");
+    assert!(
+        c_same.variance() < c_other.variance(),
+        "same-FSM variance {:.3e} must undercut different-FSM {:.3e}",
+        c_same.variance(),
+        c_other.variance()
+    );
+}
