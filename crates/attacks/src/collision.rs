@@ -128,14 +128,8 @@ mod tests {
     #[test]
     fn sbox_keys_rarely_collide() {
         let keys: Vec<WatermarkKey> = (0..32u8).map(|k| WatermarkKey::new(k * 8)).collect();
-        let analysis = analyze_collisions(
-            CounterKind::Gray,
-            Substitution::AesSbox,
-            &keys,
-            256,
-            0.5,
-        )
-        .unwrap();
+        let analysis =
+            analyze_collisions(CounterKind::Gray, Substitution::AesSbox, &keys, 256, 0.5).unwrap();
         assert!(
             analysis.max_abs_correlation < 0.5,
             "max |rho| = {}",
@@ -148,15 +142,13 @@ mod tests {
 
     #[test]
     fn identity_ablation_collides_completely() {
-        let keys = [WatermarkKey::new(1), WatermarkKey::new(2), WatermarkKey::new(3)];
-        let analysis = analyze_collisions(
-            CounterKind::Gray,
-            Substitution::Identity,
-            &keys,
-            256,
-            0.5,
-        )
-        .unwrap();
+        let keys = [
+            WatermarkKey::new(1),
+            WatermarkKey::new(2),
+            WatermarkKey::new(3),
+        ];
+        let analysis =
+            analyze_collisions(CounterKind::Gray, Substitution::Identity, &keys, 256, 0.5).unwrap();
         // Without the S-Box every key produces (almost) the same leakage
         // sequence: collision is certain.
         assert!(
@@ -184,13 +176,16 @@ mod tests {
     #[test]
     fn validation() {
         let one = [WatermarkKey::new(0)];
-        assert!(analyze_collisions(CounterKind::Gray, Substitution::AesSbox, &one, 256, 0.5)
-            .is_err());
+        assert!(
+            analyze_collisions(CounterKind::Gray, Substitution::AesSbox, &one, 256, 0.5).is_err()
+        );
         let two = [WatermarkKey::new(0), WatermarkKey::new(1)];
-        assert!(analyze_collisions(CounterKind::Gray, Substitution::AesSbox, &two, 4, 0.5)
-            .is_err());
-        assert!(analyze_collisions(CounterKind::Gray, Substitution::AesSbox, &two, 256, 1.5)
-            .is_err());
+        assert!(
+            analyze_collisions(CounterKind::Gray, Substitution::AesSbox, &two, 4, 0.5).is_err()
+        );
+        assert!(
+            analyze_collisions(CounterKind::Gray, Substitution::AesSbox, &two, 256, 1.5).is_err()
+        );
     }
 
     #[test]

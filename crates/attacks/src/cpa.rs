@@ -15,8 +15,8 @@
 
 use ipmark_core::ip::{CounterKind, IpSpec, Substitution};
 use ipmark_core::WatermarkKey;
-use ipmark_traces::stats::pearson;
-use ipmark_traces::TraceSource;
+use ipmark_traces::stats::PearsonRef;
+use ipmark_traces::{StatsError, TraceSource};
 use serde::{Deserialize, Serialize};
 
 use crate::error::AttackError;
@@ -48,7 +48,9 @@ pub fn per_cycle_profile<S: TraceSource + ?Sized>(
     samples_per_cycle: usize,
 ) -> Result<Vec<f64>, AttackError> {
     if samples_per_cycle == 0 {
-        return Err(AttackError::Config("samples_per_cycle must be positive".into()));
+        return Err(AttackError::Config(
+            "samples_per_cycle must be positive".into(),
+        ));
     }
     if num_traces == 0 || num_traces > traces.num_traces() {
         return Err(AttackError::Config(format!(
@@ -107,9 +109,60 @@ pub(crate) fn rank_guesses(
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
     let best = order[0];
     let margin = scores[best] - scores[order[1]];
-    let rank = true_key
-        .map(|k| order.iter().position(|&g| g == usize::from(k.value())).expect("ranked"));
+    let rank = true_key.map(|k| {
+        order
+            .iter()
+            .position(|&g| g == usize::from(k.value()))
+            .expect("ranked")
+    });
     (WatermarkKey::new(best as u8), margin, rank)
+}
+
+/// Centers the measured profile once for reuse across all 256 hypotheses.
+///
+/// `None` means the profile itself is constant (dead device): every guess
+/// scores 0 by convention, exactly as per-guess `pearson` calls would.
+///
+/// Pearson is symmetric in its arguments — bitwise, not just
+/// mathematically, because `f64` multiplication commutes — so correlating
+/// the centered *profile* against each *prediction* reproduces the
+/// historical `pearson(prediction, profile)` scores exactly.
+fn center_profile(profile: &[f64]) -> Result<Option<PearsonRef>, AttackError> {
+    match PearsonRef::new(profile) {
+        Ok(r) => Ok(Some(r)),
+        Err(StatsError::ZeroVariance) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Scores one hypothesis against a centered profile (0 when either side is
+/// constant, as under the identity ablation).
+fn score_hypothesis(
+    reference: Option<&PearsonRef>,
+    prediction: &[f64],
+) -> Result<f64, AttackError> {
+    match reference.map(|r| r.correlate(prediction)) {
+        None | Some(Err(StatsError::ZeroVariance)) => Ok(0.0),
+        Some(Ok(r)) => Ok(r),
+        Some(Err(e)) => Err(e.into()),
+    }
+}
+
+/// Evaluates a scoring function over all 256 key guesses, fanning out
+/// across threads with the `parallel` feature. Scores come back in guess
+/// order either way, so the ranking is thread-count invariant.
+fn guess_scores<F>(score_one: F) -> Result<Vec<f64>, AttackError>
+where
+    F: Fn(u8) -> Result<f64, AttackError> + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        ipmark_parallel::par_try_map_indexed(256, |g| score_one(g as u8))
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        (0..=255u8).map(score_one).collect()
+    }
 }
 
 /// Runs the CPA key search over all 256 guesses.
@@ -137,18 +190,11 @@ pub fn recover_key<S: TraceSource + ?Sized>(
         )));
     }
 
-    let mut scores = Vec::with_capacity(256);
-    for g in 0..=255u8 {
+    let reference = center_profile(&profile)?;
+    let scores = guess_scores(|g| {
         let prediction = predicted_leakage(counter, substitution, WatermarkKey::new(g), cycles);
-        // A constant prediction (possible under the identity ablation)
-        // carries no information: score 0 by convention.
-        let score = match pearson(&prediction, &profile) {
-            Ok(r) => r,
-            Err(ipmark_traces::StatsError::ZeroVariance) => 0.0,
-            Err(e) => return Err(e.into()),
-        };
-        scores.push(score);
-    }
+        score_hypothesis(reference.as_ref(), &prediction)
+    })?;
 
     let (best_key, margin, true_key_rank) = rank_guesses(&scores, true_key);
     Ok(CpaResult {
@@ -180,7 +226,9 @@ pub fn recover_key_phase_robust<S: TraceSource + ?Sized>(
     true_key: Option<WatermarkKey>,
 ) -> Result<CpaResult, AttackError> {
     if samples_per_cycle == 0 {
-        return Err(AttackError::Config("samples_per_cycle must be positive".into()));
+        return Err(AttackError::Config(
+            "samples_per_cycle must be positive".into(),
+        ));
     }
     if num_traces == 0 || num_traces > traces.num_traces() {
         return Err(AttackError::Config(format!(
@@ -217,21 +265,21 @@ pub fn recover_key_phase_robust<S: TraceSource + ?Sized>(
         })
         .collect();
 
-    let mut scores = Vec::with_capacity(256);
-    for g in 0..=255u8 {
+    // One centered reference per phase, shared by all 256 hypotheses.
+    let references: Vec<Option<PearsonRef>> = profiles
+        .iter()
+        .map(|p| center_profile(p))
+        .collect::<Result<_, _>>()?;
+
+    let scores = guess_scores(|g| {
         let mut best = 0.0f64;
-        for profile in &profiles {
+        for (profile, reference) in profiles.iter().zip(&references) {
             let prediction =
                 predicted_leakage(counter, substitution, WatermarkKey::new(g), profile.len());
-            let score = match pearson(&prediction, profile) {
-                Ok(r) => r,
-                Err(ipmark_traces::StatsError::ZeroVariance) => 0.0,
-                Err(e) => return Err(e.into()),
-            };
-            best = best.max(score);
+            best = best.max(score_hypothesis(reference.as_ref(), &prediction)?);
         }
-        scores.push(best);
-    }
+        Ok(best)
+    })?;
 
     let (best_key, margin, true_key_rank) = rank_guesses(&scores, true_key);
     Ok(CpaResult {
@@ -248,11 +296,7 @@ mod tests {
     use ipmark_core::ip::{default_chain, FabricatedDevice, SAMPLES_PER_CYCLE};
     use ipmark_power::ProcessVariation;
 
-    fn campaign(
-        spec: &IpSpec,
-        cycles: usize,
-        n: usize,
-    ) -> ipmark_power::SimulatedAcquisition {
+    fn campaign(spec: &IpSpec, cycles: usize, n: usize) -> ipmark_power::SimulatedAcquisition {
         let chain = default_chain().unwrap();
         let mut die = FabricatedDevice::fabricate(spec, &ProcessVariation::typical(), 3).unwrap();
         die.acquisition(&chain, cycles, n, 7).unwrap()

@@ -133,9 +133,7 @@ mod tests {
     fn statistic_is_symmetric() {
         let a = uniform(80, 0.0, 2.0);
         let b = uniform(120, 0.5, 1.5);
-        assert!(
-            (ks_statistic(&a, &b).unwrap() - ks_statistic(&b, &a).unwrap()).abs() < 1e-12
-        );
+        assert!((ks_statistic(&a, &b).unwrap() - ks_statistic(&b, &a).unwrap()).abs() < 1e-12);
     }
 
     #[test]

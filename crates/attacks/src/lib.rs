@@ -29,9 +29,9 @@ pub mod ttest;
 
 pub use collision::{analyze_collisions, CollisionAnalysis};
 pub use cpa::{recover_key, recover_key_phase_robust, CpaResult};
+pub use error::AttackError;
 pub use ks::{ks_statistic, ks_test, KsResult};
 pub use metrics::{cpa_metric_curve, cpa_metrics, AttackMetrics};
-pub use error::AttackError;
 pub use roc::{RocCurve, RocPoint};
 pub use template::{build_templates, template_attack, PowerTemplates, TemplateAttackResult};
 pub use ttest::{ttest_traces, welch_t, TTestTrace, TVLA_THRESHOLD};

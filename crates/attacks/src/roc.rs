@@ -45,11 +45,7 @@ impl RocCurve {
                 "ROC needs at least one score in each class".into(),
             ));
         }
-        if positives
-            .iter()
-            .chain(negatives)
-            .any(|s| !s.is_finite())
-        {
+        if positives.iter().chain(negatives).any(|s| !s.is_finite()) {
             return Err(AttackError::Config("scores must be finite".into()));
         }
 

@@ -197,11 +197,7 @@ mod tests {
     use ipmark_core::ip::{default_chain, FabricatedDevice, IpSpec, SAMPLES_PER_CYCLE};
     use ipmark_power::ProcessVariation;
 
-    fn campaign(
-        spec: &IpSpec,
-        die_seed: u64,
-        n: usize,
-    ) -> ipmark_power::SimulatedAcquisition {
+    fn campaign(spec: &IpSpec, die_seed: u64, n: usize) -> ipmark_power::SimulatedAcquisition {
         let chain = default_chain().unwrap();
         let mut die =
             FabricatedDevice::fabricate(spec, &ProcessVariation::typical(), die_seed).unwrap();
@@ -240,7 +236,11 @@ mod tests {
             Some(target_key),
         )
         .unwrap();
-        assert_eq!(result.best_key, target_key, "rank {:?}", result.true_key_rank);
+        assert_eq!(
+            result.best_key, target_key,
+            "rank {:?}",
+            result.true_key_rank
+        );
         assert_eq!(result.true_key_rank, Some(0));
         assert!(result.margin > 0.0);
     }

@@ -74,12 +74,7 @@ impl TTestTrace {
 ///
 /// Returns [`AttackError::Config`] for undersized populations or
 /// mismatched trace lengths.
-pub fn ttest_traces<SA, SB>(
-    a: &SA,
-    na: usize,
-    b: &SB,
-    nb: usize,
-) -> Result<TTestTrace, AttackError>
+pub fn ttest_traces<SA, SB>(a: &SA, na: usize, b: &SB, nb: usize) -> Result<TTestTrace, AttackError>
 where
     SA: TraceSource + ?Sized,
     SB: TraceSource + ?Sized,
@@ -146,7 +141,8 @@ mod tests {
         let mut set = TraceSet::new("p");
         for i in 0..n {
             let d = jitter * (((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5);
-            set.push(Trace::from_samples(vec![center + d; len])).unwrap();
+            set.push(Trace::from_samples(vec![center + d; len]))
+                .unwrap();
         }
         set
     }

@@ -11,8 +11,7 @@ fn bench_cpa(c: &mut Criterion) {
     let kw = WatermarkKey::new(0x42);
     let spec = IpSpec::watermarked("target", CounterKind::Gray, kw);
     let chain = default_chain().expect("built-in");
-    let mut die =
-        FabricatedDevice::fabricate(&spec, &ProcessVariation::typical(), 5).expect("die");
+    let mut die = FabricatedDevice::fabricate(&spec, &ProcessVariation::typical(), 5).expect("die");
     let acq = die.acquisition(&chain, 256, 200, 6).expect("campaign");
 
     let mut group = c.benchmark_group("cpa-recover-key");

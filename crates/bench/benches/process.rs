@@ -1,10 +1,11 @@
 //! Macrobenchmark: the full correlation computation process — one
 //! (RefD, DUT) verification at the paper's parameters and at a reduced
-//! set.
+//! set — plus the engine (fused kernel + parallel fan-out, when the
+//! `parallel` feature is on) against the sequential reference path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipmark_core::ip::{default_chain, FabricatedDevice, DEFAULT_CYCLES};
-use ipmark_core::verify::{correlation_process, CorrelationParams};
+use ipmark_core::verify::{correlation_process, correlation_process_seq, CorrelationParams};
 use ipmark_core::{ip_b, ip_c};
 use ipmark_power::ProcessVariation;
 use rand::SeedableRng;
@@ -41,12 +42,38 @@ fn bench_correlation_process(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &params, |b, params| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(9);
-                black_box(
-                    correlation_process(&refd, &dut, params, &mut rng).expect("process"),
-                )
+                black_box(correlation_process(&refd, &dut, params, &mut rng).expect("process"))
             })
         });
     }
+    group.finish();
+
+    // Engine vs sequential reference at the paper's parameters: the gap is
+    // the fused reference kernel plus (with the `parallel` feature and more
+    // than one core) the k-averaging/correlation fan-out.
+    let mut group = c.benchmark_group("correlation-engine");
+    group.sample_size(20);
+    let params = CorrelationParams::paper();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("engine"),
+        &params,
+        |b, params| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                black_box(correlation_process(&refd, &dut, params, &mut rng).expect("process"))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sequential-reference"),
+        &params,
+        |b, params| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                black_box(correlation_process_seq(&refd, &dut, params, &mut rng).expect("process"))
+            })
+        },
+    );
     group.finish();
 }
 

@@ -16,8 +16,8 @@ use std::time::Instant;
 
 use ipmark_bench::quick_mode;
 use ipmark_core::ip::{default_chain, FabricatedDevice, DEFAULT_CYCLES};
-use ipmark_core::verify::{correlation_process, CorrelationParams};
 use ipmark_core::ip_b;
+use ipmark_core::verify::{correlation_process, CorrelationParams};
 use ipmark_power::ProcessVariation;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,7 +35,11 @@ fn main() {
     let capture_s = DEFAULT_CYCLES as f64 / CLOCK_HZ + REARM_S;
 
     println!("# X5a: measurement-time model (alpha = {alpha}, m = {m}, {duts} DUTs,");
-    println!("#      {DEFAULT_CYCLES}-cycle captures at {} MHz + {} ms re-arm)", CLOCK_HZ / 1e6, REARM_S * 1e3);
+    println!(
+        "#      {DEFAULT_CYCLES}-cycle captures at {} MHz + {} ms re-arm)",
+        CLOCK_HZ / 1e6,
+        REARM_S * 1e3
+    );
     println!("k,n1,n2,total_traces,bench_minutes");
     for k in [10usize, 25, 50, 100, 200] {
         let n1 = 8 * k;
@@ -51,7 +55,11 @@ fn main() {
     let chain = default_chain().expect("built-in");
     let variation = ProcessVariation::typical();
     let k = if quick_mode() { 10 } else { 50 };
-    let ms: &[usize] = if quick_mode() { &[5, 10] } else { &[5, 10, 20, 40, 80] };
+    let ms: &[usize] = if quick_mode() {
+        &[5, 10]
+    } else {
+        &[5, 10, 20, 40, 80]
+    };
     let max_n2 = alpha * k * ms.last().expect("non-empty");
     let mut refd_die = FabricatedDevice::fabricate(&ip_b(), &variation, 1).expect("die");
     let mut dut_die = FabricatedDevice::fabricate(&ip_b(), &variation, 2).expect("die");

@@ -11,17 +11,21 @@
 
 use ipmark_attacks::cpa::recover_key;
 use ipmark_bench::quick_mode;
-use ipmark_core::ip::{
-    default_chain, FabricatedDevice, IpSpec, Substitution, SAMPLES_PER_CYCLE,
-};
+use ipmark_core::ip::{default_chain, FabricatedDevice, IpSpec, Substitution, SAMPLES_PER_CYCLE};
 use ipmark_core::{CounterKind, WatermarkKey};
 use ipmark_power::ProcessVariation;
 
-fn campaign(spec: &IpSpec, cycles: usize, n: usize, seed: u64) -> ipmark_power::SimulatedAcquisition {
+fn campaign(
+    spec: &IpSpec,
+    cycles: usize,
+    n: usize,
+    seed: u64,
+) -> ipmark_power::SimulatedAcquisition {
     let chain = default_chain().expect("built-in");
     let mut die =
         FabricatedDevice::fabricate(spec, &ProcessVariation::typical(), seed).expect("die");
-    die.acquisition(&chain, cycles, n, seed ^ 0xbeef).expect("campaign")
+    die.acquisition(&chain, cycles, n, seed ^ 0xbeef)
+        .expect("campaign")
 }
 
 fn main() {
@@ -65,7 +69,12 @@ fn main() {
         kw,
         Substitution::Identity,
     );
-    let acq_ablated = campaign(&ablated, cycles, *trace_counts.last().expect("non-empty"), 13);
+    let acq_ablated = campaign(
+        &ablated,
+        cycles,
+        *trace_counts.last().expect("non-empty"),
+        13,
+    );
     for &n in trace_counts {
         let with_sbox = recover_key(
             &acq,

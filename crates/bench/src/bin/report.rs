@@ -56,7 +56,10 @@ fn main() -> ExitCode {
         mean_decisions.iter().enumerate().all(|(i, d)| d.best == i),
         format!(
             "{:?}",
-            mean_decisions.iter().map(|d| d.best + 1).collect::<Vec<_>>()
+            mean_decisions
+                .iter()
+                .map(|d| d.best + 1)
+                .collect::<Vec<_>>()
         ),
     );
 
@@ -74,7 +77,10 @@ fn main() -> ExitCode {
     let delta_vs = matrix.delta_vs().expect("rows");
     let delta_means = matrix.delta_means().expect("rows");
     let min_dv = delta_vs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_dmean = delta_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max_dmean = delta_means
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     check(
         "variance dominates mean as a distinguisher",
         min_dv > max_dmean,
@@ -90,7 +96,9 @@ fn main() -> ExitCode {
         (0..4).all(|i| means[i][i] > 0.85),
         format!(
             "{:?}",
-            (0..4).map(|i| (means[i][i] * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            (0..4)
+                .map(|i| (means[i][i] * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         ),
     );
 
@@ -109,8 +117,7 @@ fn main() -> ExitCode {
     );
 
     // --- Persist the full evidence. ---
-    let reports =
-        VerificationReport::from_matrix(&matrix, config.params).expect("panel reports");
+    let reports = VerificationReport::from_matrix(&matrix, config.params).expect("panel reports");
     let json = serde_json::json!({
         "paper": "Marchand, Bossuet, Jung — IP Watermark Verification Based on Power Consumption Analysis (SOCC 2014)",
         "campaign": {
@@ -133,7 +140,10 @@ fn main() -> ExitCode {
         "verification_reports": reports,
         "shape_failures": failures,
     });
-    match std::fs::write(&out_path, serde_json::to_string_pretty(&json).expect("finite data")) {
+    match std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&json).expect("finite data"),
+    ) {
         Ok(()) => println!("\nwrote full evidence to {out_path}"),
         Err(e) => {
             eprintln!("cannot write {out_path}: {e}");
@@ -145,7 +155,10 @@ fn main() -> ExitCode {
         println!("reproduction gate: all shape requirements hold");
         ExitCode::SUCCESS
     } else {
-        eprintln!("reproduction gate: {} requirement(s) FAILED", failures.len());
+        eprintln!(
+            "reproduction gate: {} requirement(s) FAILED",
+            failures.len()
+        );
         ExitCode::FAILURE
     }
 }

@@ -40,12 +40,8 @@ fn config(seed: u64, quick: bool) -> ExperimentConfig {
 /// Runs one RefD row against a DUT panel and returns the per-DUT scores
 /// (negated variance).
 fn scores_for(refd: &IpSpec, duts: &[IpSpec], seed: u64, quick: bool) -> Vec<f64> {
-    let matrix = IdentificationMatrix::run(
-        std::slice::from_ref(refd),
-        duts,
-        &config(seed, quick),
-    )
-    .expect("campaign");
+    let matrix = IdentificationMatrix::run(std::slice::from_ref(refd), duts, &config(seed, quick))
+        .expect("campaign");
     matrix.variances()[0].iter().map(|v| -v).collect()
 }
 

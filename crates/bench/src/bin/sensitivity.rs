@@ -83,7 +83,10 @@ fn main() {
     }
 
     println!();
-    println!("# X2b: process-variation sweep (noise at the default sigma {})", ip::DEFAULT_NOISE_SIGMA);
+    println!(
+        "# X2b: process-variation sweep (noise at the default sigma {})",
+        ip::DEFAULT_NOISE_SIGMA
+    );
     println!("variation_factor,all_correct,min_delta_v_percent");
     for &f in factors {
         let (ok, dv) = run_point(ip::DEFAULT_NOISE_SIGMA, f, quick);

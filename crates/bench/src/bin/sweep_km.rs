@@ -16,7 +16,11 @@ fn main() {
     } else {
         &[10, 25, 50, 100]
     };
-    let ms: &[usize] = if quick_mode() { &[5, 10] } else { &[5, 10, 20, 40] };
+    let ms: &[usize] = if quick_mode() {
+        &[5, 10]
+    } else {
+        &[5, 10, 20, 40]
+    };
     let alpha = 10;
     let ips = reference_ips();
 
@@ -34,8 +38,7 @@ fn main() {
             if quick_mode() {
                 config.cycles = 128;
             }
-            let matrix =
-                IdentificationMatrix::run(&ips, &ips, &config).expect("campaign");
+            let matrix = IdentificationMatrix::run(&ips, &ips, &config).expect("campaign");
             let decisions = matrix.decide(&LowerVariance).expect("panel");
             let all_correct = decisions.iter().enumerate().all(|(i, d)| d.best == i);
             let min_dv = matrix

@@ -56,7 +56,10 @@ fn main() {
 
     // The paper's §V.A conclusion, checked numerically.
     let min_dv = delta_vs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_dmean = delta_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max_dmean = delta_means
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "\nconclusion check: min Δv = {min_dv:.1}% vs max Δmean = {max_dmean:.1}% — variance {} the better distinguisher",
         if min_dv > max_dmean { "is" } else { "is NOT" }

@@ -81,9 +81,9 @@ impl Args {
         match self.flags.get(name) {
             None => Ok(None),
             Some(vs) if vs.len() == 1 => Ok(Some(&vs[0])),
-            Some(vs) if vs.is_empty() => Err(CliError::Usage(format!(
-                "flag --{name} needs a value"
-            ))),
+            Some(vs) if vs.is_empty() => {
+                Err(CliError::Usage(format!("flag --{name} needs a value")))
+            }
             Some(_) => Err(CliError::Usage(format!(
                 "flag --{name} given more than once"
             ))),
@@ -108,9 +108,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name)? {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                CliError::Usage(format!("flag --{name}: cannot parse `{v}`"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse `{v}`"))),
         }
     }
 

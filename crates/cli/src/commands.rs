@@ -10,8 +10,8 @@ use rand_chacha::ChaCha8Rng;
 use ipmark_attacks::collision::analyze_collisions;
 use ipmark_attacks::cpa::{recover_key, recover_key_phase_robust};
 use ipmark_core::ip::{
-    default_chain, ip_a, ip_b, ip_c, ip_d, FabricatedDevice, IpSpec, Substitution,
-    DEFAULT_CYCLES, SAMPLES_PER_CYCLE,
+    default_chain, ip_a, ip_b, ip_c, ip_d, FabricatedDevice, IpSpec, Substitution, DEFAULT_CYCLES,
+    SAMPLES_PER_CYCLE,
 };
 use ipmark_core::params::ParameterPlan;
 use ipmark_core::report::VerificationReport;
@@ -119,9 +119,10 @@ fn parse_ip(args: &Args) -> Result<IpSpec, CliError> {
             ))),
         };
     }
-    let counter = parse_counter(args.get("counter")?.ok_or_else(|| {
-        CliError::Usage("need --ip A|B|C|D or --counter binary|gray".into())
-    })?)?;
+    let counter =
+        parse_counter(args.get("counter")?.ok_or_else(|| {
+            CliError::Usage("need --ip A|B|C|D or --counter binary|gray".into())
+        })?)?;
     if args.has("unmarked") {
         return Ok(IpSpec::unmarked("unmarked", counter));
     }
@@ -177,7 +178,13 @@ fn simulate(args: &Args) -> Result<String, CliError> {
 
     let mut out = String::new();
     use std::fmt::Write as _;
-    let _ = writeln!(out, "IP: {} ({:?} counter, key {:?})", spec.name(), spec.counter(), spec.key());
+    let _ = writeln!(
+        out,
+        "IP: {} ({:?} counter, key {:?})",
+        spec.name(),
+        spec.counter(),
+        spec.key()
+    );
     let _ = writeln!(out, "components:");
     for info in circuit.component_infos() {
         let _ = writeln!(
@@ -185,7 +192,11 @@ fn simulate(args: &Args) -> Result<String, CliError> {
             "  {:<8} {:<16} {}",
             info.name,
             info.type_name,
-            if info.sequential { "sequential" } else { "combinational" }
+            if info.sequential {
+                "sequential"
+            } else {
+                "combinational"
+            }
         );
     }
 
@@ -218,7 +229,11 @@ fn acquire(args: &Args) -> Result<String, CliError> {
     let out_path = args.require("out")?;
     // Default the write format from the extension so that load_traces
     // (which dispatches reads by extension) can read the file back.
-    let default_format = if out_path.ends_with(".csv") { "csv" } else { "bin" };
+    let default_format = if out_path.ends_with(".csv") {
+        "csv"
+    } else {
+        "bin"
+    };
     let format = args.get("format")?.unwrap_or(default_format).to_owned();
 
     let chain = default_chain()?;
@@ -415,7 +430,11 @@ fn screen(args: &Args) -> Result<String, CliError> {
         verdict.variance,
         verdict.mean,
         verdict.threshold,
-        if verdict.genuine { "GENUINE" } else { "COUNTERFEIT" }
+        if verdict.genuine {
+            "GENUINE"
+        } else {
+            "COUNTERFEIT"
+        }
     ))
 }
 
@@ -436,7 +455,14 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = help();
-        for cmd in ["simulate", "acquire", "verify", "params", "cpa", "collision"] {
+        for cmd in [
+            "simulate",
+            "acquire",
+            "verify",
+            "params",
+            "cpa",
+            "collision",
+        ] {
             assert!(h.contains(cmd), "help is missing `{cmd}`");
         }
         assert!(run(&["help"]).unwrap().contains("USAGE"));
@@ -493,23 +519,56 @@ mod tests {
         let dut_good = tmp("dut_good.bin");
         let dut_bad = tmp("dut_bad.bin");
         run(&[
-            "acquire", "--ip", "b", "--die-seed", "1", "--traces", "60", "--cycles", "128",
-            "--seed", "1", "--out", &refd,
+            "acquire",
+            "--ip",
+            "b",
+            "--die-seed",
+            "1",
+            "--traces",
+            "60",
+            "--cycles",
+            "128",
+            "--seed",
+            "1",
+            "--out",
+            &refd,
         ])
         .unwrap();
         run(&[
-            "acquire", "--ip", "b", "--die-seed", "2", "--traces", "600", "--cycles", "128",
-            "--seed", "2", "--out", &dut_good,
+            "acquire",
+            "--ip",
+            "b",
+            "--die-seed",
+            "2",
+            "--traces",
+            "600",
+            "--cycles",
+            "128",
+            "--seed",
+            "2",
+            "--out",
+            &dut_good,
         ])
         .unwrap();
         run(&[
-            "acquire", "--ip", "c", "--die-seed", "3", "--traces", "600", "--cycles", "128",
-            "--seed", "3", "--out", &dut_bad,
+            "acquire",
+            "--ip",
+            "c",
+            "--die-seed",
+            "3",
+            "--traces",
+            "600",
+            "--cycles",
+            "128",
+            "--seed",
+            "3",
+            "--out",
+            &dut_bad,
         ])
         .unwrap();
         let out = run(&[
-            "verify", "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15",
-            "--m", "10",
+            "verify", "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15", "--m",
+            "10",
         ])
         .unwrap();
         assert!(out.contains("VERDICT"), "output:\n{out}");
@@ -522,8 +581,8 @@ mod tests {
         );
         // JSON mode parses back.
         let json = run(&[
-            "verify", "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15",
-            "--m", "10", "--json",
+            "verify", "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15", "--m",
+            "10", "--json",
         ])
         .unwrap();
         assert!(ipmark_core::report::VerificationReport::from_json(&json).is_ok());
@@ -535,8 +594,19 @@ mod tests {
         let dut = tmp("single_dut.bin");
         for (ip, seed, path, n) in [("a", "1", &refd, "40"), ("a", "2", &dut, "300")] {
             run(&[
-                "acquire", "--ip", ip, "--die-seed", seed, "--traces", n, "--cycles", "64",
-                "--seed", seed, "--out", path,
+                "acquire",
+                "--ip",
+                ip,
+                "--die-seed",
+                seed,
+                "--traces",
+                n,
+                "--cycles",
+                "64",
+                "--seed",
+                seed,
+                "--out",
+                path,
             ])
             .unwrap();
         }
@@ -565,8 +635,8 @@ mod tests {
     fn csv_format_round_trips() {
         let path = tmp("traces.csv");
         run(&[
-            "acquire", "--ip", "d", "--traces", "5", "--cycles", "16", "--out", &path,
-            "--format", "csv",
+            "acquire", "--ip", "d", "--traces", "5", "--cycles", "16", "--out", &path, "--format",
+            "csv",
         ])
         .unwrap();
         let set = load_traces(&path).unwrap();
@@ -589,12 +659,31 @@ mod tests {
     fn cpa_command_recovers_key_from_file() {
         let path = tmp("cpa_traces.bin");
         run(&[
-            "acquire", "--counter", "gray", "--key", "0x5b", "--die-seed", "4",
-            "--traces", "150", "--cycles", "256", "--seed", "9", "--out", &path,
+            "acquire",
+            "--counter",
+            "gray",
+            "--key",
+            "0x5b",
+            "--die-seed",
+            "4",
+            "--traces",
+            "150",
+            "--cycles",
+            "256",
+            "--seed",
+            "9",
+            "--out",
+            &path,
         ])
         .unwrap();
         let out = run(&[
-            "cpa", "--traces", &path, "--counter", "gray", "--true-key", "0x5b",
+            "cpa",
+            "--traces",
+            &path,
+            "--counter",
+            "gray",
+            "--true-key",
+            "0x5b",
         ])
         .unwrap();
         assert!(out.contains("Kw(0x5b)"), "output:\n{out}");
@@ -607,29 +696,81 @@ mod tests {
         let genuine = tmp("screen_genuine.bin");
         let fake = tmp("screen_fake.bin");
         run(&[
-            "acquire", "--ip", "c", "--die-seed", "1", "--traces", "80", "--cycles", "128",
-            "--seed", "1", "--out", &refd,
+            "acquire",
+            "--ip",
+            "c",
+            "--die-seed",
+            "1",
+            "--traces",
+            "80",
+            "--cycles",
+            "128",
+            "--seed",
+            "1",
+            "--out",
+            &refd,
         ])
         .unwrap();
         run(&[
-            "acquire", "--ip", "c", "--die-seed", "2", "--traces", "800", "--cycles", "128",
-            "--seed", "2", "--out", &genuine,
+            "acquire",
+            "--ip",
+            "c",
+            "--die-seed",
+            "2",
+            "--traces",
+            "800",
+            "--cycles",
+            "128",
+            "--seed",
+            "2",
+            "--out",
+            &genuine,
         ])
         .unwrap();
         run(&[
-            "acquire", "--counter", "gray", "--unmarked", "--die-seed", "3", "--traces",
-            "800", "--cycles", "128", "--seed", "3", "--out", &fake,
+            "acquire",
+            "--counter",
+            "gray",
+            "--unmarked",
+            "--die-seed",
+            "3",
+            "--traces",
+            "800",
+            "--cycles",
+            "128",
+            "--seed",
+            "3",
+            "--out",
+            &fake,
         ])
         .unwrap();
         let ok = run(&[
-            "screen", "--refd", &refd, "--dut", &genuine, "--genuine", &genuine, "--k", "20",
-            "--m", "10",
+            "screen",
+            "--refd",
+            &refd,
+            "--dut",
+            &genuine,
+            "--genuine",
+            &genuine,
+            "--k",
+            "20",
+            "--m",
+            "10",
         ])
         .unwrap();
         assert!(ok.contains("GENUINE"), "output:\n{ok}");
         let bad = run(&[
-            "screen", "--refd", &refd, "--dut", &fake, "--genuine", &genuine, "--k", "20",
-            "--m", "10",
+            "screen",
+            "--refd",
+            &refd,
+            "--dut",
+            &fake,
+            "--genuine",
+            &genuine,
+            "--k",
+            "20",
+            "--m",
+            "10",
         ])
         .unwrap();
         assert!(bad.contains("COUNTERFEIT"), "output:\n{bad}");

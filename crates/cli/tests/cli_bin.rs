@@ -35,7 +35,13 @@ fn unknown_command_exits_with_usage_code() {
 #[test]
 fn missing_file_exits_with_failure_code() {
     let out = ipmark()
-        .args(["verify", "--refd", "/nonexistent/refd.bin", "--dut", "/nonexistent/dut.bin"])
+        .args([
+            "verify",
+            "--refd",
+            "/nonexistent/refd.bin",
+            "--dut",
+            "/nonexistent/dut.bin",
+        ])
         .output()
         .expect("spawn");
     assert_eq!(out.status.code(), Some(1));
@@ -51,8 +57,18 @@ fn acquire_verify_pipeline_through_the_binary() {
     let acquire = |ip: &str, die: &str, n: &str, seed: &str, path: &PathBuf| {
         let out = ipmark()
             .args([
-                "acquire", "--ip", ip, "--die-seed", die, "--traces", n, "--cycles", "128",
-                "--seed", seed, "--out",
+                "acquire",
+                "--ip",
+                ip,
+                "--die-seed",
+                die,
+                "--traces",
+                n,
+                "--cycles",
+                "128",
+                "--seed",
+                seed,
+                "--out",
             ])
             .arg(path)
             .output()

@@ -167,11 +167,7 @@ mod tests {
 
     #[test]
     fn higher_mean_picks_largest_mean() {
-        let sets = vec![
-            set(&[0.3, 0.4]),
-            set(&[0.9, 0.95]),
-            set(&[0.5, 0.5]),
-        ];
+        let sets = vec![set(&[0.3, 0.4]), set(&[0.9, 0.95]), set(&[0.5, 0.5])];
         let d = HigherMean.decide(&sets).unwrap();
         assert_eq!(d.best, 1);
         assert_eq!(d.scores.len(), 3);
@@ -183,7 +179,7 @@ mod tests {
     #[test]
     fn lower_variance_picks_smallest_variance() {
         let sets = vec![
-            set(&[0.5, 0.5, 0.5]),      // variance 0 -> winner
+            set(&[0.5, 0.5, 0.5]), // variance 0 -> winner
             set(&[0.0, 1.0, 0.5]),
             set(&[0.4, 0.6, 0.5]),
         ];

@@ -113,7 +113,9 @@ mod tests {
     #[test]
     fn sources_chain() {
         use std::error::Error;
-        assert!(CoreError::Stats(StatsError::ZeroVariance).source().is_some());
+        assert!(CoreError::Stats(StatsError::ZeroVariance)
+            .source()
+            .is_some());
         assert!(CoreError::NotEnoughCandidates { provided: 0 }
             .source()
             .is_none());

@@ -128,11 +128,7 @@ pub mod layout {
 
 impl IpSpec {
     /// A watermarked IP: `counter` FSM + leakage component keyed by `key`.
-    pub fn watermarked(
-        name: impl Into<String>,
-        counter: CounterKind,
-        key: WatermarkKey,
-    ) -> Self {
+    pub fn watermarked(name: impl Into<String>, counter: CounterKind, key: WatermarkKey) -> Self {
         Self {
             name: name.into(),
             counter,
@@ -254,7 +250,9 @@ impl IpSpec {
     /// The deterministic FSM state sequence over `cycles` cycles, starting
     /// from the common reset state (position 0).
     pub fn state_sequence(&self, cycles: usize) -> Vec<u8> {
-        (0..cycles as u64).map(|c| self.counter.state_at(c)).collect()
+        (0..cycles as u64)
+            .map(|c| self.counter.state_at(c))
+            .collect()
     }
 
     /// The deterministic sequence of S-Box output register values `H` over

@@ -84,6 +84,12 @@ impl IdentificationMatrix {
     /// per DUT IP (distinct dies, as in the paper's eight FPGAs), measure
     /// `n1` / `n2` traces, and compute every `C_{X,y,k,m}`.
     ///
+    /// With the `parallel` feature the acquisitions and the R×D cells fan
+    /// out across threads (worker count from `RAYON_NUM_THREADS`, else the
+    /// machine). Every die, campaign and cell derives its own seed from
+    /// `config.seed`, so the matrix is bit-identical to
+    /// [`IdentificationMatrix::run_seq`] for every thread count.
+    ///
     /// # Errors
     ///
     /// Propagates fabrication, acquisition and correlation errors.
@@ -92,52 +98,94 @@ impl IdentificationMatrix {
         dut_specs: &[IpSpec],
         config: &ExperimentConfig,
     ) -> Result<Self, CoreError> {
-        config.params.validate()?;
-        if refd_specs.is_empty() || dut_specs.is_empty() {
-            return Err(CoreError::InvalidParams {
-                reason: "need at least one reference and one DUT".into(),
-            });
+        #[cfg(feature = "parallel")]
+        {
+            Self::run_with_pool(
+                refd_specs,
+                dut_specs,
+                config,
+                &ipmark_parallel::Pool::from_env(),
+            )
         }
+        #[cfg(not(feature = "parallel"))]
+        {
+            Self::run_seq(refd_specs, dut_specs, config)
+        }
+    }
+
+    /// [`IdentificationMatrix::run`] with an explicit worker pool, for
+    /// callers (and tests) that must not depend on `RAYON_NUM_THREADS`.
+    ///
+    /// The pool governs the acquisition and cell fan-out; the correlation
+    /// process inside each cell still sizes itself from the environment,
+    /// which cannot change the result (every stage is thread-count
+    /// invariant by construction).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IdentificationMatrix::run`].
+    #[cfg(feature = "parallel")]
+    pub fn run_with_pool(
+        refd_specs: &[IpSpec],
+        dut_specs: &[IpSpec],
+        config: &ExperimentConfig,
+        pool: &ipmark_parallel::Pool,
+    ) -> Result<Self, CoreError> {
+        Self::validate_panels(refd_specs, dut_specs, config)?;
 
         // Fabricate and measure the DUT boards once; the same boards serve
         // every reference row (as in the paper).
+        let dut_acqs: Vec<SimulatedAcquisition> = pool.try_map_indexed(dut_specs.len(), |j| {
+            Self::dut_acquisition(&dut_specs[j], j, config)
+        })?;
+        let refd_acqs: Vec<SimulatedAcquisition> = pool.try_map_indexed(refd_specs.len(), |i| {
+            Self::refd_acquisition(&refd_specs[i], i, config)
+        })?;
+
+        let duts = dut_specs.len();
+        let cells = pool.try_map_indexed(refd_specs.len() * duts, |idx| {
+            let (i, j) = (idx / duts, idx % duts);
+            let mut rng = Self::cell_rng(config, i, j, duts);
+            correlation_process(&refd_acqs[i], &dut_acqs[j], &config.params, &mut rng)
+        })?;
+        let mut cells = cells.into_iter();
+        let sets: Vec<Vec<CorrelationSet>> = (0..refd_specs.len())
+            .map(|_| cells.by_ref().take(duts).collect())
+            .collect();
+
+        Ok(Self {
+            refd_names: refd_specs.iter().map(|s| s.name().to_owned()).collect(),
+            dut_names: dut_specs.iter().map(|s| s.name().to_owned()).collect(),
+            sets,
+        })
+    }
+
+    /// The sequential reference implementation of
+    /// [`IdentificationMatrix::run`]. Compiled unconditionally so
+    /// equivalence tests can compare it against the parallel path in one
+    /// binary.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IdentificationMatrix::run`].
+    pub fn run_seq(
+        refd_specs: &[IpSpec],
+        dut_specs: &[IpSpec],
+        config: &ExperimentConfig,
+    ) -> Result<Self, CoreError> {
+        Self::validate_panels(refd_specs, dut_specs, config)?;
+
         let mut dut_acqs: Vec<SimulatedAcquisition> = Vec::with_capacity(dut_specs.len());
         for (j, spec) in dut_specs.iter().enumerate() {
-            let die_seed = config.seed.wrapping_mul(1009).wrapping_add(100 + j as u64);
-            let mut die = FabricatedDevice::fabricate(spec, &config.variation, die_seed)?;
-            let campaign_seed = config
-                .seed
-                .wrapping_mul(31)
-                .wrapping_add(j as u64)
-                .wrapping_add(0x00D0_7000);
-            dut_acqs.push(die.acquisition(
-                &config.chain,
-                config.cycles,
-                config.params.n2,
-                campaign_seed,
-            )?);
+            dut_acqs.push(Self::dut_acquisition(spec, j, config)?);
         }
 
         let mut sets = Vec::with_capacity(refd_specs.len());
         for (i, spec) in refd_specs.iter().enumerate() {
-            let die_seed = config.seed.wrapping_mul(1009).wrapping_add(i as u64);
-            let mut die = FabricatedDevice::fabricate(spec, &config.variation, die_seed)?;
-            let campaign_seed = config.seed.wrapping_mul(37).wrapping_add(i as u64);
-            let refd_acq = die.acquisition(
-                &config.chain,
-                config.cycles,
-                config.params.n1,
-                campaign_seed,
-            )?;
-
+            let refd_acq = Self::refd_acquisition(spec, i, config)?;
             let mut row = Vec::with_capacity(dut_acqs.len());
             for (j, dut_acq) in dut_acqs.iter().enumerate() {
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    config
-                        .seed
-                        .wrapping_mul(7919)
-                        .wrapping_add((i * dut_acqs.len() + j) as u64),
-                );
+                let mut rng = Self::cell_rng(config, i, j, dut_acqs.len());
                 row.push(correlation_process(
                     &refd_acq,
                     dut_acq,
@@ -153,6 +201,65 @@ impl IdentificationMatrix {
             dut_names: dut_specs.iter().map(|s| s.name().to_owned()).collect(),
             sets,
         })
+    }
+
+    fn validate_panels(
+        refd_specs: &[IpSpec],
+        dut_specs: &[IpSpec],
+        config: &ExperimentConfig,
+    ) -> Result<(), CoreError> {
+        config.params.validate()?;
+        if refd_specs.is_empty() || dut_specs.is_empty() {
+            return Err(CoreError::InvalidParams {
+                reason: "need at least one reference and one DUT".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn dut_acquisition(
+        spec: &IpSpec,
+        j: usize,
+        config: &ExperimentConfig,
+    ) -> Result<SimulatedAcquisition, CoreError> {
+        let die_seed = config.seed.wrapping_mul(1009).wrapping_add(100 + j as u64);
+        let mut die = FabricatedDevice::fabricate(spec, &config.variation, die_seed)?;
+        let campaign_seed = config
+            .seed
+            .wrapping_mul(31)
+            .wrapping_add(j as u64)
+            .wrapping_add(0x00D0_7000);
+        die.acquisition(
+            &config.chain,
+            config.cycles,
+            config.params.n2,
+            campaign_seed,
+        )
+    }
+
+    fn refd_acquisition(
+        spec: &IpSpec,
+        i: usize,
+        config: &ExperimentConfig,
+    ) -> Result<SimulatedAcquisition, CoreError> {
+        let die_seed = config.seed.wrapping_mul(1009).wrapping_add(i as u64);
+        let mut die = FabricatedDevice::fabricate(spec, &config.variation, die_seed)?;
+        let campaign_seed = config.seed.wrapping_mul(37).wrapping_add(i as u64);
+        die.acquisition(
+            &config.chain,
+            config.cycles,
+            config.params.n1,
+            campaign_seed,
+        )
+    }
+
+    fn cell_rng(config: &ExperimentConfig, i: usize, j: usize, duts: usize) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(7919)
+                .wrapping_add((i * duts + j) as u64),
+        )
     }
 
     /// Reference-device names (row labels).
@@ -228,7 +335,10 @@ impl IdentificationMatrix {
         &self,
         distinguisher: &D,
     ) -> Result<Vec<Decision>, CoreError> {
-        self.sets.iter().map(|row| distinguisher.decide(row)).collect()
+        self.sets
+            .iter()
+            .map(|row| distinguisher.decide(row))
+            .collect()
     }
 }
 
@@ -260,8 +370,7 @@ mod tests {
     #[test]
     fn matrix_shape_and_labels() {
         let config = tiny_config();
-        let m =
-            IdentificationMatrix::run(&[ip_a(), ip_b()], &[ip_a(), ip_b()], &config).unwrap();
+        let m = IdentificationMatrix::run(&[ip_a(), ip_b()], &[ip_a(), ip_b()], &config).unwrap();
         assert_eq!(m.refd_names(), &["IP_A", "IP_B"]);
         assert_eq!(m.dut_names(), &["IP_A", "IP_B"]);
         assert_eq!(m.sets().len(), 2);
@@ -275,8 +384,7 @@ mod tests {
     #[test]
     fn two_ip_matrix_identifies_correctly() {
         let config = tiny_config();
-        let m =
-            IdentificationMatrix::run(&[ip_a(), ip_b()], &[ip_a(), ip_b()], &config).unwrap();
+        let m = IdentificationMatrix::run(&[ip_a(), ip_b()], &[ip_a(), ip_b()], &config).unwrap();
         let decisions = m.decide(&LowerVariance).unwrap();
         assert_eq!(decisions[0].best, 0, "IP_A must match DUT carrying IP_A");
         assert_eq!(decisions[1].best, 1, "IP_B must match DUT carrying IP_B");
@@ -285,6 +393,14 @@ mod tests {
         assert_eq!(dm[1].best, 1);
         assert_eq!(m.delta_means().unwrap().len(), 2);
         assert!(m.delta_vs().unwrap().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn run_matches_sequential_reference() {
+        let config = tiny_config();
+        let par = IdentificationMatrix::run(&[ip_a()], &[ip_a(), ip_b()], &config).unwrap();
+        let seq = IdentificationMatrix::run_seq(&[ip_a()], &[ip_a(), ip_b()], &config).unwrap();
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -100,9 +100,7 @@ impl VerificationReport {
             .refd_names()
             .iter()
             .zip(matrix.sets())
-            .map(|(refd, row)| {
-                Self::new(refd.clone(), params, matrix.dut_names(), row)
-            })
+            .map(|(refd, row)| Self::new(refd.clone(), params, matrix.dut_names(), row))
             .collect()
     }
 
@@ -146,8 +144,7 @@ impl VerificationReport {
         let _ = writeln!(
             out,
             "higher-mean distinguisher : {} (Δmean = {:.2}%)",
-            self.candidates[self.mean_decision.best].name,
-            self.mean_decision.confidence_percent
+            self.candidates[self.mean_decision.best].name, self.mean_decision.confidence_percent
         );
         let _ = writeln!(
             out,
@@ -226,13 +223,10 @@ mod tests {
             &s
         )
         .is_err());
-        assert!(VerificationReport::new(
-            "X",
-            CorrelationParams::reduced(),
-            &["a".into()],
-            &s[..1]
-        )
-        .is_err());
+        assert!(
+            VerificationReport::new("X", CorrelationParams::reduced(), &["a".into()], &s[..1])
+                .is_err()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! known-genuine verifications: a device whose correlation-set variance
 //! exceeds the threshold is flagged.
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use ipmark_traces::TraceSource;
@@ -113,11 +113,58 @@ impl CounterfeitScreen {
     ) -> Result<ScreeningVerdict, CoreError>
     where
         SR: TraceSource + ?Sized,
-        SD: TraceSource + ?Sized,
+        SD: TraceSource + Sync + ?Sized,
         R: Rng + ?Sized,
     {
         let set = correlation_process(refd, dut, params, rng)?;
         Ok(self.judge(&set))
+    }
+
+    /// The ChaCha8 seed that [`CounterfeitScreen::screen_panel`] derives for
+    /// panel position `index`. Public so callers can reproduce any single
+    /// panel verdict with [`CounterfeitScreen::screen`].
+    #[must_use]
+    pub fn panel_seed(base_seed: u64, index: usize) -> u64 {
+        base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64)
+    }
+
+    /// Screens a whole panel of DUTs against one reference device.
+    ///
+    /// Each device gets its own ChaCha8 stream seeded with
+    /// [`CounterfeitScreen::panel_seed`]`(base_seed, index)`, so verdict
+    /// `j` equals a standalone [`CounterfeitScreen::screen`] call with that
+    /// seed — whether the panel runs in parallel (the `parallel` feature)
+    /// or one device at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (lowest-index) correlation-process error.
+    pub fn screen_panel<SR, SD>(
+        &self,
+        refd: &SR,
+        duts: &[SD],
+        params: &CorrelationParams,
+        base_seed: u64,
+    ) -> Result<Vec<ScreeningVerdict>, CoreError>
+    where
+        SR: TraceSource + Sync + ?Sized,
+        SD: TraceSource + Sync,
+    {
+        let screen_one = |j: usize| -> Result<ScreeningVerdict, CoreError> {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(Self::panel_seed(base_seed, j));
+            let set = correlation_process(refd, &duts[j], params, &mut rng)?;
+            Ok(self.judge(&set))
+        };
+        #[cfg(feature = "parallel")]
+        {
+            ipmark_parallel::par_try_map_indexed(duts.len(), screen_one)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            (0..duts.len()).map(screen_one).collect()
+        }
     }
 }
 
@@ -157,6 +204,61 @@ mod tests {
         let v = screen.judge(&loose);
         assert!(!v.genuine, "variance {}", v.variance);
         assert_eq!(v.threshold, 1e-4);
+    }
+
+    #[test]
+    fn screen_panel_matches_per_device_screens() {
+        use ipmark_traces::{Trace, TraceSet};
+
+        // Cheap synthetic panel: one genuine twin of the reference and one
+        // device with an unrelated waveform.
+        let wave_a: Vec<f64> = (0..96).map(|i| (i as f64 * 0.31).sin()).collect();
+        let wave_b: Vec<f64> = (0..96).map(|i| (i as f64 * 0.83 + 0.4).cos()).collect();
+        let noisy = |name: &str, wave: &[f64], n: usize, seed: u64| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut set = TraceSet::new(name);
+            for _ in 0..n {
+                let samples: Vec<f64> = wave
+                    .iter()
+                    .map(|&w| w + ipmark_power::device::gaussian(&mut rng, 0.0, 0.4))
+                    .collect();
+                set.push(Trace::from_samples(samples)).unwrap();
+            }
+            set
+        };
+        let refd = noisy("ref", &wave_a, 60, 1);
+        let genuine = noisy("genuine", &wave_a, 300, 2);
+        let fake = noisy("fake", &wave_b, 300, 3);
+        let params = CorrelationParams {
+            n1: 60,
+            n2: 300,
+            k: 20,
+            m: 8,
+        };
+        let screen = CounterfeitScreen::with_threshold(1e-5).unwrap();
+
+        let duts = [genuine, fake];
+        let verdicts = screen.screen_panel(&refd, &duts, &params, 77).unwrap();
+        assert_eq!(verdicts.len(), 2);
+        assert!(
+            verdicts[0].genuine,
+            "genuine variance {} vs fake {}",
+            verdicts[0].variance, verdicts[1].variance
+        );
+        assert!(
+            !verdicts[1].genuine,
+            "genuine variance {} vs fake {}",
+            verdicts[0].variance, verdicts[1].variance
+        );
+
+        // The documented contract: verdict j reproduces a standalone screen
+        // with the derived panel seed.
+        for (j, dut) in duts.iter().enumerate() {
+            let mut rng =
+                rand_chacha::ChaCha8Rng::seed_from_u64(CounterfeitScreen::panel_seed(77, j));
+            let lone = screen.screen(&refd, dut, &params, &mut rng).unwrap();
+            assert_eq!(verdicts[j], lone, "panel index {j}");
+        }
     }
 
     #[test]
@@ -213,11 +315,15 @@ mod tests {
 
         let chain = default_chain().unwrap();
         let variation = ProcessVariation::typical();
+        // k = 40 averaging shrinks the genuine (noise-driven) variance an
+        // order of magnitude below the clone's structural variance; at the
+        // weaker k = 20 the two populations nearly touch and no margin
+        // separates them reliably.
         let params = CorrelationParams {
             n1: 60,
-            n2: 1200,
-            k: 20,
-            m: 10,
+            n2: 1600,
+            k: 40,
+            m: 16,
         };
         let acq = |spec: &IpSpec, die: u64, n: usize| {
             FabricatedDevice::fabricate(spec, &variation, die)
@@ -229,15 +335,22 @@ mod tests {
         let genuine = acq(&ip_b(), 2, params.n2);
         let clone = acq(&IpSpec::unmarked("clone", CounterKind::Gray), 3, params.n2);
 
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
-        let genuine_set = correlation_process(&refd, &genuine, &params, &mut rng).unwrap();
-        let screen = CounterfeitScreen::calibrate(&[genuine_set.variance()], 5.0).unwrap();
+        // Calibrate from a small population of genuine verifications, as
+        // the screen's contract prescribes: a single m = 16 variance
+        // estimate is too noisy to set a stable threshold from.
+        let genuine_sets: Vec<_> = (5u64..8)
+            .map(|seed| {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                correlation_process(&refd, &genuine, &params, &mut rng).unwrap()
+            })
+            .collect();
+        let variances: Vec<f64> = genuine_sets.iter().map(CorrelationSet::variance).collect();
+        let screen = CounterfeitScreen::calibrate(&variances, 2.5).unwrap();
 
-        let v_genuine = screen.judge(&genuine_set);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let v_genuine = screen.judge(&genuine_sets[0]);
         assert!(v_genuine.genuine);
-        let v_clone = screen
-            .screen(&refd, &clone, &params, &mut rng)
-            .unwrap();
+        let v_clone = screen.screen(&refd, &clone, &params, &mut rng).unwrap();
         assert!(!v_clone.genuine, "clone variance {}", v_clone.variance);
     }
 }

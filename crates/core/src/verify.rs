@@ -12,8 +12,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use ipmark_traces::average::{k_average, k_averages};
-use ipmark_traces::stats::{mean, pearson, variance_population};
+use ipmark_traces::average::{k_average, k_averages, k_averages_seq};
+use ipmark_traces::stats::{mean, pearson, variance_population, PearsonRef};
 use ipmark_traces::TraceSource;
 
 use crate::error::CoreError;
@@ -114,16 +114,13 @@ pub struct CorrelationSet {
     coefficients: Vec<f64>,
 }
 
-impl<'de> serde::Deserialize<'de> for CorrelationSet {
-    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
+impl serde::Deserialize for CorrelationSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
         #[derive(serde::Deserialize)]
         struct Raw {
             coefficients: Vec<f64>,
         }
-        let raw = Raw::deserialize(deserializer)?;
+        let raw = Raw::from_value(value)?;
         CorrelationSet::new(raw.coefficients).map_err(serde::de::Error::custom)
     }
 }
@@ -223,8 +220,78 @@ pub fn correlation_process<SR, SD, R>(
 ) -> Result<CorrelationSet, CoreError>
 where
     SR: TraceSource + ?Sized,
+    SD: TraceSource + Sync + ?Sized,
+    R: Rng + ?Sized,
+{
+    validate_sources(refd, dut, params)?;
+
+    // One reference k-average, drawn from the first n1 reference traces.
+    let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
+    // m independent DUT k-averages from the first n2 DUT traces.
+    let a_duts = k_averages_bounded(dut, params.n2, params.k, params.m, rng)?;
+
+    // Center and normalize the single reference once; each of the m
+    // correlations then costs one fused pass over the DUT average. The
+    // result is bit-identical to per-pair `pearson` calls (see
+    // `PearsonRef`), as is the error surfaced for a flat reference.
+    let reference = PearsonRef::new(a_refd.samples()).map_err(CoreError::Stats)?;
+    #[cfg(feature = "parallel")]
+    let coefficients = ipmark_parallel::par_try_map_indexed(a_duts.len(), |i| {
+        reference
+            .correlate(a_duts[i].samples())
+            .map_err(CoreError::Stats)
+    })?;
+    #[cfg(not(feature = "parallel"))]
+    let coefficients = a_duts
+        .iter()
+        .map(|a| reference.correlate(a.samples()).map_err(CoreError::Stats))
+        .collect::<Result<Vec<f64>, CoreError>>()?;
+    CorrelationSet::new(coefficients)
+}
+
+/// The sequential reference implementation of [`correlation_process`]:
+/// interleaved selection draws and one independent [`pearson`] evaluation
+/// per DUT average. Compiled unconditionally so equivalence tests can pit
+/// it against the fused/parallel path in one binary.
+///
+/// # Errors
+///
+/// Same as [`correlation_process`].
+pub fn correlation_process_seq<SR, SD, R>(
+    refd: &SR,
+    dut: &SD,
+    params: &CorrelationParams,
+    rng: &mut R,
+) -> Result<CorrelationSet, CoreError>
+where
+    SR: TraceSource + ?Sized,
     SD: TraceSource + ?Sized,
     R: Rng + ?Sized,
+{
+    validate_sources(refd, dut, params)?;
+
+    let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
+    let bounded = BoundedSource {
+        inner: dut,
+        limit: params.n2,
+    };
+    let a_duts = k_averages_seq(&bounded, params.k, params.m, rng).map_err(CoreError::Trace)?;
+
+    let coefficients = a_duts
+        .iter()
+        .map(|a| pearson(a_refd.samples(), a.samples()).map_err(CoreError::Stats))
+        .collect::<Result<Vec<f64>, CoreError>>()?;
+    CorrelationSet::new(coefficients)
+}
+
+fn validate_sources<SR, SD>(
+    refd: &SR,
+    dut: &SD,
+    params: &CorrelationParams,
+) -> Result<(), CoreError>
+where
+    SR: TraceSource + ?Sized,
+    SD: TraceSource + ?Sized,
 {
     params.validate()?;
     if refd.num_traces() < params.n1 {
@@ -254,17 +321,7 @@ where
             ),
         });
     }
-
-    // One reference k-average, drawn from the first n1 reference traces.
-    let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
-    // m independent DUT k-averages from the first n2 DUT traces.
-    let a_duts = k_averages_bounded(dut, params.n2, params.k, params.m, rng)?;
-
-    let coefficients = a_duts
-        .iter()
-        .map(|a| pearson(a_refd.samples(), a.samples()).map_err(CoreError::Stats))
-        .collect::<Result<Vec<f64>, CoreError>>()?;
-    CorrelationSet::new(coefficients)
+    Ok(())
 }
 
 /// A view restricting a [`TraceSource`] to its first `limit` traces, so that
@@ -307,7 +364,7 @@ fn k_average_bounded<S: TraceSource + ?Sized, R: Rng + ?Sized>(
     k_average(&bounded, k, rng).map_err(CoreError::Trace)
 }
 
-fn k_averages_bounded<S: TraceSource + ?Sized, R: Rng + ?Sized>(
+fn k_averages_bounded<S: TraceSource + Sync + ?Sized, R: Rng + ?Sized>(
     source: &S,
     limit: usize,
     k: usize,
@@ -408,11 +465,8 @@ mod tests {
         // Empty or non-finite sets must not round-trip into panicking
         // mean()/variance() calls.
         assert!(serde_json::from_str::<CorrelationSet>(r#"{"coefficients":[]}"#).is_err());
-        assert!(
-            serde_json::from_str::<CorrelationSet>(r#"{"coefficients":[0.5,null]}"#).is_err()
-        );
-        let ok: CorrelationSet =
-            serde_json::from_str(r#"{"coefficients":[0.5,0.6]}"#).unwrap();
+        assert!(serde_json::from_str::<CorrelationSet>(r#"{"coefficients":[0.5,null]}"#).is_err());
+        let ok: CorrelationSet = serde_json::from_str(r#"{"coefficients":[0.5,0.6]}"#).unwrap();
         assert!((ok.mean() - 0.55).abs() < 1e-12);
     }
 
@@ -505,6 +559,29 @@ mod tests {
     }
 
     #[test]
+    fn fused_process_is_bitwise_equal_to_sequential_reference() {
+        let refd = noisy_set("r", &wave_a(), 80, 1);
+        let dut = noisy_set("d", &wave_a(), 300, 2);
+        let params = CorrelationParams {
+            n1: 80,
+            n2: 300,
+            k: 15,
+            m: 8,
+        };
+        for seed in 0..4u64 {
+            let fused =
+                correlation_process(&refd, &dut, &params, &mut ChaCha8Rng::seed_from_u64(seed))
+                    .unwrap();
+            let seq =
+                correlation_process_seq(&refd, &dut, &params, &mut ChaCha8Rng::seed_from_u64(seed))
+                    .unwrap();
+            let fused_bits: Vec<u64> = fused.coefficients().iter().map(|c| c.to_bits()).collect();
+            let seq_bits: Vec<u64> = seq.coefficients().iter().map(|c| c.to_bits()).collect();
+            assert_eq!(fused_bits, seq_bits, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let refd = noisy_set("r", &wave_a(), 60, 1);
         let dut = noisy_set("d", &wave_a(), 200, 2);
@@ -514,20 +591,10 @@ mod tests {
             k: 10,
             m: 6,
         };
-        let c1 = correlation_process(
-            &refd,
-            &dut,
-            &params,
-            &mut ChaCha8Rng::seed_from_u64(5),
-        )
-        .unwrap();
-        let c2 = correlation_process(
-            &refd,
-            &dut,
-            &params,
-            &mut ChaCha8Rng::seed_from_u64(5),
-        )
-        .unwrap();
+        let c1 =
+            correlation_process(&refd, &dut, &params, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let c2 =
+            correlation_process(&refd, &dut, &params, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
         assert_eq!(c1, c2);
     }
 }

@@ -197,7 +197,8 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
             state[4 * c + 2],
             state[4 * c + 3],
         ];
-        state[4 * c] = mul(col[0], 0x0e) ^ mul(col[1], 0x0b) ^ mul(col[2], 0x0d) ^ mul(col[3], 0x09);
+        state[4 * c] =
+            mul(col[0], 0x0e) ^ mul(col[1], 0x0b) ^ mul(col[2], 0x0d) ^ mul(col[3], 0x09);
         state[4 * c + 1] =
             mul(col[0], 0x09) ^ mul(col[1], 0x0e) ^ mul(col[2], 0x0b) ^ mul(col[3], 0x0d);
         state[4 * c + 2] =
@@ -333,6 +334,8 @@ mod tests {
 
     #[test]
     fn error_display_nonempty() {
-        assert!(!AesError::BadKeyLength { provided: 3 }.to_string().is_empty());
+        assert!(!AesError::BadKeyLength { provided: 3 }
+            .to_string()
+            .is_empty());
     }
 }

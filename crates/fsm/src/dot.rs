@@ -47,9 +47,7 @@ pub fn to_dot(fsm: &Fsm, options: &DotOptions) -> String {
     for state in 0..fsm.num_states() {
         for input in 0..fsm.num_inputs() {
             let (next, output) = fsm.step(state, input).expect("valid machine");
-            let highlighted = options
-                .highlighted_transitions
-                .contains(&(state, input));
+            let highlighted = options.highlighted_transitions.contains(&(state, input));
             let attrs = if highlighted {
                 ", color=red, penwidth=2.0"
             } else {
@@ -68,7 +66,13 @@ pub fn to_dot(fsm: &Fsm, options: &DotOptions) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g{cleaned}")

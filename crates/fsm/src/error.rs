@@ -56,7 +56,10 @@ impl fmt::Display for FsmError {
                 write!(f, "unknown state {state} (machine has {available})")
             }
             FsmError::UnknownInput { input, available } => {
-                write!(f, "unknown input symbol {input} (alphabet size {available})")
+                write!(
+                    f,
+                    "unknown input symbol {input} (alphabet size {available})"
+                )
             }
             FsmError::OutputTooWide { output, width } => {
                 write!(f, "output {output:#x} does not fit in {width} bits")
@@ -65,7 +68,9 @@ impl fmt::Display for FsmError {
                 write!(f, "state {state} has no transition on input {input}")
             }
             FsmError::EmptyMachine => write!(f, "machine needs at least one state and one input"),
-            FsmError::EmbeddingFailed { reason } => write!(f, "watermark embedding failed: {reason}"),
+            FsmError::EmbeddingFailed { reason } => {
+                write!(f, "watermark embedding failed: {reason}")
+            }
             FsmError::EmptyWatermark => write!(f, "watermark payload is empty"),
             FsmError::IncompatibleMachines { reason } => {
                 write!(f, "machines are incompatible: {reason}")
@@ -97,13 +102,9 @@ mod tests {
             },
             FsmError::IncompleteTransition { state: 0, input: 1 },
             FsmError::EmptyMachine,
-            FsmError::EmbeddingFailed {
-                reason: "x".into(),
-            },
+            FsmError::EmbeddingFailed { reason: "x".into() },
             FsmError::EmptyWatermark,
-            FsmError::IncompatibleMachines {
-                reason: "x".into(),
-            },
+            FsmError::IncompatibleMachines { reason: "x".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

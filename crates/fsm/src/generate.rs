@@ -40,10 +40,7 @@ impl Default for RandomFsmConfig {
 /// # Errors
 ///
 /// Returns shape errors from the underlying builder.
-pub fn random_fsm<R: Rng + ?Sized>(
-    config: &RandomFsmConfig,
-    rng: &mut R,
-) -> Result<Fsm, FsmError> {
+pub fn random_fsm<R: Rng + ?Sized>(config: &RandomFsmConfig, rng: &mut R) -> Result<Fsm, FsmError> {
     let mut b = FsmBuilder::new(config.num_states, config.num_inputs, config.output_width)?;
     let out_mask = if config.output_width >= 64 {
         u64::MAX

@@ -49,14 +49,14 @@
 pub mod analysis;
 pub mod dot;
 pub mod embed;
-pub mod generate;
 pub mod error;
+pub mod generate;
 pub mod machine;
 pub mod moore;
 pub mod netlist_adapter;
 
-pub use embed::{EmbeddedWatermark, IncompleteFsm, WatermarkProof};
 pub use dot::{to_dot, DotOptions};
+pub use embed::{EmbeddedWatermark, IncompleteFsm, WatermarkProof};
 pub use error::FsmError;
 pub use generate::{random_fsm, RandomFsmConfig};
 pub use machine::{Fsm, FsmBuilder};

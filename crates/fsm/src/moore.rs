@@ -160,14 +160,11 @@ impl MooreFsm {
                     available: self.num_inputs,
                 });
             }
-            let output = self.outputs[state].ok_or(FsmError::IncompleteTransition {
-                state,
-                input: i,
-            })?;
+            let output =
+                self.outputs[state].ok_or(FsmError::IncompleteTransition { state, input: i })?;
             out.push(output);
-            state = self.transitions[state * self.num_inputs + i].ok_or(
-                FsmError::IncompleteTransition { state, input: i },
-            )?;
+            state = self.transitions[state * self.num_inputs + i]
+                .ok_or(FsmError::IncompleteTransition { state, input: i })?;
         }
         Ok(out)
     }
@@ -180,21 +177,15 @@ impl MooreFsm {
     /// Returns [`FsmError::IncompleteTransition`] for any undefined
     /// transition or state output.
     pub fn to_mealy(&self) -> Result<Fsm, FsmError> {
-        let mut b = crate::machine::FsmBuilder::new(
-            self.num_states,
-            self.num_inputs,
-            self.output_width,
-        )?;
+        let mut b =
+            crate::machine::FsmBuilder::new(self.num_states, self.num_inputs, self.output_width)?;
         b.initial(self.initial)?;
         for state in 0..self.num_states {
-            let output = self.outputs[state].ok_or(FsmError::IncompleteTransition {
-                state,
-                input: 0,
-            })?;
+            let output =
+                self.outputs[state].ok_or(FsmError::IncompleteTransition { state, input: 0 })?;
             for input in 0..self.num_inputs {
-                let next = self.transitions[state * self.num_inputs + input].ok_or(
-                    FsmError::IncompleteTransition { state, input },
-                )?;
+                let next = self.transitions[state * self.num_inputs + input]
+                    .ok_or(FsmError::IncompleteTransition { state, input })?;
                 b.transition(state, input, next, output)?;
             }
         }

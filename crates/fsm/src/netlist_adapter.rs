@@ -161,10 +161,7 @@ impl Component for FsmComponent {
             self.encoding.encode(self.state),
             self.state_width,
         ));
-        outputs.push(BitVec::truncated(
-            self.last_output,
-            self.fsm.output_width(),
-        ));
+        outputs.push(BitVec::truncated(self.last_output, self.fsm.output_width()));
         Ok(())
     }
 
@@ -268,7 +265,11 @@ mod tests {
     fn activity_state_is_the_state_register_only() {
         let mut c = FsmComponent::new(Fsm::binary_counter(3).unwrap()).unwrap();
         let before = c.state().unwrap();
-        assert_eq!(before.width(), 3, "no output-register bits in the state word");
+        assert_eq!(
+            before.width(),
+            3,
+            "no output-register bits in the state word"
+        );
         c.clock(&[BitVec::zero(1)]).unwrap();
         let after = c.state().unwrap();
         // state 0 -> 1: exactly one toggle; the output register's toggles
@@ -331,11 +332,9 @@ mod tests {
             output_width: 4,
             connected: false,
         };
-        let fsm = crate::generate::random_fsm(
-            &config,
-            &mut rand_chacha::ChaCha8Rng::seed_from_u64(0),
-        )
-        .unwrap();
+        let fsm =
+            crate::generate::random_fsm(&config, &mut rand_chacha::ChaCha8Rng::seed_from_u64(0))
+                .unwrap();
         assert!(FsmComponent::with_encoding(fsm.clone(), StateEncoding::OneHot).is_err());
         assert!(FsmComponent::with_encoding(fsm, StateEncoding::Binary).is_ok());
     }

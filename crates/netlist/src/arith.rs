@@ -263,20 +263,11 @@ mod tests {
     fn comparator_outputs_eq_lt_gt() {
         let c = Comparator::new(8);
         let out = eval(&c, &[BitVec::from(5u8), BitVec::from(5u8)]);
-        assert_eq!(
-            (out[0].value(), out[1].value(), out[2].value()),
-            (1, 0, 0)
-        );
+        assert_eq!((out[0].value(), out[1].value(), out[2].value()), (1, 0, 0));
         let out = eval(&c, &[BitVec::from(3u8), BitVec::from(9u8)]);
-        assert_eq!(
-            (out[0].value(), out[1].value(), out[2].value()),
-            (0, 1, 0)
-        );
+        assert_eq!((out[0].value(), out[1].value(), out[2].value()), (0, 1, 0));
         let out = eval(&c, &[BitVec::from(9u8), BitVec::from(3u8)]);
-        assert_eq!(
-            (out[0].value(), out[1].value(), out[2].value()),
-            (0, 0, 1)
-        );
+        assert_eq!((out[0].value(), out[1].value(), out[2].value()), (0, 0, 1));
     }
 
     #[test]

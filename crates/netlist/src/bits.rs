@@ -36,17 +36,14 @@ pub struct BitVec {
     width: u16,
 }
 
-impl<'de> Deserialize<'de> for BitVec {
-    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
+impl Deserialize for BitVec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
         #[derive(Deserialize)]
         struct Raw {
             value: u64,
             width: u16,
         }
-        let raw = Raw::deserialize(deserializer)?;
+        let raw = Raw::from_value(value)?;
         BitVec::new(raw.value, raw.width).map_err(serde::de::Error::custom)
     }
 }
@@ -86,7 +83,10 @@ impl fmt::Display for BitsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             BitsError::InvalidWidth { width } => {
-                write!(f, "invalid bit-vector width {width} (must be 1..={MAX_WIDTH})")
+                write!(
+                    f,
+                    "invalid bit-vector width {width} (must be 1..={MAX_WIDTH})"
+                )
             }
             BitsError::ValueTooWide { value, width } => {
                 write!(f, "value {value:#x} does not fit in {width} bits")

@@ -157,14 +157,14 @@ impl CircuitBuilder {
         dst: ComponentId,
         dst_port: usize,
     ) -> Result<(), NetlistError> {
-        let (ext_name, ext_width) = self
-            .external_inputs
-            .get(input)
-            .cloned()
-            .ok_or(NetlistError::UnknownExternalInput {
-                index: input,
-                available: self.external_inputs.len(),
-            })?;
+        let (ext_name, ext_width) =
+            self.external_inputs
+                .get(input)
+                .cloned()
+                .ok_or(NetlistError::UnknownExternalInput {
+                    index: input,
+                    available: self.external_inputs.len(),
+                })?;
         let (dst_width, dst_name) = self.input_width(dst, dst_port)?;
         if ext_width != dst_width {
             return Err(NetlistError::ConnectionWidthMismatch {
@@ -283,15 +283,15 @@ impl CircuitBuilder {
             .instances
             .get(id.0)
             .ok_or(NetlistError::UnknownComponent { id: id.0 })?;
-        let width = inst
-            .input_widths
-            .get(port)
-            .copied()
-            .ok_or_else(|| NetlistError::UnknownPort {
-                component: inst.name.clone(),
-                port,
-                available: inst.input_widths.len(),
-            })?;
+        let width =
+            inst.input_widths
+                .get(port)
+                .copied()
+                .ok_or_else(|| NetlistError::UnknownPort {
+                    component: inst.name.clone(),
+                    port,
+                    available: inst.input_widths.len(),
+                })?;
         Ok((width, inst.name.clone()))
     }
 }
@@ -664,10 +664,7 @@ mod tests {
             let s = circuit.step(&[]).unwrap();
             pairs.push((s.outputs[0].value(), s.outputs[1].value()));
         }
-        assert_eq!(
-            pairs,
-            vec![(0, 0), (1, 0), (2, 1), (3, 2), (4, 3), (5, 4)]
-        );
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (2, 1), (3, 2), (4, 3), (5, 4)]);
     }
 
     #[test]
@@ -697,7 +694,10 @@ mod tests {
         let second: Vec<_> = (0..5)
             .map(|_| circuit.step(&[]).unwrap().activity)
             .collect();
-        assert_eq!(first, second, "simulation must be deterministic after reset");
+        assert_eq!(
+            first, second,
+            "simulation must be deterministic after reset"
+        );
     }
 
     #[test]
@@ -779,9 +779,7 @@ mod tests {
         assert_eq!(infos[0].type_name, "binary-counter");
         assert!(infos[0].sequential);
         assert_eq!(infos[1].name, "reg");
-        assert!(circuit
-            .component_info(ComponentId(5))
-            .is_err());
+        assert!(circuit.component_info(ComponentId(5)).is_err());
         assert_eq!(circuit.output_names(), vec!["count", "delayed"]);
     }
 }

@@ -369,13 +369,7 @@ mod tests {
     #[test]
     fn concat_joins_high_low() {
         let c = Concat2::new(4, 4).unwrap();
-        let out = eval1(
-            &c,
-            &[
-                BitVec::truncated(0xa, 4),
-                BitVec::truncated(0xb, 4),
-            ],
-        );
+        let out = eval1(&c, &[BitVec::truncated(0xa, 4), BitVec::truncated(0xb, 4)]);
         assert_eq!(out.value(), 0xab);
         assert_eq!(out.width(), 8);
         assert!(Concat2::new(40, 30).is_err());

@@ -222,11 +222,19 @@ mod tests {
         let mut rom = SyncRom::new(vec![10, 20, 30, 40], 8, 0).unwrap();
         let mut out = Vec::new();
         rom.eval(&[BitVec::truncated(1, 2)], &mut out).unwrap();
-        assert_eq!(out[0].value(), 0, "output is the init value before clocking");
+        assert_eq!(
+            out[0].value(),
+            0,
+            "output is the init value before clocking"
+        );
         rom.clock(&[BitVec::truncated(1, 2)]).unwrap();
         out.clear();
         rom.eval(&[BitVec::truncated(3, 2)], &mut out).unwrap();
-        assert_eq!(out[0].value(), 20, "previous address appears after the edge");
+        assert_eq!(
+            out[0].value(),
+            20,
+            "previous address appears after the edge"
+        );
     }
 
     #[test]

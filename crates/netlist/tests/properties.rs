@@ -16,9 +16,8 @@ fn bitvec_strategy() -> impl Strategy<Value = BitVec> {
 fn bitvec_pair_same_width() -> impl Strategy<Value = (BitVec, BitVec)> {
     (1u16..=64).prop_flat_map(|w| {
         let max = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-        ((0..=max), (0..=max)).prop_map(move |(a, b)| {
-            (BitVec::new(a, w).unwrap(), BitVec::new(b, w).unwrap())
-        })
+        ((0..=max), (0..=max))
+            .prop_map(move |(a, b)| (BitVec::new(a, w).unwrap(), BitVec::new(b, w).unwrap()))
     })
 }
 

@@ -1,0 +1,277 @@
+//! Deterministic fork-join primitives for the ipmark workspace.
+//!
+//! The engine's hot paths all reduce to the same shape: evaluate an
+//! independent function over an index space `0..n` and collect the results
+//! in order. This crate runs that shape over `std::thread::scope` workers
+//! while guaranteeing the *determinism contract* documented in DESIGN.md:
+//!
+//! - `f(i)` is called exactly once per index, and the output vector is
+//!   assembled in index order, so results are **identical to the sequential
+//!   loop regardless of thread count** — including one thread.
+//! - Fallible maps surface the error with the **lowest index**, matching
+//!   what a sequential `for` loop returning on first error would produce,
+//!   so error behaviour is thread-count-invariant too.
+//!
+//! Worker threads are spawned per call. The workspace fans out over coarse
+//! units (k-average builds, identification-matrix cells, key-guess
+//! hypotheses), where a few microseconds of spawn overhead is noise.
+
+use std::num::NonZeroUsize;
+
+/// The default worker count: `RAYON_NUM_THREADS` when set to a positive
+/// number (the conventional knob, honored for familiarity), otherwise the
+/// machine's available parallelism.
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fork-join pool configuration: just a thread count.
+///
+/// Tests pin the count explicitly (`Pool::with_threads`) instead of racing
+/// on process-global environment variables.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Pool {
+    /// A pool sized from the environment (see [`max_threads`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self {
+            threads: max_threads(),
+        }
+    }
+
+    /// A pool with an explicit worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..n` into at most `self.threads` contiguous, balanced
+    /// chunks: `(start, end)` pairs covering the range in order.
+    fn chunks(&self, n: usize) -> Vec<(usize, usize)> {
+        let workers = self.threads.min(n).max(1);
+        let base = n / workers;
+        let rem = n % workers;
+        let mut bounds = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < rem);
+            bounds.push((start, start + len));
+            start += len;
+        }
+        bounds
+    }
+
+    /// Maps `f` over `0..n`, collecting results in index order.
+    ///
+    /// Equivalent to `(0..n).map(f).collect()` for every thread count.
+    pub fn map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunks = self.chunks(n);
+        let f = &f;
+        let mut parts: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, end)| scope.spawn(move || (start..end).map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in &mut parts {
+            out.append(part);
+        }
+        out
+    }
+
+    /// Fallibly maps `f` over `0..n`.
+    ///
+    /// On success returns all results in index order; on failure returns
+    /// the error produced at the **lowest failing index**, exactly as the
+    /// sequential early-return loop would. Workers stop at their chunk's
+    /// first error, so later chunks may still be fully evaluated — only the
+    /// reported error is normalized, matching sequential *observable*
+    /// behaviour for side-effect-free `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index error from `f`.
+    pub fn try_map_indexed<U, E, F>(&self, n: usize, f: F) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize) -> Result<U, E> + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunks = self.chunks(n);
+        let f = &f;
+        let parts: Vec<Result<Vec<U>, (usize, E)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, end)| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(end - start);
+                        for i in start..end {
+                            match f(i) {
+                                Ok(v) => out.push(v),
+                                Err(e) => return Err((i, e)),
+                            }
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        let mut first_error: Option<(usize, E)> = None;
+        for part in parts {
+            match part {
+                Ok(mut vs) => out.append(&mut vs),
+                Err((i, e)) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+/// Maps over `0..n` with the environment-derived thread count.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    Pool::from_env().map_indexed(n, f)
+}
+
+/// Fallible map over `0..n` with the environment-derived thread count.
+///
+/// # Errors
+///
+/// Propagates the lowest-index error from `f`.
+pub fn par_try_map_indexed<U, E, F>(n: usize, f: F) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize) -> Result<U, E> + Sync,
+{
+    Pool::from_env().try_map_indexed(n, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_for_every_thread_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64, 200] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(
+                pool.map_indexed(97, |i| i * i),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_cover_range_in_order() {
+        for n in [0usize, 1, 2, 5, 97, 100] {
+            for threads in [1usize, 2, 3, 7, 100] {
+                let chunks = Pool::with_threads(threads).chunks(n);
+                let mut expect_start = 0;
+                for &(start, end) in &chunks {
+                    assert_eq!(start, expect_start);
+                    assert!(end >= start);
+                    expect_start = end;
+                }
+                assert_eq!(expect_start, n, "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        let pool = Pool::with_threads(4);
+        // Fail at several indices; the lowest (13) must win.
+        let result: Result<Vec<usize>, usize> =
+            pool.try_map_indexed(100, |i| if i % 13 == 0 && i > 0 { Err(i) } else { Ok(i) });
+        assert_eq!(result.unwrap_err(), 13);
+        // Same as the sequential path.
+        let seq: Result<Vec<usize>, usize> = Pool::with_threads(1).try_map_indexed(100, |i| {
+            if i % 13 == 0 && i > 0 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(seq.unwrap_err(), 13);
+    }
+
+    #[test]
+    fn try_map_success_collects_in_order() {
+        let pool = Pool::with_threads(3);
+        let result: Result<Vec<usize>, ()> = pool.try_map_indexed(17, Ok);
+        assert_eq!(result.unwrap(), (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_ranges_work() {
+        let pool = Pool::with_threads(8);
+        assert!(pool.map_indexed(0, |i| i).is_empty());
+        assert_eq!(pool.map_indexed(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+}

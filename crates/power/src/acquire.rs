@@ -102,10 +102,14 @@ impl SimulatedAcquisition {
         seed: u64,
     ) -> Result<Self, PowerError> {
         if cycles == 0 {
-            return Err(PowerError::Config("campaign needs at least one cycle".into()));
+            return Err(PowerError::Config(
+                "campaign needs at least one cycle".into(),
+            ));
         }
         if num_traces == 0 {
-            return Err(PowerError::Config("campaign needs at least one trace".into()));
+            return Err(PowerError::Config(
+                "campaign needs at least one trace".into(),
+            ));
         }
         let powers = cycle_powers(circuit, device, cycles)?;
         let clean = chain.expand(&powers);
@@ -148,18 +152,46 @@ impl SimulatedAcquisition {
                 available: self.num_traces,
             });
         }
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.effective_seed ^ splitmix64(index as u64));
-        Ok(Trace::from_samples(self.chain.measure(&self.clean, &mut rng)))
+        let mut rng = ChaCha8Rng::seed_from_u64(self.effective_seed ^ splitmix64(index as u64));
+        Ok(Trace::from_samples(
+            self.chain.measure(&self.clean, &mut rng),
+        ))
     }
 
     /// Materializes the whole campaign as an in-memory [`TraceSet`] — the
     /// paper's `T_device = Pw(device, n)`.
     ///
+    /// Every trace regenerates from its own per-index seed, so with the
+    /// `parallel` feature the materialization fans out across threads;
+    /// index-order collection keeps the set identical to
+    /// [`SimulatedAcquisition::acquire_all_seq`] for every thread count.
+    ///
     /// # Errors
     ///
     /// Propagates container errors (cannot occur for a valid campaign).
     pub fn acquire_all(&self) -> Result<TraceSet, TraceError> {
+        #[cfg(feature = "parallel")]
+        {
+            let traces = ipmark_parallel::par_try_map_indexed(self.num_traces, |i| self.trace(i))?;
+            let mut set = TraceSet::new(self.device_name.clone());
+            for t in traces {
+                set.push(t)?;
+            }
+            Ok(set)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            self.acquire_all_seq()
+        }
+    }
+
+    /// The sequential reference implementation of
+    /// [`SimulatedAcquisition::acquire_all`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates container errors (cannot occur for a valid campaign).
+    pub fn acquire_all_seq(&self) -> Result<TraceSet, TraceError> {
         let mut set = TraceSet::new(self.device_name.clone());
         for i in 0..self.num_traces {
             set.push(self.trace(i)?)?;
@@ -269,15 +301,9 @@ mod tests {
     fn traces_are_deterministic_per_index() {
         let mut circuit = test_circuit();
         let device = test_device();
-        let chain = MeasurementChain::new(
-            PulseShape::rectangular(2).unwrap(),
-            1.0,
-            0.1,
-            None,
-        )
-        .unwrap();
-        let acq =
-            SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 10, 7).unwrap();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 1.0, 0.1, None).unwrap();
+        let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 10, 7).unwrap();
         assert_eq!(acq.trace(3).unwrap(), acq.trace(3).unwrap());
         assert_ne!(
             acq.trace(3).unwrap().samples(),
@@ -291,8 +317,7 @@ mod tests {
         let mut circuit = test_circuit();
         let device = test_device();
         let chain = MeasurementChain::ideal(3).unwrap();
-        let acq =
-            SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 4, 0).unwrap();
+        let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 4, 0).unwrap();
         for i in 0..4 {
             assert_eq!(acq.trace(i).unwrap().samples(), acq.clean_waveform());
         }
@@ -302,15 +327,9 @@ mod tests {
     fn acquire_all_matches_indexed_traces() {
         let mut circuit = test_circuit();
         let device = test_device();
-        let chain = MeasurementChain::new(
-            PulseShape::rectangular(2).unwrap(),
-            0.8,
-            0.05,
-            None,
-        )
-        .unwrap();
-        let acq =
-            SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 6, 3).unwrap();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 0.8, 0.05, None).unwrap();
+        let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 6, 3).unwrap();
         let set = acq.acquire_all().unwrap();
         assert_eq!(set.len(), 6);
         assert_eq!(set.device(), "dev");
@@ -323,20 +342,24 @@ mod tests {
     fn trace_source_accumulate_matches_trace() {
         let mut circuit = test_circuit();
         let device = test_device();
-        let chain = MeasurementChain::new(
-            PulseShape::rectangular(2).unwrap(),
-            1.0,
-            0.2,
-            None,
-        )
-        .unwrap();
-        let acq =
-            SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 4, 5, 11).unwrap();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 1.0, 0.2, None).unwrap();
+        let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 4, 5, 11).unwrap();
         let mut acc = vec![0.0; acq.trace_len()];
         acq.accumulate(2, &mut acc).unwrap();
         assert_eq!(acc, acq.trace(2).unwrap().into_samples());
         let mut bad = vec![0.0; 3];
         assert!(acq.accumulate(2, &mut bad).is_err());
+    }
+
+    #[test]
+    fn acquire_all_matches_sequential_reference() {
+        let mut circuit = test_circuit();
+        let device = test_device();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 0.9, 0.15, None).unwrap();
+        let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 17, 5).unwrap();
+        assert_eq!(acq.acquire_all().unwrap(), acq.acquire_all_seq().unwrap());
     }
 
     #[test]
@@ -353,13 +376,8 @@ mod tests {
     fn different_campaign_seeds_give_different_noise() {
         let mut circuit = test_circuit();
         let device = test_device();
-        let chain = MeasurementChain::new(
-            PulseShape::rectangular(1).unwrap(),
-            1.0,
-            0.3,
-            None,
-        )
-        .unwrap();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(1).unwrap(), 1.0, 0.3, None).unwrap();
         let a = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 3, 1)
             .unwrap()
             .trace(0)

@@ -422,13 +422,8 @@ mod tests {
 
     #[test]
     fn filter_smooths_steps() {
-        let chain = MeasurementChain::new(
-            PulseShape::rectangular(1).unwrap(),
-            0.3,
-            0.0,
-            None,
-        )
-        .unwrap();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(1).unwrap(), 0.3, 0.0, None).unwrap();
         let mut signal = vec![0.0, 0.0, 10.0, 10.0, 10.0];
         chain.filter_in_place(&mut signal);
         assert!(signal[2] > 0.0 && signal[2] < 10.0);
@@ -438,19 +433,13 @@ mod tests {
 
     #[test]
     fn noise_has_requested_spread() {
-        let chain = MeasurementChain::new(
-            PulseShape::rectangular(1).unwrap(),
-            1.0,
-            0.5,
-            None,
-        )
-        .unwrap();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(1).unwrap(), 1.0, 0.5, None).unwrap();
         let clean = vec![1.0; 20_000];
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let noisy = chain.measure(&clean, &mut rng);
         let mean = noisy.iter().sum::<f64>() / noisy.len() as f64;
-        let var = noisy.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / noisy.len() as f64;
+        let var = noisy.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / noisy.len() as f64;
         assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "sigma {}", var.sqrt());
     }
@@ -517,9 +506,7 @@ mod tests {
         .unwrap();
         // A large DC level plus a small ripple: after AC coupling the mean
         // of the tail must be near zero while the ripple survives.
-        let clean: Vec<f64> = (0..2000)
-            .map(|i| 100.0 + (i as f64 * 0.8).sin())
-            .collect();
+        let clean: Vec<f64> = (0..2000).map(|i| 100.0 + (i as f64 * 0.8).sin()).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let coupled = chain.measure(&clean, &mut rng);
         let tail = &coupled[1000..];

@@ -206,9 +206,7 @@ impl DeviceModel {
         let f1 = (u1 >> 11) as f64 / (1u64 << 53) as f64;
         let f2 = (u2 >> 11) as f64 / (1u64 << 53) as f64;
         let f1 = f1.max(f64::MIN_POSITIVE);
-        self.fingerprint_sigma
-            * (-2.0 * f1.ln()).sqrt()
-            * (2.0 * std::f64::consts::PI * f2).cos()
+        self.fingerprint_sigma * (-2.0 * f1.ln()).sqrt() * (2.0 * std::f64::consts::PI * f2).cos()
     }
 
     /// Effective power for one cycle of activity on this die.
@@ -281,7 +279,11 @@ mod tests {
         let mean = gains.iter().sum::<f64>() / gains.len() as f64;
         let var = gains.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gains.len() as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean gain {mean}");
-        assert!((var.sqrt() - 0.05).abs() < 0.01, "gain sigma {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 0.05).abs() < 0.01,
+            "gain sigma {}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub use acquire::{cycle_powers, pw, SimulatedAcquisition};
 pub use chain::{AdcConfig, MeasurementChain, PulseShape};
 pub use device::{DeviceModel, ProcessVariation};
 pub use error::PowerError;
-pub use noise::{NoiseProfile, PinkNoise};
 pub use leakage::{
     ComponentWeights, HammingDistanceModel, HammingWeightModel, LeakageModel,
     WeightedComponentModel,
 };
+pub use noise::{NoiseProfile, PinkNoise};

@@ -180,30 +180,42 @@ mod tests {
         assert!((0.4..2.5).contains(&v), "variance {v}");
         // 1/f: adjacent samples are positively correlated, unlike white.
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let lag1: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>()
+        let lag1: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
             / (xs.len() - 1) as f64;
         assert!(lag1 / v > 0.3, "lag-1 autocorrelation {}", lag1 / v);
     }
 
     #[test]
     fn drift_accumulates() {
-        let mut signal = vec![0.0; 10_000];
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        NoiseProfile {
-            white_sigma: 0.0,
-            pink_sigma: 0.0,
-            drift_sigma: 0.1,
+        // A random walk's variance grows with time, so the last quarter
+        // should wander more than the first — but any single walk can
+        // happen to return toward zero, so assert over a population of
+        // seeds rather than one lucky stream.
+        let mut accumulated = 0;
+        let seeds = 7u64;
+        for seed in 0..seeds {
+            let mut signal = vec![0.0; 10_000];
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            NoiseProfile {
+                white_sigma: 0.0,
+                pink_sigma: 0.0,
+                drift_sigma: 0.1,
+            }
+            .add_into(&mut signal, &mut rng);
+            let early = variance(&signal[..2500]);
+            let late = variance(&signal[7500..]);
+            let spread_early = signal[..2500].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+            let spread_late = signal[7500..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+            if spread_late > spread_early || late > early {
+                accumulated += 1;
+            }
         }
-        .add_into(&mut signal, &mut rng);
-        // A random walk's variance grows with time: the last quarter must
-        // wander much more than the first.
-        let early = variance(&signal[..2500]);
-        let late = variance(&signal[7500..]);
-        let spread_early = signal[..2500].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-        let spread_late = signal[7500..].iter().fold(0.0f64, |m, &x| m.max(x.abs()));
         assert!(
-            spread_late > spread_early || late > early,
-            "drift did not accumulate"
+            accumulated * 2 > seeds as usize,
+            "drift accumulated in only {accumulated}/{seeds} walks"
         );
     }
 }

@@ -1,0 +1,311 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkId`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! and the `criterion_group!` / `criterion_main!` macros — on top of plain
+//! `std::time` wall-clock measurement. There is no statistical analysis or
+//! HTML report; each benchmark prints a per-iteration time estimate.
+//!
+//! `cargo bench -- --test` runs every benchmark body exactly once (smoke
+//! mode), matching upstream's behaviour, which is what CI uses. A positional
+//! argument acts as a substring filter on benchmark names.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Builds an id from a parameter alone (named by the group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    test_mode: bool,
+    /// Measured per-iteration estimate, set by [`Bencher::iter`].
+    estimate: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times the routine (or runs it once in `--test` smoke mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Ramp up the batch size until one batch is long enough to time
+        // reliably, then keep the best of a few batches.
+        let mut iters: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= (1 << 24) {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut best = elapsed;
+        // Slow benchmarks (whole batches over a second) get a single batch.
+        let extra_batches = if elapsed >= Duration::from_secs(1) {
+            0
+        } else {
+            2
+        };
+        for _ in 0..extra_batches {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            best = best.min(start.elapsed());
+        }
+        self.estimate = Some(best / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark manager: holds CLI-derived configuration.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments (used by
+    /// `criterion_main!`). Recognizes `--test`; a positional argument is a
+    /// substring filter; other flags are ignored.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags with a value we must consume and ignore.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--sample-size"
+                | "--measurement-time" | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Self { test_mode, filter }
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if !self.should_run(name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            estimate: None,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            match bencher.estimate {
+                Some(d) => println!("{name:<50} time: {}/iter", format_duration(d)),
+                None => println!("{name:<50} (no measurement)"),
+            }
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count. The shim sizes batches by wall-clock time
+    /// instead, so this only mirrors the upstream API.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, ignored by the shim).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{id}", self.name);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a routine without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group callable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("wanted".into()),
+        };
+        let mut runs = 0;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        c.bench_function("wanted-bench", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("grp/7".into()),
+        };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::from_parameter(7), &3, |b, &x| {
+                b.iter(|| runs += x);
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(9), &5, |b, &x| {
+                b.iter(|| runs += x);
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn measurement_produces_estimate() {
+        let mut b = Bencher {
+            test_mode: false,
+            estimate: None,
+        };
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert!(b.estimate.is_some());
+    }
+}

@@ -1,0 +1,526 @@
+//! Workspace-local stand-in for `serde_json`.
+//!
+//! Converts JSON text to and from the [`serde`] shim's [`Value`] tree:
+//! a recursive-descent parser, compact and pretty printers, the usual
+//! `to_string` / `to_string_pretty` / `from_str` entry points, and a
+//! [`json!`] macro covering the literal shapes this workspace builds.
+
+use std::fmt;
+
+pub use serde::{escape_json_string, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors upstream.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes a value to pretty JSON (two-space indent, `"key": value`).
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors upstream.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors upstream.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree's shape does not match `T`.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_value_complete(input)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+fn write_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                write_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            write_indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                write_indent(depth + 1, out);
+                out.push_str(&escape_json_string(key));
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            write_indent(depth, out);
+            out.push('}');
+        }
+        // Empty containers and scalars use the compact form.
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: impl fmt::Display) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.consume_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.consume_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.consume_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.error(format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if !self.consume_literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.error(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let start = self.pos;
+                    let rest = &self.bytes[start..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.error("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(v) {
+                        return Ok(Value::Number(Number::NegInt(-neg)));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}
+
+fn parse_value_complete(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax, interpolating expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_internal_array!(@acc [] () $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal_object!(@key [] $($tt)*) };
+    ($e:expr) => { $crate::__private::Serialize::to_value(&$e) };
+}
+
+/// Array muncher for [`json!`] — accumulates element token runs until a
+/// top-level comma (groups are atomic tokens, so nested commas are safe).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    (@acc [$($elems:expr,)*] ()) => {
+        $crate::Value::Array(::std::vec![$($elems,)*])
+    };
+    (@acc [$($elems:expr,)*] ($($val:tt)+)) => {
+        $crate::Value::Array(::std::vec![$($elems,)* $crate::json!($($val)+),])
+    };
+    (@acc [$($elems:expr,)*] ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal_array!(@acc [$($elems,)* $crate::json!($($val)+),] () $($rest)*)
+    };
+    (@acc [$($elems:expr,)*] ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_array!(@acc [$($elems,)*] ($($val)* $next) $($rest)*)
+    };
+}
+
+/// Object muncher for [`json!`] — `"key": <value tokens>` entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    (@key [$($entries:expr,)*]) => {
+        $crate::Value::Object(::std::vec![$($entries,)*])
+    };
+    (@key [$($entries:expr,)*] $key:literal : $($rest:tt)*) => {
+        $crate::json_internal_object!(@val [$($entries,)*] $key () $($rest)*)
+    };
+    (@val [$($entries:expr,)*] $key:literal ($($val:tt)+)) => {
+        $crate::Value::Object(::std::vec![
+            $($entries,)*
+            (::std::string::String::from($key), $crate::json!($($val)+)),
+        ])
+    };
+    (@val [$($entries:expr,)*] $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal_object!(
+            @key
+            [$($entries,)* (::std::string::String::from($key), $crate::json!($($val)+)),]
+            $($rest)*
+        )
+    };
+    (@val [$($entries:expr,)*] $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_object!(@val [$($entries,)*] $key ($($val)* $next) $($rest)*)
+    };
+}
+
+/// Re-exports for macro-generated code; not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use serde::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_compact() {
+        let text = r#"{"a":[1,2.5,-3],"b":null,"c":"x\ny","d":true}"#;
+        let value: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&value).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_uses_colon_space() {
+        let value = json!({ "reference": "IP_X", "n": 3 });
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("\"reference\": \"IP_X\""), "{pretty}");
+        assert!(pretty.contains("\"n\": 3"), "{pretty}");
+    }
+
+    #[test]
+    fn large_u64_round_trips_losslessly() {
+        let seed = u64::MAX - 7;
+        let text = to_string(&seed).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, seed);
+    }
+
+    #[test]
+    fn json_macro_handles_nesting_and_expressions() {
+        let n1 = 400usize;
+        let xs = vec![1.0f64, 2.0];
+        let value = json!({
+            "params": { "n1": n1, "k": 25 + 25 },
+            "data": [xs, [true, null]],
+            "name": "t",
+        });
+        assert_eq!(
+            value.get("params").and_then(|p| p.get("n1")),
+            Some(&Value::Number(Number::PosInt(400)))
+        );
+        assert_eq!(
+            value.get("params").and_then(|p| p.get("k")),
+            Some(&Value::Number(Number::PosInt(50)))
+        );
+        let data = value.get("data").and_then(Value::as_array).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[1], json!([true, null]));
+    }
+
+    #[test]
+    fn null_array_elements_parse() {
+        let value: Value = from_str("[0.5, null]").unwrap();
+        assert_eq!(
+            value,
+            Value::Array(vec![Value::Number(Number::Float(0.5)), Value::Null])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let value: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(value, Value::String("é😀".to_string()));
+    }
+}

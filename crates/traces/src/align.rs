@@ -20,11 +20,7 @@ use crate::trace::{Trace, TraceSet};
 ///
 /// Returns [`StatsError::TooShort`] when the overlap would drop below two
 /// samples and propagates zero-variance errors for flat signals.
-pub fn best_shift(
-    reference: &[f64],
-    trace: &[f64],
-    max_shift: usize,
-) -> Result<isize, StatsError> {
+pub fn best_shift(reference: &[f64], trace: &[f64], max_shift: usize) -> Result<isize, StatsError> {
     let len = reference.len().min(trace.len());
     if len <= 2 * max_shift + 2 {
         return Err(StatsError::TooShort {
@@ -102,8 +98,7 @@ pub fn align_to_reference(
     }
     let mut aligned = TraceSet::new(set.device().to_owned());
     for trace in set {
-        let shift =
-            best_shift(reference, trace.samples(), max_shift).map_err(TraceError::Stats)?;
+        let shift = best_shift(reference, trace.samples(), max_shift).map_err(TraceError::Stats)?;
         aligned.push(Trace::from_samples(shifted(trace.samples(), shift)))?;
     }
     Ok(aligned)
@@ -191,7 +186,8 @@ mod tests {
         let base = wave(300, 0.0);
         let mut set = TraceSet::new("jittery");
         for inject in [0isize, 3, -2, 5, -4] {
-            set.push(Trace::from_samples(shifted(&base, inject))).unwrap();
+            set.push(Trace::from_samples(shifted(&base, inject)))
+                .unwrap();
         }
         let before = snr(&set).unwrap();
         let aligned = align_to_first(&set, 8).unwrap();
@@ -209,7 +205,8 @@ mod tests {
         for inject in [3isize, 3, 3] {
             // Whole set offset by the same amount: align_to_first cannot
             // fix this, align_to_reference must.
-            set.push(Trace::from_samples(shifted(&reference, inject))).unwrap();
+            set.push(Trace::from_samples(shifted(&reference, inject)))
+                .unwrap();
         }
         let aligned = align_to_reference(&set, &reference, 8).unwrap();
         for t in &aligned {
@@ -222,10 +219,7 @@ mod tests {
     #[test]
     fn align_rejects_empty_set() {
         let set = TraceSet::new("empty");
-        assert!(matches!(
-            align_to_first(&set, 4),
-            Err(TraceError::EmptySet)
-        ));
+        assert!(matches!(align_to_first(&set, 4), Err(TraceError::EmptySet)));
     }
 
     #[test]

@@ -56,11 +56,67 @@ pub fn k_average<S: TraceSource + ?Sized, R: Rng + ?Sized>(
 /// several selections — the probability of that event, `P(ζ)`, is exactly
 /// what the paper's §V.B parameter analysis controls).
 ///
+/// All `m` index selections are drawn from `rng` *before* any averaging
+/// work starts. Averaging never touches the RNG, so the consumed stream —
+/// and therefore which traces each `A` averages — is identical to the
+/// interleaved [`k_averages_seq`] loop. With the `parallel` feature the
+/// averages are then built across threads and collected in index order,
+/// which keeps the output bit-identical for every thread count.
+///
 /// # Errors
 ///
 /// Returns a selection error when `k` is zero or exceeds the number of
 /// traces, and [`TraceError::EmptySet`] when `m` is zero.
-pub fn k_averages<S: TraceSource + ?Sized, R: Rng + ?Sized>(
+pub fn k_averages<S: TraceSource + Sync + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Vec<Trace>, TraceError> {
+    let selections = draw_selections(source, k, m, rng)?;
+    #[cfg(feature = "parallel")]
+    {
+        ipmark_parallel::par_try_map_indexed(selections.len(), |i| {
+            mean_of_indices(source, &selections[i])
+        })
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        selections
+            .iter()
+            .map(|sel| mean_of_indices(source, sel))
+            .collect()
+    }
+}
+
+/// [`k_averages`] with an explicit worker pool, for callers (and tests)
+/// that must not depend on `RAYON_NUM_THREADS`.
+///
+/// # Errors
+///
+/// Same as [`k_averages`].
+#[cfg(feature = "parallel")]
+pub fn k_averages_with_pool<S: TraceSource + Sync + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+    pool: &ipmark_parallel::Pool,
+) -> Result<Vec<Trace>, TraceError> {
+    let selections = draw_selections(source, k, m, rng)?;
+    pool.try_map_indexed(selections.len(), |i| {
+        mean_of_indices(source, &selections[i])
+    })
+}
+
+/// The sequential reference implementation of [`k_averages`]: draw one
+/// selection, average it, repeat. Compiled unconditionally so equivalence
+/// tests can compare it against the parallel path in one binary.
+///
+/// # Errors
+///
+/// Same as [`k_averages`].
+pub fn k_averages_seq<S: TraceSource + ?Sized, R: Rng + ?Sized>(
     source: &S,
     k: usize,
     m: usize,
@@ -70,6 +126,22 @@ pub fn k_averages<S: TraceSource + ?Sized, R: Rng + ?Sized>(
         return Err(TraceError::EmptySet);
     }
     (0..m).map(|_| k_average(source, k, rng)).collect()
+}
+
+/// Draws the `m` index selections up front, in the order the sequential
+/// loop would draw them.
+fn draw_selections<S: TraceSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<usize>>, TraceError> {
+    if m == 0 {
+        return Err(TraceError::EmptySet);
+    }
+    (0..m)
+        .map(|_| Ok(uniform_distinct_indices(source.num_traces(), k, rng)?))
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,6 +209,44 @@ mod tests {
             k_averages(&set, 2, 0, &mut rng),
             Err(TraceError::EmptySet)
         ));
+    }
+
+    #[test]
+    fn k_averages_matches_the_sequential_reference() {
+        // Same seed in, bit-identical averages out — the pre-drawn
+        // selections consume the RNG exactly as the interleaved loop does.
+        let set = set_of(&[
+            &[1.0, 2.0],
+            &[3.0, 6.0],
+            &[5.0, 10.0],
+            &[7.0, 14.0],
+            &[9.0, 18.0],
+        ]);
+        for seed in 0..5u64 {
+            let par = k_averages(&set, 2, 7, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            let seq = k_averages_seq(&set, 2, 7, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            assert_eq!(par, seq, "seed {seed}");
+        }
+        // And the RNG is left in the same state afterwards.
+        let mut r1 = ChaCha8Rng::seed_from_u64(3);
+        let mut r2 = ChaCha8Rng::seed_from_u64(3);
+        k_averages(&set, 2, 4, &mut r1).unwrap();
+        k_averages_seq(&set, 2, 4, &mut r2).unwrap();
+        use rand::RngCore as _;
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn k_averages_is_thread_count_invariant() {
+        let set = set_of(&[&[1.0, 2.0], &[3.0, 6.0], &[5.0, 10.0], &[7.0, 14.0]]);
+        let baseline = k_averages_seq(&set, 2, 6, &mut ChaCha8Rng::seed_from_u64(11)).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = ipmark_parallel::Pool::with_threads(threads);
+            let got = k_averages_with_pool(&set, 2, 6, &mut ChaCha8Rng::seed_from_u64(11), &pool)
+                .unwrap();
+            assert_eq!(got, baseline, "threads = {threads}");
+        }
     }
 
     #[test]

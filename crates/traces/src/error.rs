@@ -30,7 +30,10 @@ impl fmt::Display for StatsError {
                 write!(f, "series length mismatch: {left} vs {right}")
             }
             StatsError::TooShort { provided, required } => {
-                write!(f, "series too short: {provided} points, need at least {required}")
+                write!(
+                    f,
+                    "series too short: {provided} points, need at least {required}"
+                )
             }
             StatsError::ZeroVariance => write!(f, "series has zero variance"),
         }
@@ -97,7 +100,10 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::LengthMismatch { expected, provided } => {
-                write!(f, "trace length mismatch: expected {expected} samples, got {provided}")
+                write!(
+                    f,
+                    "trace length mismatch: expected {expected} samples, got {provided}"
+                )
             }
             TraceError::EmptySet => write!(f, "trace set is empty"),
             TraceError::IndexOutOfRange { index, available } => {
@@ -168,7 +174,9 @@ mod tests {
     #[test]
     fn trace_error_sources() {
         use std::error::Error;
-        assert!(TraceError::Stats(StatsError::ZeroVariance).source().is_some());
+        assert!(TraceError::Stats(StatsError::ZeroVariance)
+            .source()
+            .is_some());
         assert!(TraceError::EmptySet.source().is_none());
     }
 }

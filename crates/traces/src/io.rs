@@ -101,8 +101,7 @@ pub fn read_csv<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError> {
             .split(',')
             .map(|tok| tok.trim().parse::<f64>())
             .collect();
-        let samples = samples
-            .map_err(|e| IoError::Format(format!("line {}: {e}", lineno + 1)))?;
+        let samples = samples.map_err(|e| IoError::Format(format!("line {}: {e}", lineno + 1)))?;
         set.push(Trace::from_samples(samples))?;
     }
     Ok(set)
@@ -162,9 +161,7 @@ pub fn read_binary<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError
         .checked_mul(len)
         .and_then(|s| s.checked_mul(8))
         .ok_or_else(|| {
-            IoError::Format(format!(
-                "declared size {count} x {len} samples overflows"
-            ))
+            IoError::Format(format!("declared size {count} x {len} samples overflows"))
         })?;
     let prealloc = len.min(1 << 16);
     let mut set = TraceSet::new(device);
@@ -172,9 +169,8 @@ pub fn read_binary<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError
     for t in 0..count {
         let mut samples = Vec::with_capacity(prealloc);
         for s in 0..len {
-            r.read_exact(&mut sample).map_err(|_| {
-                IoError::Format(format!("truncated at trace {t}, sample {s}"))
-            })?;
+            r.read_exact(&mut sample)
+                .map_err(|_| IoError::Format(format!("truncated at trace {t}, sample {s}")))?;
             samples.push(f64::from_le_bytes(sample));
         }
         set.push(Trace::from_samples(samples))?;
@@ -204,8 +200,14 @@ mod tests {
         write_csv(&set, &mut buf).unwrap();
         let back = read_csv("dev", buf.as_slice()).unwrap();
         assert_eq!(back.len(), 2);
-        assert_eq!(back.trace(0).unwrap().samples(), set.trace(0).unwrap().samples());
-        assert_eq!(back.trace(1).unwrap().samples(), set.trace(1).unwrap().samples());
+        assert_eq!(
+            back.trace(0).unwrap().samples(),
+            set.trace(0).unwrap().samples()
+        );
+        assert_eq!(
+            back.trace(1).unwrap().samples(),
+            set.trace(1).unwrap().samples()
+        );
     }
 
     #[test]
@@ -229,7 +231,10 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&set, &mut buf).unwrap();
         let back = read_binary("dev", buf.as_slice()).unwrap();
-        assert_eq!(back, TraceSet::from_traces("dev", set.iter().cloned().collect()).unwrap());
+        assert_eq!(
+            back,
+            TraceSet::from_traces("dev", set.iter().cloned().collect()).unwrap()
+        );
     }
 
     #[test]

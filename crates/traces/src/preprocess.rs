@@ -105,7 +105,9 @@ mod tests {
 
     #[test]
     fn standardize_produces_zero_mean_unit_variance() {
-        let mut xs: Vec<f64> = (0..100).map(|i| 3.0 + (i as f64 * 0.37).sin() * 5.0).collect();
+        let mut xs: Vec<f64> = (0..100)
+            .map(|i| 3.0 + (i as f64 * 0.37).sin() * 5.0)
+            .collect();
         standardize_in_place(&mut xs).unwrap();
         assert!(mean(&xs).unwrap().abs() < 1e-12);
         assert!((variance_population(&xs).unwrap() - 1.0).abs() < 1e-12);
@@ -180,7 +182,12 @@ mod tests {
         }
         let det = detrend_set(&set).unwrap();
         // The first trace is a pure line: detrending flattens it.
-        assert!(det.trace(0).unwrap().samples().iter().all(|x| x.abs() < 1e-9));
+        assert!(det
+            .trace(0)
+            .unwrap()
+            .samples()
+            .iter()
+            .all(|x| x.abs() < 1e-9));
         // Errors propagate.
         let flat = TraceSet::from_traces("f", vec![Trace::from_samples(vec![1.0; 4])]).unwrap();
         assert!(standardize_set(&flat).is_err());

@@ -130,8 +130,8 @@ impl RunningStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
     }
@@ -192,6 +192,111 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
         return Err(StatsError::ZeroVariance);
     }
     Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// A Pearson kernel with the reference series pre-processed once.
+///
+/// The §III correlation process correlates one fixed k-averaged reference
+/// `A_RefD` against `m` DUT averages. Calling [`pearson`] `m` times
+/// recomputes the reference mean, the centered reference and `Σ dx²` on
+/// every call; `PearsonRef` hoists that work into [`PearsonRef::new`] and
+/// reuses it across all [`PearsonRef::correlate`] calls.
+///
+/// The accumulation order of every floating-point sum matches [`pearson`]
+/// exactly, so `PearsonRef::new(x)?.correlate(y)` returns a **bitwise
+/// identical** coefficient — the fused kernel is a pure optimization, never
+/// a numerical variation. The only observable difference is *when* errors
+/// surface: a constant reference is rejected by `new` instead of by each
+/// correlate call.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_traces::stats::{pearson, PearsonRef};
+///
+/// # fn main() -> Result<(), ipmark_traces::StatsError> {
+/// let reference = [1.0, 4.0, 2.0, 8.0];
+/// let kernel = PearsonRef::new(&reference)?;
+/// for dut in [[2.0, 3.0, 5.0, 7.0], [1.0, 0.0, 2.0, 1.0]] {
+///     assert_eq!(kernel.correlate(&dut)?, pearson(&reference, &dut)?);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PearsonRef {
+    /// The reference with its mean subtracted, in input order.
+    centered: Vec<f64>,
+    /// `Σ dxᵢ²` over the centered reference.
+    sxx: f64,
+}
+
+impl PearsonRef {
+    /// Pre-processes the reference series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::TooShort`] for fewer than two points and
+    /// [`StatsError::ZeroVariance`] for a constant reference (which
+    /// [`pearson`] would reject on every call anyway).
+    pub fn new(x: &[f64]) -> Result<Self, StatsError> {
+        if x.len() < 2 {
+            return Err(StatsError::TooShort {
+                provided: x.len(),
+                required: 2,
+            });
+        }
+        let mx = x.iter().sum::<f64>() / x.len() as f64;
+        let centered: Vec<f64> = x.iter().map(|&a| a - mx).collect();
+        let mut sxx = 0.0;
+        for &dx in &centered {
+            sxx += dx * dx;
+        }
+        if sxx == 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        Ok(Self { centered, sxx })
+    }
+
+    /// Length of the reference series.
+    pub fn len(&self) -> usize {
+        self.centered.len()
+    }
+
+    /// `false` always — a `PearsonRef` holds at least two points.
+    pub fn is_empty(&self) -> bool {
+        self.centered.is_empty()
+    }
+
+    /// Correlates the pre-processed reference against `y`, bitwise equal to
+    /// `pearson(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] when `y`'s length differs
+    /// from the reference and [`StatsError::ZeroVariance`] when `y` is
+    /// constant.
+    pub fn correlate(&self, y: &[f64]) -> Result<f64, StatsError> {
+        if y.len() != self.centered.len() {
+            return Err(StatsError::LengthMismatch {
+                left: self.centered.len(),
+                right: y.len(),
+            });
+        }
+        let n = y.len() as f64;
+        let my = y.iter().sum::<f64>() / n;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&dx, &b) in self.centered.iter().zip(y) {
+            let dy = b - my;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if syy == 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        Ok(sxy / (self.sxx * syy).sqrt())
+    }
 }
 
 /// The largest and second-largest values of a series, in that order — the
@@ -360,6 +465,43 @@ mod tests {
         let x = [1.0, 5.0, 2.0, 8.0, 3.0];
         let y = [2.0, 4.0, 4.0, 1.0, 9.0];
         assert!((pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pearson_ref_is_bitwise_equal_to_pearson() {
+        let x: Vec<f64> = (0..512).map(|i| ((i * 7919) % 101) as f64 * 0.37).collect();
+        let kernel = PearsonRef::new(&x).unwrap();
+        for pattern in 1..8u64 {
+            let y: Vec<f64> = (0..512)
+                .map(|i| ((i as u64 * 104_729 * pattern) % 97) as f64 - 48.0)
+                .collect();
+            let fused = kernel.correlate(&y).unwrap();
+            let baseline = pearson(&x, &y).unwrap();
+            assert_eq!(fused.to_bits(), baseline.to_bits());
+        }
+    }
+
+    #[test]
+    fn pearson_ref_error_cases() {
+        assert!(matches!(
+            PearsonRef::new(&[1.0]),
+            Err(StatsError::TooShort { .. })
+        ));
+        assert!(matches!(
+            PearsonRef::new(&[2.0, 2.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        ));
+        let kernel = PearsonRef::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(kernel.len(), 3);
+        assert!(!kernel.is_empty());
+        assert!(matches!(
+            kernel.correlate(&[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { left: 3, right: 2 })
+        ));
+        assert!(matches!(
+            kernel.correlate(&[4.0, 4.0, 4.0]),
+            Err(StatsError::ZeroVariance)
+        ));
     }
 
     #[test]

@@ -111,17 +111,14 @@ pub struct TraceSet {
     device: String,
 }
 
-impl<'de> Deserialize<'de> for TraceSet {
-    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
-    where
-        D: serde::Deserializer<'de>,
-    {
+impl Deserialize for TraceSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
         #[derive(Deserialize)]
         struct Raw {
             traces: Vec<Trace>,
             device: String,
         }
-        let raw = Raw::deserialize(deserializer)?;
+        let raw = Raw::from_value(value)?;
         Self::from_traces(raw.device, raw.traces).map_err(serde::de::Error::custom)
     }
 }
@@ -144,10 +141,7 @@ impl TraceSet {
     /// Returns [`TraceError::LengthMismatch`] when the traces do not all
     /// have the same length and [`TraceError::EmptyTrace`] when a trace has
     /// no samples.
-    pub fn from_traces(
-        device: impl Into<String>,
-        traces: Vec<Trace>,
-    ) -> Result<Self, TraceError> {
+    pub fn from_traces(device: impl Into<String>, traces: Vec<Trace>) -> Result<Self, TraceError> {
         let mut set = Self::new(device);
         for t in traces {
             set.push(t)?;
@@ -285,9 +279,7 @@ mod tests {
         assert_eq!(t.samples(), &[2.0, 4.0]);
         t.add_assign(&Trace::from_samples(vec![1.0, 1.0])).unwrap();
         assert_eq!(t.samples(), &[3.0, 5.0]);
-        assert!(t
-            .add_assign(&Trace::from_samples(vec![1.0]))
-            .is_err());
+        assert!(t.add_assign(&Trace::from_samples(vec![1.0])).is_err());
         assert_eq!(t.clone().into_samples(), vec![3.0, 5.0]);
     }
 
@@ -381,7 +373,10 @@ mod tests {
     fn iteration_works() {
         let set = TraceSet::from_traces(
             "d",
-            vec![Trace::from_samples(vec![1.0]), Trace::from_samples(vec![2.0])],
+            vec![
+                Trace::from_samples(vec![1.0]),
+                Trace::from_samples(vec![2.0]),
+            ],
         )
         .unwrap();
         let sum: f64 = (&set).into_iter().map(|t| t.samples()[0]).sum();

@@ -3,7 +3,7 @@
 use ipmark_traces::average::{k_average, mean_of_indices};
 use ipmark_traces::select::uniform_distinct_indices;
 use ipmark_traces::stats::{
-    mean, pearson, two_largest, two_smallest, variance_population, RunningStats,
+    mean, pearson, two_largest, two_smallest, variance_population, PearsonRef, RunningStats,
 };
 use ipmark_traces::{Trace, TraceSet};
 use proptest::prelude::*;
@@ -37,6 +37,72 @@ proptest! {
         let neg: Vec<f64> = y[..n].iter().map(|v| -v).collect();
         if let (Ok(r1), Ok(r2)) = (pearson(&x[..n], &y[..n]), pearson(&x[..n], &neg)) {
             prop_assert!((r1 + r2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pearson_ref_equals_pearson_everywhere(x in series(2), y in series(2)) {
+        // The fused kernel's contract: for equal-length inputs the reusable
+        // centered reference reproduces `pearson` bit for bit — including
+        // which error is surfaced on degenerate (constant) inputs.
+        let n = x.len().min(y.len());
+        let baseline = pearson(&x[..n], &y[..n]);
+        let fused = PearsonRef::new(&x[..n]).and_then(|r| r.correlate(&y[..n]));
+        match (baseline, fused) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (a, b) => prop_assert!(false, "baseline {:?} vs fused {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential_push(
+        x in series(1),
+        cut in 0.0f64..1.0,
+    ) {
+        // Chunked reduction contract: pushing a prefix and a suffix into
+        // two accumulators and merging must agree with one sequential pass,
+        // for every split point (including the empty sides).
+        let split = ((x.len() as f64) * cut) as usize;
+        let mut left = RunningStats::new();
+        for &v in &x[..split] {
+            left.push(v);
+        }
+        let mut right = RunningStats::new();
+        for &v in &x[split..] {
+            right.push(v);
+        }
+        left.merge(&right);
+
+        let mut sequential = RunningStats::new();
+        for &v in &x {
+            sequential.push(v);
+        }
+        prop_assert_eq!(left.count(), sequential.count());
+        let (m1, m2) = (left.mean().unwrap(), sequential.mean().unwrap());
+        prop_assert!((m1 - m2).abs() <= 1e-9 * m2.abs().max(1.0), "{} vs {}", m1, m2);
+        if x.len() >= 2 {
+            let (v1, v2) = (
+                left.variance_population().unwrap(),
+                sequential.variance_population().unwrap(),
+            );
+            prop_assert!((v1 - v2).abs() <= 1e-6 * v2.abs().max(1.0), "{} vs {}", v1, v2);
+        }
+    }
+
+    #[test]
+    fn pearson_affine_invariance_covers_negative_scale(
+        x in series(3),
+        a in 0.1f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        // Complement of `pearson_affine_invariant`: a *negative* scale must
+        // flip the coefficient to -1, and the fused kernel must agree.
+        let y: Vec<f64> = x.iter().map(|v| -a * v + b).collect();
+        if let Ok(r) = pearson(&x, &y) {
+            prop_assert!((r + 1.0).abs() < 1e-6, "r = {}", r);
+            let fused = PearsonRef::new(&x).and_then(|rf| rf.correlate(&y)).unwrap();
+            prop_assert_eq!(fused.to_bits(), r.to_bits());
         }
     }
 

@@ -40,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 1. Transition-based watermark. ---
-    let watermark = [true, false, true, true, false, false, true, false, true, true];
+    let watermark = [
+        true, false, true, true, false, false, true, false, true, true,
+    ];
     let embedded = embed_transition_watermark(&design, &watermark, &mut rng)?;
     println!(
         "\n[transition embedding] planted {} bits; challenge length {}",

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let ips = reference_ips();
-    println!("running {}x{} identification campaign...", ips.len(), ips.len());
+    println!(
+        "running {}x{} identification campaign...",
+        ips.len(),
+        ips.len()
+    );
     let matrix = IdentificationMatrix::run(&ips, &ips, &config)?;
 
     println!("\nmeans of the correlation sets (Table I analogue):");

@@ -41,8 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c1 = correlation_process(&refd, &dut1, &params, &mut rng)?;
     let c2 = correlation_process(&refd, &dut2, &params, &mut rng)?;
 
-    println!("candidate 1 (genuine):  mean = {:.3}, variance = {:.3e}", c1.mean(), c1.variance());
-    println!("candidate 2 (impostor): mean = {:.3}, variance = {:.3e}", c2.mean(), c2.variance());
+    println!(
+        "candidate 1 (genuine):  mean = {:.3}, variance = {:.3e}",
+        c1.mean(),
+        c1.variance()
+    );
+    println!(
+        "candidate 2 (impostor): mean = {:.3}, variance = {:.3e}",
+        c2.mean(),
+        c2.variance()
+    );
 
     // --- Decision: the paper's lower-variance distinguisher. ---
     let decision = LowerVariance.decide(&[c1, c2])?;

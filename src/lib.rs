@@ -58,6 +58,8 @@ pub use ipmark_core as core;
 pub use ipmark_crypto as crypto;
 pub use ipmark_fsm as fsm;
 pub use ipmark_netlist as netlist;
+#[cfg(feature = "parallel")]
+pub use ipmark_parallel as parallel;
 pub use ipmark_power as power;
 pub use ipmark_traces as traces;
 
@@ -65,9 +67,9 @@ pub use ipmark_traces as traces;
 pub mod prelude {
     pub use ipmark_core::{
         correlation_process, default_chain, ip_a, ip_b, ip_c, ip_d, reference_ips,
-        CorrelationParams, CorrelationSet, CounterKind, Decision, Distinguisher,
-        ExperimentConfig, FabricatedDevice, HigherMean, IdentificationMatrix, IpSpec,
-        LowerVariance, Substitution, WatermarkKey,
+        CorrelationParams, CorrelationSet, CounterKind, Decision, Distinguisher, ExperimentConfig,
+        FabricatedDevice, HigherMean, IdentificationMatrix, IpSpec, LowerVariance, Substitution,
+        WatermarkKey,
     };
     pub use ipmark_power::{MeasurementChain, ProcessVariation};
     pub use ipmark_traces::{Trace, TraceSet, TraceSource};

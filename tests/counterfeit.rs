@@ -78,8 +78,8 @@ fn counterfeit_panel_is_flagged_by_lower_variance_panel_decision() {
         genuine.clone(),
         IpSpec::watermarked("rekeyed", CounterKind::Gray, WatermarkKey::new(0x42)),
     ];
-    let matrix =
-        IdentificationMatrix::run(std::slice::from_ref(&genuine), &duts, &config).expect("campaign");
+    let matrix = IdentificationMatrix::run(std::slice::from_ref(&genuine), &duts, &config)
+        .expect("campaign");
     let decision = &matrix.decide(&LowerVariance).expect("panel")[0];
     assert_eq!(matrix.dut_names()[decision.best], "IP_C");
 }

@@ -9,8 +9,7 @@ use ipmark::netlist::comb::{Constant, Xor2};
 use ipmark::netlist::memory::SyncRom;
 use ipmark::netlist::{BitVec, Circuit, CircuitBuilder};
 use ipmark::power::{
-    ComponentWeights, DeviceModel, ProcessVariation, SimulatedAcquisition,
-    WeightedComponentModel,
+    ComponentWeights, DeviceModel, ProcessVariation, SimulatedAcquisition, WeightedComponentModel,
 };
 use ipmark::prelude::default_chain;
 use rand::SeedableRng;
@@ -19,7 +18,13 @@ use rand_chacha::ChaCha8Rng;
 /// A small custom controller: a 5-state machine cycling with a twist.
 fn custom_fsm() -> Fsm {
     let mut b = ipmark::fsm::FsmBuilder::new(5, 1, 8).expect("shape");
-    let hops = [(0, 2, 0x1d), (1, 3, 0x44), (2, 4, 0x9a), (3, 0, 0x07), (4, 1, 0xe3)];
+    let hops = [
+        (0, 2, 0x1d),
+        (1, 3, 0x44),
+        (2, 4, 0x9a),
+        (3, 0, 0x07),
+        (4, 1, 0xe3),
+    ];
     for (s, next, out) in hops {
         b.transition(s, 0, next, out).expect("transition");
     }
@@ -131,7 +136,9 @@ fn custom_circuit_h_sequence_is_key_dependent_and_deterministic() {
     let mut c2 = watermarked_custom_circuit(0x5a);
     let mut c3 = watermarked_custom_circuit(0xc4);
     let seq = |c: &mut Circuit| -> Vec<u64> {
-        (0..30).map(|_| c.step(&[]).unwrap().outputs[0].value()).collect()
+        (0..30)
+            .map(|_| c.step(&[]).unwrap().outputs[0].value())
+            .collect()
     };
     let s1 = seq(&mut c1);
     let s2 = seq(&mut c2);
@@ -145,8 +152,6 @@ fn adapter_activity_feeds_the_power_model() {
     let mut circuit = watermarked_custom_circuit(0x11);
     let records = circuit.run_free(50).expect("simulation");
     // After warm-up, the FSM + S-Box register must toggle every cycle.
-    let active = records[5..]
-        .iter()
-        .all(|r| r.total_state_hd() > 0);
+    let active = records[5..].iter().all(|r| r.total_state_hd() > 0);
     assert!(active, "watermarked circuit must show switching activity");
 }

@@ -24,8 +24,7 @@ use ipmark::netlist::comb::{Concat2, Constant, Xor2};
 use ipmark::netlist::memory::SyncRom;
 use ipmark::netlist::{BitVec, Circuit, CircuitBuilder};
 use ipmark::power::{
-    ComponentWeights, DeviceModel, ProcessVariation, SimulatedAcquisition,
-    WeightedComponentModel,
+    ComponentWeights, DeviceModel, ProcessVariation, SimulatedAcquisition, WeightedComponentModel,
 };
 use ipmark::prelude::default_chain;
 use rand::SeedableRng;

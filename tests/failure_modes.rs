@@ -75,10 +75,9 @@ fn dead_device_flat_traces_surface_as_zero_variance() {
     let device = DeviceModel::nominal("dead", model);
     let chain = MeasurementChain::ideal(4).expect("valid");
     let mut circuit = ip_a().circuit().expect("netlist");
-    let dead = ipmark::power::SimulatedAcquisition::prepare(
-        &mut circuit, &device, &chain, 32, 200, 0,
-    )
-    .expect("campaign");
+    let dead =
+        ipmark::power::SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 32, 200, 0)
+            .expect("campaign");
     let params = CorrelationParams {
         n1: 20,
         n2: 200,
@@ -99,15 +98,10 @@ fn model_shape_mismatch_is_reported() {
     let device = DeviceModel::nominal("wrong", wrong_model);
     let chain = MeasurementChain::ideal(2).expect("valid");
     let mut circuit = ip_a().circuit().expect("netlist");
-    assert!(ipmark::power::SimulatedAcquisition::prepare(
-        &mut circuit,
-        &device,
-        &chain,
-        16,
-        10,
-        0
-    )
-    .is_err());
+    assert!(
+        ipmark::power::SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 16, 10, 0)
+            .is_err()
+    );
 }
 
 #[test]
@@ -125,8 +119,8 @@ fn empty_panels_and_short_campaigns_error() {
     assert!(IdentificationMatrix::run(&[], &[ip_a()], &config).is_err());
     assert!(IdentificationMatrix::run(&[ip_a()], &[], &config).is_err());
 
-    let mut die = FabricatedDevice::fabricate(&ip_a(), &ProcessVariation::typical(), 0)
-        .expect("die");
+    let mut die =
+        FabricatedDevice::fabricate(&ip_a(), &ProcessVariation::typical(), 0).expect("die");
     let chain = default_chain().expect("built-in");
     assert!(die.acquisition(&chain, 0, 10, 0).is_err());
     assert!(die.acquisition(&chain, 10, 0, 0).is_err());

@@ -37,7 +37,8 @@ fn jittered_campaign(
         let rotated: Vec<f64> = (0..len)
             .map(|j| samples[(j as isize + shift).rem_euclid(len as isize) as usize])
             .collect();
-        set.push(Trace::from_samples(rotated)).expect("uniform length");
+        set.push(Trace::from_samples(rotated))
+            .expect("uniform length");
     }
     set
 }
@@ -79,14 +80,12 @@ fn alignment_rescues_verification_under_jitter() {
     // reference).
     let refd_set = refd.acquire_all().expect("materialize");
     let refd_mean = mean_trace(&refd_set).expect("non-empty");
-    let dut_aligned =
-        align_to_reference(&dut_jittered, refd_mean.samples(), 8).expect("alignable");
+    let dut_aligned = align_to_reference(&dut_jittered, refd_mean.samples(), 8).expect("alignable");
 
     let mut prng = ChaCha8Rng::seed_from_u64(3);
     let c_jittered =
         correlation_process(&refd, &dut_jittered, &params, &mut prng).expect("process");
-    let c_aligned =
-        correlation_process(&refd, &dut_aligned, &params, &mut prng).expect("process");
+    let c_aligned = correlation_process(&refd, &dut_aligned, &params, &mut prng).expect("process");
 
     assert!(
         c_aligned.mean() > c_jittered.mean() + 0.05,

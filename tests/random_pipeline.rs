@@ -12,8 +12,7 @@ use ipmark::netlist::comb::{Constant, Xor2};
 use ipmark::netlist::memory::SyncRom;
 use ipmark::netlist::{BitVec, Circuit, CircuitBuilder};
 use ipmark::power::{
-    ComponentWeights, DeviceModel, ProcessVariation, SimulatedAcquisition,
-    WeightedComponentModel,
+    ComponentWeights, DeviceModel, ProcessVariation, SimulatedAcquisition, WeightedComponentModel,
 };
 use ipmark::prelude::default_chain;
 use rand::SeedableRng;
@@ -22,7 +21,11 @@ use rand_chacha::ChaCha8Rng;
 /// Watermarks an arbitrary input-free FSM with the Fig. 3 leakage
 /// component: FSM output → XOR(Kw) → S-Box RAM → H.
 fn watermark_fsm(fsm: Fsm, key: u8) -> Circuit {
-    assert_eq!(fsm.output_width(), 8, "leakage component expects 8-bit FSM output");
+    assert_eq!(
+        fsm.output_width(),
+        8,
+        "leakage component expects 8-bit FSM output"
+    );
     let mut b = CircuitBuilder::new();
     let zero = b.add("in", Constant::new(BitVec::zero(1)));
     let machine = b.add("fsm", FsmComponent::new(fsm).expect("machine"));
@@ -103,7 +106,8 @@ fn random_fsms_verify_across_many_seeds() {
             .decide(&[c_match.clone(), c_other.clone()])
             .expect("panel");
         assert_eq!(
-            decision.best, 0,
+            decision.best,
+            0,
             "seed {seed}: matched variance {:.3e} vs rekeyed {:.3e}",
             c_match.variance(),
             c_other.variance()
