@@ -40,7 +40,7 @@ fn leakage_sequence(
     substitution: Substitution,
     key: WatermarkKey,
     cycles: usize,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, AttackError> {
     leakage_for(counter, substitution, key, cycles)
 }
 
@@ -77,7 +77,7 @@ pub fn analyze_collisions(
     let sequences: Vec<Vec<f64>> = keys
         .iter()
         .map(|&k| leakage_sequence(counter, substitution, k, cycles))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let mut max_abs = 0.0f64;
     let mut worst = (keys[0], keys[1]);

@@ -83,19 +83,27 @@ pub fn per_cycle_profile<S: TraceSource + ?Sized>(
 
 /// Predicted per-cycle leakage of the `H` register for a key guess:
 /// `HD(H_c, H_{c+1})` along the known state sequence.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Invariant`] if the freshly built watermarked
+/// spec has no `H` sequence — impossible by construction, surfaced as a
+/// typed error rather than a panic.
 pub fn predicted_leakage(
     counter: CounterKind,
     substitution: Substitution,
     guess: WatermarkKey,
     cycles: usize,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, AttackError> {
     let spec = IpSpec::watermarked_with_substitution("guess", counter, guess, substitution);
     let h = spec
         .sbox_output_sequence(cycles + 1)
-        .expect("watermarked spec always has an H sequence");
-    (0..cycles)
+        .ok_or(AttackError::Invariant(
+            "watermarked spec always has an H sequence",
+        ))?;
+    Ok((0..cycles)
         .map(|c| f64::from((h[c] ^ h[c + 1]).count_ones()))
-        .collect()
+        .collect())
 }
 
 /// Ranks 256 per-guess scores: returns (best guess, margin to the runner-up,
@@ -106,15 +114,13 @@ pub(crate) fn rank_guesses(
 ) -> (WatermarkKey, f64, Option<usize>) {
     debug_assert_eq!(scores.len(), 256);
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    // Scores are finite by construction; total_cmp gives the same order
+    // for finite values and stays total (panic-free) on the impossible
+    // NaN path.
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let best = order[0];
     let margin = scores[best] - scores[order[1]];
-    let rank = true_key.map(|k| {
-        order
-            .iter()
-            .position(|&g| g == usize::from(k.value()))
-            .expect("ranked")
-    });
+    let rank = true_key.and_then(|k| order.iter().position(|&g| g == usize::from(k.value())));
     (WatermarkKey::new(best as u8), margin, rank)
 }
 
@@ -192,7 +198,7 @@ pub fn recover_key<S: TraceSource + ?Sized>(
 
     let reference = center_profile(&profile)?;
     let scores = guess_scores(|g| {
-        let prediction = predicted_leakage(counter, substitution, WatermarkKey::new(g), cycles);
+        let prediction = predicted_leakage(counter, substitution, WatermarkKey::new(g), cycles)?;
         score_hypothesis(reference.as_ref(), &prediction)
     })?;
 
@@ -275,7 +281,7 @@ pub fn recover_key_phase_robust<S: TraceSource + ?Sized>(
         let mut best = 0.0f64;
         for (profile, reference) in profiles.iter().zip(&references) {
             let prediction =
-                predicted_leakage(counter, substitution, WatermarkKey::new(g), profile.len());
+                predicted_leakage(counter, substitution, WatermarkKey::new(g), profile.len())?;
             best = best.max(score_hypothesis(reference.as_ref(), &prediction)?);
         }
         Ok(best)
@@ -369,26 +375,30 @@ mod tests {
             Substitution::AesSbox,
             WatermarkKey::new(1),
             64,
-        );
+        )
+        .unwrap();
         let b = predicted_leakage(
             CounterKind::Gray,
             Substitution::AesSbox,
             WatermarkKey::new(2),
             64,
-        );
+        )
+        .unwrap();
         assert_ne!(a, b);
         let ia = predicted_leakage(
             CounterKind::Gray,
             Substitution::Identity,
             WatermarkKey::new(1),
             64,
-        );
+        )
+        .unwrap();
         let ib = predicted_leakage(
             CounterKind::Gray,
             Substitution::Identity,
             WatermarkKey::new(2),
             64,
-        );
+        )
+        .unwrap();
         // Identity: HD(H) = HD(state) regardless of key — except at the
         // very first edge out of the reset value H₀ = 0.
         assert_eq!(ia[1..], ib[1..]);

@@ -16,6 +16,10 @@ pub enum AttackError {
     Core(CoreError),
     /// Inconsistent attack configuration.
     Config(String),
+    /// An internal invariant was violated — indicates a bug in this crate,
+    /// not bad input. Surfaced as a typed error instead of a panic so
+    /// library callers stay in control.
+    Invariant(&'static str),
 }
 
 impl fmt::Display for AttackError {
@@ -25,6 +29,9 @@ impl fmt::Display for AttackError {
             AttackError::Trace(e) => write!(f, "trace error: {e}"),
             AttackError::Core(e) => write!(f, "core error: {e}"),
             AttackError::Config(msg) => write!(f, "invalid attack configuration: {msg}"),
+            AttackError::Invariant(what) => {
+                write!(f, "internal invariant violated (bug): {what}")
+            }
         }
     }
 }
@@ -35,7 +42,7 @@ impl std::error::Error for AttackError {
             AttackError::Stats(e) => Some(e),
             AttackError::Trace(e) => Some(e),
             AttackError::Core(e) => Some(e),
-            AttackError::Config(_) => None,
+            AttackError::Config(_) | AttackError::Invariant(_) => None,
         }
     }
 }
@@ -69,6 +76,7 @@ mod tests {
             AttackError::Trace(TraceError::EmptySet),
             AttackError::Core(CoreError::NotEnoughCandidates { provided: 0 }),
             AttackError::Config("x".into()),
+            AttackError::Invariant("y"),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -34,8 +34,10 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> Result<f64, AttackError> {
     }
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    // Finiteness is validated above; total_cmp orders finite values the
+    // same way and stays total (panic-free).
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
 
     let (mut i, mut j) = (0usize, 0usize);
     let (na, nb) = (sa.len() as f64, sb.len() as f64);

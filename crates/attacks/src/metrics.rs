@@ -83,7 +83,9 @@ pub fn cpa_metrics(
             substitution,
             Some(key),
         )?;
-        let rank = result.true_key_rank.expect("true key supplied");
+        let rank = result.true_key_rank.ok_or(AttackError::Invariant(
+            "true key was supplied to the search",
+        ))?;
         rank_sum += rank;
         if rank == 0 {
             successes += 1;

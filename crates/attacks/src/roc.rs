@@ -51,7 +51,9 @@ impl RocCurve {
 
         // Sweep thresholds over all distinct scores, descending.
         let mut thresholds: Vec<f64> = positives.iter().chain(negatives).copied().collect();
-        thresholds.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        // Finiteness is validated above; total_cmp keeps the same
+        // descending order without a panic path.
+        thresholds.sort_by(|a, b| b.total_cmp(a));
         thresholds.dedup();
 
         let np = positives.len() as f64;
@@ -93,16 +95,19 @@ impl RocCurve {
 
     /// The operating point with the best Youden index (tpr − fpr), a
     /// standard threshold choice.
+    ///
+    /// Total: a constructed curve always holds at least the (0, 0) anchor
+    /// point, whose Youden index 0 is returned for the degenerate case.
     pub fn best_youden(&self) -> RocPoint {
-        *self
-            .points
+        self.points
             .iter()
-            .max_by(|a, b| {
-                (a.tpr - a.fpr)
-                    .partial_cmp(&(b.tpr - b.fpr))
-                    .expect("finite rates")
+            .copied()
+            .max_by(|a, b| (a.tpr - a.fpr).total_cmp(&(b.tpr - b.fpr)))
+            .unwrap_or(RocPoint {
+                threshold: f64::INFINITY,
+                fpr: 0.0,
+                tpr: 0.0,
             })
-            .expect("curve has points")
     }
 
     /// True-positive rate at the largest threshold whose false-positive

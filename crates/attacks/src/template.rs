@@ -15,6 +15,7 @@
 
 use ipmark_core::ip::{CounterKind, Substitution};
 use ipmark_core::WatermarkKey;
+use ipmark_traces::stats::RunningStats;
 use ipmark_traces::TraceSource;
 use serde::{Deserialize, Serialize};
 
@@ -55,11 +56,11 @@ fn hd_classes(
     substitution: Substitution,
     key: WatermarkKey,
     cycles: usize,
-) -> Vec<usize> {
-    predicted_leakage(counter, substitution, key, cycles)
+) -> Result<Vec<usize>, AttackError> {
+    Ok(predicted_leakage(counter, substitution, key, cycles)?
         .into_iter()
         .map(|hd| hd as usize)
-        .collect()
+        .collect())
 }
 
 /// Builds Gaussian templates from a profiling device with a *known* key.
@@ -77,7 +78,7 @@ pub fn build_templates<S: TraceSource + ?Sized>(
     known_key: WatermarkKey,
 ) -> Result<PowerTemplates, AttackError> {
     let profile = per_cycle_profile(profiling, num_traces, samples_per_cycle)?;
-    let classes = hd_classes(counter, substitution, known_key, profile.len());
+    let classes = hd_classes(counter, substitution, known_key, profile.len())?;
 
     let mut sums = [0.0f64; NUM_CLASSES];
     let mut sq_sums = [0.0f64; NUM_CLASSES];
@@ -115,12 +116,13 @@ pub fn build_templates<S: TraceSource + ?Sized>(
         * 0.05;
     for cls in 0..NUM_CLASSES {
         if means[cls].is_nan() {
-            let nearest = populated
-                .iter()
-                .min_by_key(|&&p| p.abs_diff(cls))
-                .expect("at least one populated class");
-            means[cls] = means[*nearest];
-            sigmas[cls] = sigmas[*nearest];
+            let Some(&nearest) = populated.iter().min_by_key(|&&p| p.abs_diff(cls)) else {
+                return Err(AttackError::Invariant(
+                    "at least one leakage class is populated after the NaN check",
+                ));
+            };
+            means[cls] = means[nearest];
+            sigmas[cls] = sigmas[nearest];
         }
         sigmas[cls] = sigmas[cls].max(sigma_floor);
     }
@@ -161,16 +163,21 @@ pub fn template_attack<S: TraceSource + ?Sized>(
     // die; normalize both the profile and the templates to zero mean and
     // unit spread before matching.
     let normalize = |xs: &[f64]| -> Vec<f64> {
-        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
-        let sd = var.sqrt().max(1e-12);
+        let mut rs = RunningStats::new();
+        for &x in xs {
+            rs.push(x);
+        }
+        // `xs` is never empty here (the profile length is checked above);
+        // the 0.0 fallback keeps the closure total.
+        let mean = rs.mean().unwrap_or(0.0);
+        let sd = rs.variance_population().unwrap_or(0.0).sqrt().max(1e-12);
         xs.iter().map(|x| (x - mean) / sd).collect()
     };
     let profile_n = normalize(&profile);
 
     let mut log_likelihoods = Vec::with_capacity(256);
     for g in 0..=255u8 {
-        let classes = hd_classes(counter, substitution, WatermarkKey::new(g), profile.len());
+        let classes = hd_classes(counter, substitution, WatermarkKey::new(g), profile.len())?;
         let predicted: Vec<f64> = classes.iter().map(|&c| templates.means[c]).collect();
         let predicted_n = normalize(&predicted);
         let mut ll = 0.0;

@@ -37,15 +37,23 @@ pub fn welch_t(a: &[f64], b: &[f64]) -> Result<f64, AttackError> {
     for &x in b {
         sb.push(x);
     }
-    let va = sa.variance_sample().expect("len >= 2");
-    let vb = sb.variance_sample().expect("len >= 2");
+    let (Some(va), Some(vb)) = (sa.variance_sample(), sb.variance_sample()) else {
+        return Err(AttackError::Invariant(
+            "both populations hold >= 2 samples after the length check",
+        ));
+    };
     let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
     if denom == 0.0 {
         return Err(AttackError::Config(
             "both samples have zero variance".into(),
         ));
     }
-    Ok((sa.mean().expect("non-empty") - sb.mean().expect("non-empty")) / denom)
+    let (Some(ma), Some(mb)) = (sa.mean(), sb.mean()) else {
+        return Err(AttackError::Invariant(
+            "both populations are non-empty after the length check",
+        ));
+    };
+    Ok((ma - mb) / denom)
 }
 
 /// Per-sample-point Welch t trace between two trace populations.

@@ -7,6 +7,10 @@
 //! sub-figure) so they can be plotted directly, plus the qualitative
 //! summary the figure is meant to convey.
 
+// Benchmark binary: measuring wall-clock time is the whole point here.
+// The disallowed-methods rule protects numeric kernels, not timing code.
+#![allow(clippy::disallowed_methods)]
+
 use ipmark_bench::{campaign_config, run_reference_matrix};
 
 fn main() {

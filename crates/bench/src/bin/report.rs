@@ -7,6 +7,10 @@
 //! Exit code is non-zero if any shape requirement fails, so this binary
 //! doubles as the repository's reproduction gate.
 
+// Benchmark binary: measuring wall-clock time is the whole point here.
+// The disallowed-methods rule protects numeric kernels, not timing code.
+#![allow(clippy::disallowed_methods)]
+
 use std::process::ExitCode;
 
 use ipmark_bench::{campaign_config, run_reference_matrix};

@@ -67,7 +67,7 @@ impl Distinguisher for HigherMean {
         let best = scores
             .iter()
             .position(|&s| s == max)
-            .expect("max came from scores");
+            .ok_or(CoreError::Invariant("the maximum came from the score row"))?;
         Ok(Decision {
             best,
             confidence_percent: delta_mean_from(max, max2),
@@ -104,7 +104,7 @@ impl Distinguisher for LowerVariance {
         let best = scores
             .iter()
             .position(|&s| s == min)
-            .expect("min came from scores");
+            .ok_or(CoreError::Invariant("the minimum came from the score row"))?;
         Ok(Decision {
             best,
             confidence_percent: delta_v_from(min, min2),

@@ -27,6 +27,9 @@ pub enum CoreError {
         /// Number of candidates provided.
         provided: usize,
     },
+    /// An internal invariant was violated — indicates a bug, surfaced as a
+    /// typed error instead of a panic (panic-freedom contract).
+    Invariant(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +46,9 @@ impl fmt::Display for CoreError {
                 f,
                 "comparative verification needs at least 2 candidate devices, got {provided}"
             ),
+            CoreError::Invariant(what) => {
+                write!(f, "internal invariant violated (bug): {what}")
+            }
         }
     }
 }
@@ -104,6 +110,7 @@ mod tests {
                 reason: "k > n1".into(),
             },
             CoreError::NotEnoughCandidates { provided: 1 },
+            CoreError::Invariant("broken"),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

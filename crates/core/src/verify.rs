@@ -162,14 +162,20 @@ impl CorrelationSet {
     }
 
     /// The mean `C̄` — the paper's first distinguisher statistic.
+    ///
+    /// Total: the constructor rejects empty sets, so the NaN fallback is
+    /// unreachable and exists only to keep this accessor panic-free.
     pub fn mean(&self) -> f64 {
-        mean(&self.coefficients).expect("non-empty by construction")
+        mean(&self.coefficients).unwrap_or(f64::NAN)
     }
 
     /// The population variance `v(C)` — the paper's second (and better)
     /// distinguisher statistic.
+    ///
+    /// Total: the constructor rejects empty sets, so the NaN fallback is
+    /// unreachable and exists only to keep this accessor panic-free.
     pub fn variance(&self) -> f64 {
-        variance_population(&self.coefficients).expect("non-empty by construction")
+        variance_population(&self.coefficients).unwrap_or(f64::NAN)
     }
 }
 

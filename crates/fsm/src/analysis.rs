@@ -88,7 +88,9 @@ pub fn minimize(fsm: &Fsm) -> Result<Fsm, FsmError> {
     {
         let mut row_class: HashMap<Vec<u64>, usize> = HashMap::new();
         for (i, &s) in reach.iter().enumerate() {
-            let row: Vec<u64> = (0..k).map(|a| fsm.step(s, a).unwrap().1).collect();
+            let row: Vec<u64> = (0..k)
+                .map(|a| fsm.step(s, a).map(|t| t.1))
+                .collect::<Result<_, _>>()?;
             let next_id = row_class.len();
             class[i] = *row_class.entry(row).or_insert(next_id);
         }
@@ -101,8 +103,8 @@ pub fn minimize(fsm: &Fsm) -> Result<Fsm, FsmError> {
         let mut new_class = vec![0usize; n];
         for (i, &s) in reach.iter().enumerate() {
             let succ: Vec<usize> = (0..k)
-                .map(|a| class[index_of[fsm.step(s, a).unwrap().0]])
-                .collect();
+                .map(|a| fsm.step(s, a).map(|t| class[index_of[t.0]]))
+                .collect::<Result<_, _>>()?;
             let key = (class[i], succ);
             let next_id = sig_class.len();
             new_class[i] = *sig_class.entry(key).or_insert(next_id);

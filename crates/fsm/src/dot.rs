@@ -31,7 +31,12 @@ impl Default for DotOptions {
 }
 
 /// Renders the machine as a DOT digraph.
-pub fn to_dot(fsm: &Fsm, options: &DotOptions) -> String {
+///
+/// # Errors
+///
+/// Propagates range errors from [`Fsm::step`] (cannot occur on a
+/// validated machine).
+pub fn to_dot(fsm: &Fsm, options: &DotOptions) -> Result<String, crate::FsmError> {
     let mut out = String::new();
     let _ = writeln!(out, "digraph {} {{", sanitize(&options.name));
     let _ = writeln!(out, "    rankdir=LR;");
@@ -46,7 +51,7 @@ pub fn to_dot(fsm: &Fsm, options: &DotOptions) -> String {
     }
     for state in 0..fsm.num_states() {
         for input in 0..fsm.num_inputs() {
-            let (next, output) = fsm.step(state, input).expect("valid machine");
+            let (next, output) = fsm.step(state, input)?;
             let highlighted = options.highlighted_transitions.contains(&(state, input));
             let attrs = if highlighted {
                 ", color=red, penwidth=2.0"
@@ -60,7 +65,7 @@ pub fn to_dot(fsm: &Fsm, options: &DotOptions) -> String {
         }
     }
     let _ = writeln!(out, "}}");
-    out
+    Ok(out)
 }
 
 fn sanitize(name: &str) -> String {
@@ -90,7 +95,7 @@ mod tests {
     #[test]
     fn dot_contains_all_transitions() {
         let fsm = Fsm::binary_counter(2).unwrap();
-        let dot = to_dot(&fsm, &DotOptions::default());
+        let dot = to_dot(&fsm, &DotOptions::default()).unwrap();
         assert!(dot.starts_with("digraph fsm {"));
         assert!(dot.contains("s0 -> s1"));
         assert!(dot.contains("s3 -> s0"));
@@ -108,7 +113,7 @@ mod tests {
             highlighted_states: vec![2],
             highlighted_transitions: vec![(1, 0)],
         };
-        let dot = to_dot(&fsm, &options);
+        let dot = to_dot(&fsm, &options).unwrap();
         assert!(dot.contains("digraph marked"));
         assert!(dot.contains("s2 [style=filled"));
         assert!(dot.contains("color=red"));
@@ -124,8 +129,8 @@ mod tests {
     #[test]
     fn output_is_deterministic() {
         let fsm = Fsm::gray_counter(3).unwrap();
-        let a = to_dot(&fsm, &DotOptions::default());
-        let b = to_dot(&fsm, &DotOptions::default());
+        let a = to_dot(&fsm, &DotOptions::default()).unwrap();
+        let b = to_dot(&fsm, &DotOptions::default()).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -323,11 +323,11 @@ pub fn embed_redundant_states<R: Rng + ?Sized>(
     let k = fsm.num_inputs();
     let mut num_states = fsm.num_states();
     let mut transitions: Vec<usize> = (0..num_states * k)
-        .map(|idx| fsm.step(idx / k, idx % k).unwrap().0)
-        .collect();
+        .map(|idx| fsm.step(idx / k, idx % k).map(|t| t.0))
+        .collect::<Result<_, _>>()?;
     let mut outputs: Vec<u64> = (0..num_states * k)
-        .map(|idx| fsm.step(idx / k, idx % k).unwrap().1)
-        .collect();
+        .map(|idx| fsm.step(idx / k, idx % k).map(|t| t.1))
+        .collect::<Result<_, _>>()?;
 
     for _ in 0..num_extra {
         // Pick a transition to redirect (its target gets duplicated).

@@ -174,10 +174,12 @@ impl Component for FsmComponent {
             });
         }
         let symbol = (inputs[0].value() as usize) % self.fsm.num_inputs();
-        let (next, out) = self
-            .fsm
-            .step(self.state, symbol)
-            .expect("state and symbol are in range by construction");
+        let (next, out) =
+            self.fsm
+                .step(self.state, symbol)
+                .map_err(|_| NetlistError::Invariant {
+                    what: "FSM state and input symbol are in range by construction",
+                })?;
         self.state = next;
         self.last_output = out;
         Ok(())

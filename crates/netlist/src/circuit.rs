@@ -347,8 +347,10 @@ impl Circuit {
 
     /// Static descriptions of all components, indexed by component id.
     pub fn component_infos(&self) -> Vec<ComponentInfo> {
+        // Every id in 0..len is valid, so the filter drops nothing; it
+        // only keeps this accessor total without a panic path.
         (0..self.instances.len())
-            .map(|i| self.component_info(ComponentId(i)).expect("valid id"))
+            .filter_map(|i| self.component_info(ComponentId(i)).ok())
             .collect()
     }
 
@@ -435,21 +437,35 @@ impl Circuit {
         let outputs = self
             .outputs
             .iter()
-            .map(|&(_, id, port)| values[id.0].as_ref().expect("evaluated")[port])
-            .collect();
+            .map(|&(_, id, port)| {
+                values[id.0]
+                    .as_ref()
+                    .and_then(|outs| outs.get(port))
+                    .copied()
+                    .ok_or(NetlistError::Invariant {
+                        what: "every output port was evaluated in phase 1",
+                    })
+            })
+            .collect::<Result<_, _>>()?;
 
         // Phase 3: clock edge + activity accounting. All clock inputs are
         // resolved against the pre-edge value snapshot, which is exactly the
         // synchronous semantics of a single shared clock.
         let mut components = Vec::with_capacity(n);
         for idx in 0..n {
-            let outs = values[idx].as_ref().expect("evaluated");
+            let Some(outs) = values[idx].as_ref() else {
+                return Err(NetlistError::Invariant {
+                    what: "every component was evaluated in phase 1",
+                });
+            };
             let output_hd = match &self.prev_outputs[idx] {
-                Some(prev) => prev
-                    .iter()
-                    .zip(outs)
-                    .map(|(a, b)| a.hamming_distance(b).expect("stable widths"))
-                    .sum(),
+                Some(prev) => {
+                    let mut hd = 0u32;
+                    for (a, b) in prev.iter().zip(outs) {
+                        hd += a.hamming_distance(b)?;
+                    }
+                    hd
+                }
                 None => 0,
             };
             let output_hw = outs.iter().map(BitVec::hamming_weight).sum();
@@ -458,13 +474,14 @@ impl Circuit {
                 let inputs =
                     Self::resolve_inputs_static(&self.instances[idx].inputs, external, &values)?;
                 let inst = &mut self.instances[idx];
-                let before = inst.component.state().expect("sequential has state");
+                let before = inst.component.state().ok_or(NetlistError::Invariant {
+                    what: "sequential components expose their state",
+                })?;
                 inst.component.clock(&inputs)?;
-                let after = inst.component.state().expect("sequential has state");
-                (
-                    before.hamming_distance(&after).expect("stable widths"),
-                    after.hamming_weight(),
-                )
+                let after = inst.component.state().ok_or(NetlistError::Invariant {
+                    what: "sequential components expose their state",
+                })?;
+                (before.hamming_distance(&after)?, after.hamming_weight())
             } else {
                 (0, 0)
             };
@@ -547,11 +564,18 @@ impl Circuit {
     ) -> Result<Vec<BitVec>, NetlistError> {
         inputs
             .iter()
-            .map(|src| match src.expect("validated at build time") {
-                Source::External(i) => Ok(external[i]),
-                Source::Port { component, port } => {
-                    Ok(values[component.0].as_ref().expect("evaluated")[port])
-                }
+            .map(|src| match src {
+                Some(Source::External(i)) => Ok(external[*i]),
+                Some(Source::Port { component, port }) => values[component.0]
+                    .as_ref()
+                    .and_then(|outs| outs.get(*port))
+                    .copied()
+                    .ok_or(NetlistError::Invariant {
+                        what: "producers are evaluated before their consumers",
+                    }),
+                None => Err(NetlistError::Invariant {
+                    what: "every input is connected (validated at build time)",
+                }),
             })
             .collect()
     }

@@ -76,6 +76,12 @@ pub enum NetlistError {
         /// Human-readable description of the defect.
         reason: String,
     },
+    /// An internal invariant was violated — indicates a bug, surfaced as a
+    /// typed error instead of a panic (panic-freedom contract).
+    Invariant {
+        /// The invariant that failed to hold.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -123,6 +129,9 @@ impl fmt::Display for NetlistError {
                 "component `{component}` expected {expected} inputs, got {provided}"
             ),
             NetlistError::InvalidMemory { reason } => write!(f, "invalid memory: {reason}"),
+            NetlistError::Invariant { what } => {
+                write!(f, "internal invariant violated (bug): {what}")
+            }
         }
     }
 }
@@ -186,6 +195,7 @@ mod tests {
             NetlistError::InvalidMemory {
                 reason: "empty".into(),
             },
+            NetlistError::Invariant { what: "broken" },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -16,6 +16,9 @@
 //! units (k-average builds, identification-matrix cells, key-guess
 //! hypotheses), where a few microseconds of spawn overhead is noise.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::num::NonZeroUsize;
 
 /// The default worker count: `RAYON_NUM_THREADS` when set to a positive
@@ -109,7 +112,10 @@ impl Pool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
+                // A worker can only panic if `f` panicked; re-raise that
+                // panic on the caller's thread instead of a fresh
+                // expect-panic, so no new panic site is introduced here.
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
         let mut out = Vec::with_capacity(n);
@@ -160,7 +166,8 @@ impl Pool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
+                // See map_indexed: propagate `f`'s own panic payload.
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
         let mut out = Vec::with_capacity(n);

@@ -125,14 +125,23 @@ pub fn snr(set: &TraceSet) -> Result<f64, TraceError> {
     let mut signal = RunningStats::new();
     let mut noise = 0.0;
     for s in &per_sample {
-        signal.push(s.mean().expect("non-empty"));
-        noise += s.variance_sample().expect("len >= 2");
+        // Every per-sample accumulator has seen `set.len() >= 2` pushes,
+        // so mean/variance are always present; EmptySet covers the
+        // impossible path without a panic.
+        let (Some(m), Some(v)) = (s.mean(), s.variance_sample()) else {
+            return Err(TraceError::EmptySet);
+        };
+        signal.push(m);
+        noise += v;
     }
     let noise_power = noise / len as f64;
     if noise_power == 0.0 {
         return Err(TraceError::Stats(StatsError::ZeroVariance));
     }
-    Ok(signal.variance_population().expect("non-empty") / noise_power)
+    let Some(signal_var) = signal.variance_population() else {
+        return Err(TraceError::EmptySet);
+    };
+    Ok(signal_var / noise_power)
 }
 
 /// The grand mean trace of a set.

@@ -7,6 +7,7 @@
 //! temperature wander leave behind.
 
 use crate::error::{StatsError, TraceError};
+use crate::stats;
 use crate::trace::{Trace, TraceSet};
 
 /// Standardizes a sample slice in place: zero mean, unit variance.
@@ -22,9 +23,8 @@ pub fn standardize_in_place(samples: &mut [f64]) -> Result<(), StatsError> {
             required: 2,
         });
     }
-    let n = samples.len() as f64;
-    let mean = samples.iter().sum::<f64>() / n;
-    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let mean = stats::mean(samples)?;
+    let var = stats::variance_population(samples)?;
     if var == 0.0 {
         return Err(StatsError::ZeroVariance);
     }
@@ -67,7 +67,7 @@ pub fn detrend_linear_in_place(samples: &mut [f64]) -> Result<(f64, f64), StatsE
     // Closed-form simple linear regression of y on t = 0..n-1.
     let nf = n as f64;
     let t_mean = (nf - 1.0) / 2.0;
-    let y_mean = samples.iter().sum::<f64>() / nf;
+    let y_mean = stats::mean(samples)?;
     let mut sty = 0.0;
     let mut stt = 0.0;
     for (t, &y) in samples.iter().enumerate() {

@@ -6,8 +6,6 @@
 //! `k` random numbers and needs `O(k)` memory regardless of `n` — important
 //! because the DUT population is `n2 = α·k·m = 10 000` traces.
 
-use std::collections::HashSet;
-
 use rand::Rng;
 
 use crate::error::SelectError;
@@ -48,15 +46,25 @@ pub fn uniform_distinct_indices<R: Rng + ?Sized>(
         return Err(SelectError::KExceedsN { k, n });
     }
     // Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert t
-    // unless already chosen, in which case insert j.
-    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    // unless already chosen, in which case insert j. Membership uses a
+    // sorted Vec + binary search instead of a HashSet so iteration-order
+    // nondeterminism can never leak into the result (determinism contract,
+    // DESIGN.md §7); memory stays O(k).
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
     let mut out = Vec::with_capacity(k);
     for j in (n - k)..n {
         let t = rng.gen_range(0..=j);
-        let pick = if chosen.insert(t) { t } else { j };
-        if pick != t {
-            chosen.insert(pick);
-        }
+        let pick = match chosen.binary_search(&t) {
+            Err(pos) => {
+                chosen.insert(pos, t);
+                t
+            }
+            Ok(_) => {
+                // `j` exceeds every previously chosen value, so it is new.
+                chosen.push(j);
+                j
+            }
+        };
         out.push(pick);
     }
     Ok(out)
@@ -67,6 +75,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
 
     #[test]
     fn rejects_degenerate_parameters() {

@@ -1,0 +1,326 @@
+//! A minimal Rust tokenizer for the lint pass.
+//!
+//! The build environment is offline, so `syn` is not available; the lint
+//! rules only need a token stream that is *comment- and string-aware* (a
+//! `panic!` inside a doc example or a string literal must not fire a rule),
+//! plus line numbers for reporting. This hand-rolled lexer provides exactly
+//! that. It is intentionally forgiving: on malformed input it degrades to
+//! per-character punctuation tokens instead of failing, so the lint pass
+//! never blocks a build on code that `rustc` itself will reject anyway.
+
+/// The coarse classification a lint rule can match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `HashMap`, …).
+    Ident,
+    /// Integer literal (digits and `_` separators only).
+    Int,
+    /// Any other literal: floats, strings, chars, byte strings.
+    OtherLit,
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text. For [`TokKind::OtherLit`] string payloads the
+    /// text is truncated — rules never match inside literals.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Tokenizes `src`, discarding comments (line, block, doc) and whitespace.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested (also covers `/** */`).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1usize;
+            let start = i;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += count_lines(&bytes[start..i.min(n)]);
+            continue;
+        }
+        // Raw strings and raw byte strings: r"..", r#".."#, br#".."#.
+        if c == 'r' || c == 'b' {
+            if let Some((end, lines)) = raw_string_end(&bytes, i) {
+                toks.push(Tok {
+                    kind: TokKind::OtherLit,
+                    text: "\"raw\"".to_owned(),
+                    line,
+                });
+                line += lines;
+                i = end;
+                continue;
+            }
+        }
+        // Ordinary string / byte string.
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let start = if c == 'b' { i + 1 } else { i };
+            let (end, lines) = quoted_end(&bytes, start, '"');
+            toks.push(Tok {
+                kind: TokKind::OtherLit,
+                text: "\"str\"".to_owned(),
+                line,
+            });
+            line += lines;
+            i = end;
+            continue;
+        }
+        // Char literal vs lifetime. A lifetime is `'` + ident with no
+        // closing quote; everything else after `'` is a char literal.
+        if c == '\'' {
+            let is_lifetime = i + 1 < n
+                && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_')
+                && !(i + 2 < n && bytes[i + 2] == '\'');
+            if is_lifetime {
+                i += 1;
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::OtherLit,
+                    text: format!("'{}", bytes[start..i].iter().collect::<String>()),
+                    line,
+                });
+                continue;
+            }
+            let (end, lines) = quoted_end(&bytes, i, '\'');
+            toks.push(Tok {
+                kind: TokKind::OtherLit,
+                text: "'c'".to_owned(),
+                line,
+            });
+            line += lines;
+            i = end;
+            continue;
+        }
+        // Identifier or keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal. Consumed loosely (digits, `_`, `.`, exponents,
+        // radix prefixes, type suffixes); classified Int when it contains
+        // only digits/underscores after an optional radix prefix.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let d = bytes[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                    // `1.5` continues the literal; `v[0].iter()` must not.
+                    i += 2;
+                } else if (d == '+' || d == '-')
+                    && matches!(bytes[i - 1], 'e' | 'E')
+                    && bytes[start] != '0'
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let body = text
+                .strip_prefix("0x")
+                .or_else(|| text.strip_prefix("0o"))
+                .or_else(|| text.strip_prefix("0b"))
+                .unwrap_or(&text);
+            let kind = if body.chars().all(|d| d.is_ascii_hexdigit() || d == '_') {
+                TokKind::Int
+            } else {
+                TokKind::OtherLit
+            };
+            toks.push(Tok { kind, text, line });
+            continue;
+        }
+        // Single punctuation character.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// If position `i` starts a raw (byte) string, returns `(end, newlines)`.
+fn raw_string_end(bytes: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j >= n || bytes[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || bytes[j] != '"' {
+        return None;
+    }
+    j += 1;
+    let mut lines = 0u32;
+    while j < n {
+        if bytes[j] == '\n' {
+            lines += 1;
+        }
+        if bytes[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && bytes[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some((k, lines));
+            }
+        }
+        j += 1;
+    }
+    Some((n, lines))
+}
+
+/// Scans a quoted literal starting at the opening `quote` at `start`;
+/// returns `(index past the closing quote, newlines inside)`.
+fn quoted_end(bytes: &[char], start: usize, quote: char) -> (usize, u32) {
+    let n = bytes.len();
+    let mut j = start + 1;
+    let mut lines = 0u32;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\n' => {
+                lines += 1;
+                j += 1;
+            }
+            c if c == quote => return (j + 1, lines),
+            _ => j += 1,
+        }
+    }
+    (n, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let toks = tokenize("// unwrap()\nlet s = \"panic!\"; /* todo! */ x.unwrap();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|t| t.text == "'a"));
+        assert!(toks.iter().any(|t| t.text == "'c'"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = tokenize(r####"let s = r#"x.unwrap()"#; y"####);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn int_literals_are_classified() {
+        let toks = tokenize("v[0] w[1_000] x[0xff] f(1.5)");
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0", "1_000", "0xff"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = tokenize("/* a /* b */ c.unwrap() */ d");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("d")));
+    }
+}

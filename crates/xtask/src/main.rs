@@ -1,0 +1,87 @@
+//! `cargo xtask` — the workspace's project-specific task runner.
+//!
+//! Currently one task: `lint`, the static-analysis pass enforcing the
+//! determinism contract and panic-freedom (DESIGN.md, "Static analysis").
+//!
+//! Exit codes: `0` clean, `1` findings or stale allowlist entries, `2`
+//! usage, I/O or configuration error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::report::{render, Format};
+use xtask::rules::RULES;
+
+const USAGE: &str = "\
+usage: cargo xtask <task>
+
+tasks:
+  lint [--format text|json] [--root <dir>]   run the static-analysis pass
+  rules                                      list the lint rules
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            for r in RULES {
+                println!("{}  [{}]  {}", r.id, r.scope, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut format = Format::Text;
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match xtask::run_lint(&root) {
+        Ok((outcome, stats)) => {
+            print!("{}", render(&outcome, &stats, format));
+            if outcome.kept.is_empty() && outcome.unused.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cargo xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Text and machine-readable JSON rendering of a lint run.
+
+use std::fmt::Write as _;
+
+use crate::config::AllowlistOutcome;
+
+/// Output format selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable, `file:line: [RULE] message` per finding.
+    Text,
+    /// Single JSON object for CI consumption.
+    Json,
+}
+
+/// Summary counters of one run.
+pub struct RunStats {
+    /// Files scanned.
+    pub files: usize,
+    /// Findings suppressed by the allowlist.
+    pub suppressed: usize,
+}
+
+/// Renders the outcome; returns the full report as a string.
+#[must_use]
+pub fn render(outcome: &AllowlistOutcome, stats: &RunStats, format: Format) -> String {
+    match format {
+        Format::Text => render_text(outcome, stats),
+        Format::Json => render_json(outcome, stats),
+    }
+}
+
+fn render_text(outcome: &AllowlistOutcome, stats: &RunStats) -> String {
+    let mut s = String::new();
+    for f in &outcome.kept {
+        let _ = writeln!(s, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    for a in &outcome.unused {
+        let _ = writeln!(
+            s,
+            "lint.toml: stale [[allow]] entry: {} in {} matched no finding — remove it",
+            a.rule, a.path
+        );
+    }
+    let _ =
+        writeln!(
+        s,
+        "{} file(s) checked, {} finding(s), {} suppressed by lint.toml, {} stale allowlist entr{}",
+        stats.files,
+        outcome.kept.len(),
+        stats.suppressed,
+        outcome.unused.len(),
+        if outcome.unused.len() == 1 { "y" } else { "ies" },
+    );
+    s
+}
+
+fn render_json(outcome: &AllowlistOutcome, stats: &RunStats) -> String {
+    let mut s = String::new();
+    s.push_str("{\"findings\":[");
+    for (i, f) in outcome.kept.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        );
+    }
+    s.push_str("],\"stale_allow\":[");
+    for (i, a) in outcome.unused.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"rule\":{},\"path\":{}}}",
+            json_str(&a.rule),
+            json_str(&a.path)
+        );
+    }
+    let _ = write!(
+        s,
+        "],\"files_checked\":{},\"suppressed\":{}}}",
+        stats.files, stats.suppressed
+    );
+    s.push('\n');
+    s
+}
+
+/// Escapes `v` as a JSON string literal.
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let outcome = AllowlistOutcome {
+            kept: vec![Finding {
+                rule: "PF001",
+                path: "a\"b.rs".into(),
+                line: 3,
+                message: "x\ny".into(),
+            }],
+            suppressed: Vec::new(),
+            unused: Vec::new(),
+        };
+        let stats = RunStats {
+            files: 1,
+            suppressed: 0,
+        };
+        let j = render(&outcome, &stats, Format::Json);
+        assert!(j.contains("\"rule\":\"PF001\""));
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+        assert!(j.contains("\"files_checked\":1"));
+    }
+}

@@ -1,0 +1,433 @@
+//! The lint rules and the per-file matching pass.
+//!
+//! Every rule works on the comment- and string-stripped token stream from
+//! [`crate::lexer`], restricted to the crate classes configured in
+//! `lint.toml` and to code outside `#[cfg(test)]` modules. Rule identifiers
+//! are stable: the allowlist and CI reference them.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// Which rule families apply to a file, derived from its crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Panic-freedom rules (`PF*`): library crates; CLI, benches, tests
+    /// and the lint driver itself are exempt.
+    pub library: bool,
+    /// Determinism (`DT*`) and numeric-safety (`NS*`) rules: the numeric
+    /// kernels whose bit-exact behaviour the determinism contract locks.
+    pub numeric: bool,
+}
+
+/// One finding, reported with a stable rule id and a 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier, e.g. `PF001`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based source line of the match.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Static description of one rule, for `xtask lint --rules` and the docs.
+pub struct RuleInfo {
+    /// Stable identifier.
+    pub id: &'static str,
+    /// Which files it applies to.
+    pub scope: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every rule the pass knows, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "PF001",
+        scope: "library",
+        summary: "`.unwrap()` / `.unwrap_err()` in library code; return the crate's typed error",
+    },
+    RuleInfo {
+        id: "PF002",
+        scope: "library",
+        summary: "`.expect()` / `.expect_err()` in library code; return the crate's typed error",
+    },
+    RuleInfo {
+        id: "PF003",
+        scope: "library",
+        summary: "`panic!` in library code; library crates must be panic-free",
+    },
+    RuleInfo {
+        id: "PF004",
+        scope: "library",
+        summary: "`todo!` / `unimplemented!` placeholder left in library code",
+    },
+    RuleInfo {
+        id: "PF005",
+        scope: "library",
+        summary: "literal index into a call result (`f(..)[0]`); bind and guard the value first",
+    },
+    RuleInfo {
+        id: "DT001",
+        scope: "numeric",
+        summary: "`HashMap`/`HashSet` in a numeric crate; iteration order is nondeterministic — \
+                  use a sorted Vec or BTree collection",
+    },
+    RuleInfo {
+        id: "DT002",
+        scope: "numeric",
+        summary: "wall-clock or thread-identity (`Instant`, `SystemTime`, `ThreadId`, \
+                  `thread::current`) in a numeric kernel",
+    },
+    RuleInfo {
+        id: "DT003",
+        scope: "numeric",
+        summary: "unordered parallel iteration (`par_iter`-family, `reduce_with`, `fold_with`); \
+                  use the deterministic `ipmark-parallel` index-ordered primitives",
+    },
+    RuleInfo {
+        id: "DT004",
+        scope: "numeric",
+        summary: "entropy-seeded RNG construction (`thread_rng`, `from_entropy`, `OsRng`); \
+                  derive seeds via the seed-derivation helpers (e.g. `screen::panel_seed`)",
+    },
+    RuleInfo {
+        id: "NS001",
+        scope: "numeric",
+        summary: "`as f32` narrowing cast in trace math; the workspace computes in f64",
+    },
+    RuleInfo {
+        id: "NS002",
+        scope: "numeric",
+        summary: "naive `sum::<f32|f64>()` reduction; use the `RunningStats`/`PearsonRef` \
+                  kernels unless the summation order is itself part of the contract",
+    },
+];
+
+const DT002_IDENTS: &[&str] = &["Instant", "SystemTime", "ThreadId"];
+const DT003_IDENTS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_sort",
+    "par_sort_unstable",
+    "par_extend",
+    "reduce_with",
+    "fold_with",
+];
+const DT004_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "from_os_rng"];
+
+/// Lints one file's source text. `path` is used verbatim in the findings.
+#[must_use]
+pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
+    if !class.library && !class.numeric {
+        return Vec::new();
+    }
+    let toks = tokenize(src);
+    let excluded = cfg_test_ranges(&toks);
+    let mut out = Vec::new();
+    let in_test = |idx: usize| excluded.iter().any(|&(a, b)| idx >= a && idx < b);
+
+    let push = |out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String| {
+        out.push(Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            message,
+        });
+    };
+
+    for i in 0..toks.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+
+        if class.library {
+            // PF001/PF002: `.unwrap(` / `.expect(` method calls.
+            if i >= 1 && toks[i - 1].is_punct('.') && next_is_punct(&toks, i + 1, '(') {
+                if t.is_ident("unwrap") || t.is_ident("unwrap_err") {
+                    push(
+                        &mut out,
+                        "PF001",
+                        t.line,
+                        format!("`.{}()` may panic; return the crate error instead", t.text),
+                    );
+                } else if t.is_ident("expect") || t.is_ident("expect_err") {
+                    push(
+                        &mut out,
+                        "PF002",
+                        t.line,
+                        format!(
+                            "`.{}(..)` may panic; return the crate error instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            // PF003/PF004: panicking macros.
+            if next_is_punct(&toks, i + 1, '!') {
+                if t.is_ident("panic") {
+                    push(
+                        &mut out,
+                        "PF003",
+                        t.line,
+                        "`panic!` in library code".to_owned(),
+                    );
+                } else if t.is_ident("todo") || t.is_ident("unimplemented") {
+                    push(
+                        &mut out,
+                        "PF004",
+                        t.line,
+                        format!("`{}!` placeholder in library code", t.text),
+                    );
+                }
+            }
+            // PF005: `)[<int>]` — indexing a temporary call result.
+            if t.is_punct(')')
+                && next_is_punct(&toks, i + 1, '[')
+                && toks.get(i + 2).is_some_and(|x| x.kind == TokKind::Int)
+                && next_is_punct(&toks, i + 3, ']')
+            {
+                push(
+                    &mut out,
+                    "PF005",
+                    t.line,
+                    format!(
+                        "indexing a call result with literal `[{}]` can panic; \
+                         bind the value and use `.get({})`",
+                        toks[i + 2].text,
+                        toks[i + 2].text
+                    ),
+                );
+            }
+        }
+
+        if class.numeric {
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                push(
+                    &mut out,
+                    "DT001",
+                    t.line,
+                    format!(
+                        "`{}` in a numeric crate: iteration order is nondeterministic",
+                        t.text
+                    ),
+                );
+            }
+            if DT002_IDENTS.iter().any(|s| t.is_ident(s)) {
+                push(
+                    &mut out,
+                    "DT002",
+                    t.line,
+                    format!("`{}` introduces wall-clock/thread nondeterminism", t.text),
+                );
+            }
+            if t.is_ident("thread")
+                && next_is_punct(&toks, i + 1, ':')
+                && next_is_punct(&toks, i + 2, ':')
+                && toks.get(i + 3).is_some_and(|x| x.is_ident("current"))
+            {
+                push(
+                    &mut out,
+                    "DT002",
+                    t.line,
+                    "`thread::current` introduces thread-identity nondeterminism".to_owned(),
+                );
+            }
+            if DT003_IDENTS.iter().any(|s| t.is_ident(s)) {
+                push(
+                    &mut out,
+                    "DT003",
+                    t.line,
+                    format!(
+                        "`{}` reduces in nondeterministic order; use ipmark-parallel's \
+                         index-ordered map/reduce",
+                        t.text
+                    ),
+                );
+            }
+            if DT004_IDENTS.iter().any(|s| t.is_ident(s)) {
+                push(
+                    &mut out,
+                    "DT004",
+                    t.line,
+                    format!(
+                        "`{}` seeds an RNG from ambient entropy; construct RNGs from \
+                         derived seeds only",
+                        t.text
+                    ),
+                );
+            }
+            if t.is_ident("as") && toks.get(i + 1).is_some_and(|x| x.is_ident("f32")) {
+                push(
+                    &mut out,
+                    "NS001",
+                    t.line,
+                    "`as f32` narrows trace math below f64".to_owned(),
+                );
+            }
+            if t.is_ident("sum")
+                && next_is_punct(&toks, i + 1, ':')
+                && next_is_punct(&toks, i + 2, ':')
+                && next_is_punct(&toks, i + 3, '<')
+                && toks
+                    .get(i + 4)
+                    .is_some_and(|x| x.is_ident("f32") || x.is_ident("f64"))
+                && next_is_punct(&toks, i + 5, '>')
+            {
+                push(
+                    &mut out,
+                    "NS002",
+                    t.line,
+                    format!(
+                        "naive `sum::<{}>()` loop; prefer the RunningStats/PearsonRef kernels",
+                        toks[i + 4].text
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn next_is_punct(toks: &[Tok], idx: usize, c: char) -> bool {
+    toks.get(idx).is_some_and(|t| t.is_punct(c))
+}
+
+/// Token-index ranges `[start, end)` that belong to `#[cfg(test)]` (or
+/// `#[cfg(any/all(.., test, ..))]`) modules, which every rule exempts.
+fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Match `# [ cfg ( .. test .. ) ]`.
+        if toks[i].is_punct('#')
+            && next_is_punct(toks, i + 1, '[')
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && next_is_punct(toks, i + 3, '(')
+        {
+            let mut j = i + 4;
+            let mut depth = 1usize;
+            let mut has_test = false;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('(') {
+                    depth += 1;
+                } else if toks[j].is_punct(')') {
+                    depth -= 1;
+                } else if toks[j].is_ident("test") {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            // Expect the closing `]`, then skip any further attributes to
+            // find the item; only `mod <name> {` blocks are excluded.
+            if has_test && next_is_punct(toks, j, ']') {
+                let mut k = j + 1;
+                while k < toks.len() && toks[k].is_punct('#') && next_is_punct(toks, k + 1, '[') {
+                    let mut d = 0usize;
+                    k += 1;
+                    loop {
+                        if k >= toks.len() {
+                            break;
+                        }
+                        if toks[k].is_punct('[') {
+                            d += 1;
+                        } else if toks[k].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                if toks.get(k).is_some_and(|t| t.is_ident("mod"))
+                    && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                    && next_is_punct(toks, k + 2, '{')
+                {
+                    let start = i;
+                    let mut depth = 1usize;
+                    let mut m = k + 3;
+                    while m < toks.len() && depth > 0 {
+                        if toks[m].is_punct('{') {
+                            depth += 1;
+                        } else if toks[m].is_punct('}') {
+                            depth -= 1;
+                        }
+                        m += 1;
+                    }
+                    ranges.push((start, m));
+                    i = m;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileClass = FileClass {
+        library: true,
+        numeric: false,
+    };
+    const NUM: FileClass = FileClass {
+        library: true,
+        numeric: true,
+    };
+
+    fn rules_of(src: &str, class: FileClass) -> Vec<&'static str> {
+        lint_source("t.rs", src, class)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire_only_as_method_calls() {
+        assert_eq!(rules_of("x.unwrap();", LIB), vec!["PF001"]);
+        assert_eq!(rules_of("x.expect(\"m\");", LIB), vec!["PF002"]);
+        // `unwrap_or` / a fn named unwrap are not method-call panics.
+        assert!(rules_of("x.unwrap_or(0); fn unwrap() {}", LIB).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn a() { b.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { c.unwrap(); } }";
+        let findings = lint_source("t.rs", src, LIB);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn numeric_rules_do_not_apply_to_plain_library_files() {
+        assert!(rules_of("use std::collections::HashMap;", LIB).is_empty());
+        assert_eq!(
+            rules_of("use std::collections::HashMap;", NUM),
+            vec!["DT001"]
+        );
+    }
+
+    #[test]
+    fn call_result_indexing() {
+        assert_eq!(rules_of("let x = f()[0];", LIB), vec!["PF005"]);
+        assert!(rules_of("let x = arr[0];", LIB).is_empty());
+        assert!(rules_of("let x = f()[i];", LIB).is_empty());
+    }
+
+    #[test]
+    fn sum_turbofish() {
+        assert_eq!(rules_of("v.iter().sum::<f64>()", NUM), vec!["NS002"]);
+        assert!(rules_of("v.iter().sum::<u32>()", NUM).is_empty());
+    }
+}

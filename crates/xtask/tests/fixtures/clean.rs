@@ -1,0 +1,36 @@
+//! Fixture: near-misses that must NOT fire any rule.
+
+/// Doc examples are comments to the lexer:
+///
+/// ```
+/// x.unwrap();
+/// panic!("doc");
+/// ```
+fn negatives(v: &[f64], i: usize) -> f64 {
+    // unwrap() in a line comment.
+    /* panic! in a block comment */
+    let s = "x.unwrap(); panic!(); HashMap"; // inside a string literal
+    let r = r#"Instant::now() todo!()"#; // inside a raw string
+    let _ = (s, r);
+    let _or = Some(1.0f64).unwrap_or(0.0); // unwrap_or is not unwrap
+    let _sum: f64 = v.iter().sum(); // untyped sum has no turbofish
+    let _idx = v[i]; // variable index on a binding
+    let first = v.first(); // guarded access
+    let _ = first;
+    v[0] // literal index on a binding, not a call result
+}
+
+fn widening(x: f32) -> f64 {
+    f64::from(x) // widening is fine
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        v.expect("tests may assert");
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: determinism rules DT001–DT004, positive cases.
+//! Line numbers are asserted by `tests/lint_driver.rs` — keep them stable.
+
+use std::collections::HashMap; // line 4: DT001
+
+fn dt001() {
+    let s: std::collections::HashSet<u8> = Default::default(); // line 7: DT001
+    let _ = s;
+}
+
+fn dt002() {
+    let _t = std::time::Instant::now(); // line 12: DT002
+    let _s = std::time::SystemTime::now(); // line 13: DT002
+    let _id = std::thread::current().id(); // line 14: DT002 (thread::current)
+}
+
+fn dt003(v: &[f64]) -> f64 {
+    v.par_iter().sum() // line 18: DT003
+}
+
+fn dt004() {
+    let _rng = rand::thread_rng(); // line 22: DT004
+    let _other = SomeRng::from_entropy(); // line 23: DT004
+}

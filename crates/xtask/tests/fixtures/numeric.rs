@@ -1,0 +1,14 @@
+//! Fixture: numeric-safety rules NS001–NS002, positive cases.
+//! Line numbers are asserted by `tests/lint_driver.rs` — keep them stable.
+
+fn ns001(x: f64) -> f32 {
+    x as f32 // line 5: NS001
+}
+
+fn ns002(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64 // line 9: NS002
+}
+
+fn ns002_f32(v: &[f32]) -> f32 {
+    v.iter().sum::<f32>() // line 13: NS002
+}

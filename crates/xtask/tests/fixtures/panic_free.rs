@@ -1,0 +1,33 @@
+//! Fixture: panic-freedom rules PF001–PF005, positive cases.
+//! Line numbers are asserted by `tests/lint_driver.rs` — keep them stable.
+
+fn pf001() {
+    let v: Option<u8> = None;
+    let _ = v.unwrap(); // line 6: PF001
+}
+
+fn pf002() {
+    let v: Option<u8> = None;
+    let _ = v.expect("boom"); // line 11: PF002
+}
+
+fn pf003() {
+    panic!("nope"); // line 15: PF003
+}
+
+fn pf004() {
+    todo!() // line 19: PF004
+}
+
+fn pf004b() {
+    unimplemented!() // line 23: PF004
+}
+
+fn pf005(v: &[u8]) -> u8 {
+    v.iter().copied().collect::<Vec<u8>>()[0] // line 27: PF005
+}
+
+fn pf001_err() {
+    let v: Result<u8, u8> = Ok(1);
+    let _ = v.unwrap_err(); // line 32: PF001
+}
