@@ -17,7 +17,8 @@ use ipmark_core::params::ParameterPlan;
 use ipmark_core::report::VerificationReport;
 use ipmark_core::screen::CounterfeitScreen;
 use ipmark_core::{
-    correlation_process, CorrelationParams, CorrelationSet, CounterKind, WatermarkKey,
+    correlation_process, CorrelationParams, CorrelationSet, CounterKind, DistinguisherKind,
+    EarlyStopRule, SessionOptions, SessionStatus, VerificationSession, WatermarkKey,
 };
 use ipmark_netlist::vcd::dump_vcd;
 use ipmark_power::ProcessVariation;
@@ -44,6 +45,12 @@ COMMANDS
   verify     Verify which DUT campaign matches a reference campaign.
              --refd FILE --dut FILE [--dut FILE]... [--k N=50] [--m N=20]
              [--n1 N] [--n2 N] [--seed N=0] [--json]
+  session    Streaming verification: ingest DUT campaigns in chunks and
+             stop as soon as the verdict is stable.
+             --refd FILE --dut FILE --dut FILE... [--k N=50] [--m N=20]
+             [--n1 N] [--n2 N] [--seed N=0] [--chunk N=k]
+             [--stability N=3] [--confidence F=50]
+             [--distinguisher mean|variance] [--no-early-stop] [--json]
   params     Plan (alpha, m, k, n2) from a reselection-probability target.
              [--alpha X=10] [--band F=0.05] [--k N=50] [--n1 N=400]
   cpa        Recover the watermark key from a trace campaign.
@@ -75,6 +82,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "simulate" => simulate(args),
         "acquire" => acquire(args),
         "verify" => verify(args),
+        "session" => session(args),
         "params" => params(args),
         "cpa" => cpa(args),
         "collision" => collision(args),
@@ -296,6 +304,141 @@ fn verify(args: &Args) -> Result<String, CliError> {
     } else {
         Ok(report.render_text())
     }
+}
+
+/// Streaming verification: replay the DUT campaigns chunk by chunk through
+/// a [`VerificationSession`] and stop as soon as the early-stop rule holds.
+/// With the same `--seed`, the final coefficients are bit-identical to
+/// `verify` over the same files (DESIGN.md §9).
+fn session(args: &Args) -> Result<String, CliError> {
+    let refd_path = args.require("refd")?;
+    let dut_paths = args.all("dut");
+    if dut_paths.len() < 2 {
+        return Err(CliError::Usage(
+            "streaming sessions are comparative: need at least two --dut FILE campaigns".into(),
+        ));
+    }
+    let refd = load_traces(refd_path)?;
+    let duts: Vec<TraceSet> = dut_paths
+        .iter()
+        .map(|p| load_traces(p))
+        .collect::<Result<_, _>>()?;
+
+    let k: usize = args.get_or("k", 50)?;
+    let m: usize = args.get_or("m", 20)?;
+    let n1: usize = args.get_or("n1", refd.len())?;
+    let n2_default = duts.iter().map(TraceSet::len).min().unwrap_or(0);
+    let n2: usize = args.get_or("n2", n2_default)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let chunk: usize = args.get_or("chunk", k)?;
+    let stability: usize = args.get_or("stability", 3)?;
+    let confidence: f64 = args.get_or("confidence", 50.0)?;
+    let distinguisher = match args.get("distinguisher")?.unwrap_or("variance") {
+        "mean" => DistinguisherKind::Mean,
+        "variance" | "var" => DistinguisherKind::Variance,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown distinguisher `{other}` (mean|variance)"
+            )))
+        }
+    };
+    let params = CorrelationParams { n1, n2, k, m };
+    let mut options = SessionOptions::new(params).with_distinguisher(distinguisher);
+    if !args.has("no-early-stop") {
+        options = options.with_early_stop(EarlyStopRule {
+            stability,
+            min_confidence_percent: confidence,
+        });
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut session = VerificationSession::new(&refd, duts.len(), options, &mut rng)?;
+    let mut streams: Vec<_> = duts
+        .iter()
+        .map(|d| ipmark_traces::streaming::ChunkedSource::with_limit(d, chunk, n2))
+        .collect::<Result<_, _>>()?;
+
+    // Interleave candidates wave by wave, the way a verification service
+    // polls several benches; stop streaming the moment the session decides.
+    'stream: loop {
+        let mut delivered = false;
+        for (candidate, stream) in streams.iter_mut().enumerate() {
+            if let Some(traces) = stream.next_chunk()? {
+                delivered = true;
+                if let SessionStatus::Decided(_) = session.ingest_chunk(candidate, &traces)? {
+                    break 'stream;
+                }
+            }
+        }
+        if !delivered {
+            break;
+        }
+    }
+    let verdict = session.finalize()?;
+
+    let names: Vec<String> = duts.iter().map(|d| d.device().to_owned()).collect();
+    let ingested: Vec<usize> = (0..duts.len())
+        .map(|c| session.traces_ingested(c))
+        .collect();
+    let budget = n2 * duts.len();
+    let consumed: usize = ingested.iter().sum();
+
+    if args.has("json") {
+        let value = serde_json::json!({
+            "reference": refd.device(),
+            "distinguisher": distinguisher.name(),
+            "params": { "n1": n1, "n2": n2, "k": k, "m": m },
+            "chunk": chunk,
+            "winner": names[verdict.best].as_str(),
+            "best": verdict.best,
+            "confidence_percent": verdict.confidence_percent,
+            "scores": verdict.scores.clone(),
+            "rounds_used": verdict.rounds_used,
+            "early_stopped": verdict.early_stopped,
+            "traces_consumed": consumed,
+            "traces_budget": budget,
+        });
+        return serde_json::to_string_pretty(&value).map_err(|e| CliError::Library(Box::new(e)));
+    }
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "streaming verification of {} candidates against {} ({} distinguisher, chunk {chunk})",
+        duts.len(),
+        refd.device(),
+        distinguisher.name()
+    );
+    for (i, name) in names.iter().enumerate() {
+        let marker = if i == verdict.best {
+            " <-- VERDICT"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {name:<20} score {:+.6e}  traces {}/{n2}{marker}",
+            verdict.scores[i], ingested[i]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "decided at round {}/{m} ({}), confidence {:.2}%",
+        verdict.rounds_used,
+        if verdict.early_stopped {
+            "early stop"
+        } else {
+            "full campaign"
+        },
+        verdict.confidence_percent
+    );
+    let _ = write!(
+        out,
+        "traces consumed: {consumed}/{budget} ({:.1}% of the batch budget)",
+        100.0 * consumed as f64 / budget as f64
+    );
+    Ok(out)
 }
 
 fn params(args: &Args) -> Result<String, CliError> {
@@ -586,6 +729,98 @@ mod tests {
         ])
         .unwrap();
         assert!(ipmark_core::report::VerificationReport::from_json(&json).is_ok());
+    }
+
+    #[test]
+    fn session_streams_to_the_same_winner_as_verify() {
+        let refd = tmp("sess_refd.bin");
+        let dut_good = tmp("sess_dut_good.bin");
+        let dut_bad = tmp("sess_dut_bad.bin");
+        for (ip, die, seed, n, path) in [
+            ("b", "1", "1", "60", &refd),
+            ("b", "2", "2", "600", &dut_good),
+            ("c", "3", "3", "600", &dut_bad),
+        ] {
+            run(&[
+                "acquire",
+                "--ip",
+                ip,
+                "--die-seed",
+                die,
+                "--traces",
+                n,
+                "--cycles",
+                "128",
+                "--seed",
+                seed,
+                "--out",
+                path,
+            ])
+            .unwrap();
+        }
+        let common = [
+            "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15", "--m", "10",
+            "--seed", "7",
+        ];
+        let out = run(&[&["session"], &common[..], &["--chunk", "40"]].concat()).unwrap();
+        assert!(out.contains("VERDICT"), "output:\n{out}");
+        assert!(
+            out.lines()
+                .find(|l| l.contains("VERDICT"))
+                .unwrap()
+                .contains("sess_dut_good"),
+            "wrong verdict:\n{out}"
+        );
+        assert!(out.contains("traces consumed"), "output:\n{out}");
+
+        // Early stop must not consume the whole budget on this easy case.
+        let early = run(&[
+            &["session"],
+            &common[..],
+            &["--chunk", "40", "--stability", "2", "--confidence", "10"],
+        ]
+        .concat())
+        .unwrap();
+        assert!(early.contains("early stop"), "output:\n{early}");
+
+        // JSON mode round-trips and agrees with the batch verdict.
+        let json = run(&[&["session"], &common[..], &["--json"]].concat()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            value.get("winner").and_then(|v| v.as_str()).unwrap(),
+            "sess_dut_good"
+        );
+        assert!(matches!(
+            value.get("traces_consumed"),
+            Some(serde_json::Value::Number(_))
+        ));
+    }
+
+    #[test]
+    fn session_rejects_single_candidate_and_bad_distinguisher() {
+        let refd = tmp("sess1_refd.bin");
+        run(&[
+            "acquire", "--ip", "a", "--traces", "30", "--cycles", "32", "--out", &refd,
+        ])
+        .unwrap();
+        assert!(matches!(
+            run(&["session", "--refd", &refd, "--dut", &refd]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "session",
+                "--refd",
+                &refd,
+                "--dut",
+                &refd,
+                "--dut",
+                &refd,
+                "--distinguisher",
+                "median"
+            ]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

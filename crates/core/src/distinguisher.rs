@@ -63,16 +63,7 @@ impl Distinguisher for HigherMean {
             });
         }
         let scores: Vec<f64> = sets.iter().map(|s| s.mean()).collect();
-        let (max, max2) = two_largest(&scores)?;
-        let best = scores
-            .iter()
-            .position(|&s| s == max)
-            .ok_or(CoreError::Invariant("the maximum came from the score row"))?;
-        Ok(Decision {
-            best,
-            confidence_percent: delta_mean_from(max, max2),
-            scores,
-        })
+        DistinguisherKind::Mean.decide_scores(scores)
     }
 }
 
@@ -99,15 +90,81 @@ impl Distinguisher for LowerVariance {
                 provided: sets.len(),
             });
         }
+        // The variance of a single coefficient is identically 0, so a
+        // 1-element set would always "win" with a meaningless perfect
+        // score. m ≥ 2 is a hard requirement of this distinguisher —
+        // reached e.g. by a streaming session finalized before two
+        // averaged DUT traces exist — and surfaces as a typed error.
+        for (candidate, set) in sets.iter().enumerate() {
+            if set.len() < 2 {
+                return Err(CoreError::NotEnoughCoefficients {
+                    candidate,
+                    provided: set.len(),
+                });
+            }
+        }
         let scores: Vec<f64> = sets.iter().map(|s| s.variance()).collect();
-        let (min, min2) = two_smallest(&scores)?;
+        DistinguisherKind::Variance.decide_scores(scores)
+    }
+}
+
+/// A value-level selector between the two §V.A distinguishers, for code
+/// (the streaming session, the CLI) that chooses the rule at runtime and
+/// needs the *score-level* decision shared with the batch
+/// [`Distinguisher`] impls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistinguisherKind {
+    /// [`HigherMean`]: largest mean wins, confidence `Δmean`.
+    Mean,
+    /// [`LowerVariance`]: smallest variance wins, confidence `Δv` — the
+    /// paper's recommended rule and the default.
+    #[default]
+    Variance,
+}
+
+impl DistinguisherKind {
+    /// The report name of the underlying distinguisher.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistinguisherKind::Mean => HigherMean.name(),
+            DistinguisherKind::Variance => LowerVariance.name(),
+        }
+    }
+
+    /// The scalar statistic this rule extracts from a correlation set.
+    pub fn statistic(self, set: &CorrelationSet) -> f64 {
+        match self {
+            DistinguisherKind::Mean => HigherMean.statistic(set),
+            DistinguisherKind::Variance => LowerVariance.statistic(set),
+        }
+    }
+
+    /// Decides over pre-computed per-candidate scores — the exact logic
+    /// the batch [`Distinguisher::decide`] impls run after extracting
+    /// their statistics, factored out so the streaming session produces
+    /// bit-identical decisions from its incremental scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a statistics error for fewer than two scores.
+    pub fn decide_scores(self, scores: Vec<f64>) -> Result<Decision, CoreError> {
+        let (best_score, confidence_percent) = match self {
+            DistinguisherKind::Mean => {
+                let (max, max2) = two_largest(&scores)?;
+                (max, delta_mean_from(max, max2))
+            }
+            DistinguisherKind::Variance => {
+                let (min, min2) = two_smallest(&scores)?;
+                (min, delta_v_from(min, min2))
+            }
+        };
         let best = scores
             .iter()
-            .position(|&s| s == min)
-            .ok_or(CoreError::Invariant("the minimum came from the score row"))?;
+            .position(|&s| s == best_score)
+            .ok_or(CoreError::Invariant("the extremum came from the score row"))?;
         Ok(Decision {
             best,
-            confidence_percent: delta_v_from(min, min2),
+            confidence_percent,
             scores,
         })
     }
@@ -228,6 +285,44 @@ mod tests {
             Err(CoreError::NotEnoughCandidates { provided: 1 })
         ));
         assert!(LowerVariance.decide(&one).is_err());
+    }
+
+    #[test]
+    fn variance_decide_requires_two_coefficients_per_set() {
+        // A 1-coefficient set has variance 0 by construction and would
+        // always win; the distinguisher must refuse with a typed error.
+        let sets = vec![set(&[0.4, 0.6]), set(&[0.5])];
+        assert!(matches!(
+            LowerVariance.decide(&sets),
+            Err(CoreError::NotEnoughCoefficients {
+                candidate: 1,
+                provided: 1
+            })
+        ));
+        // The mean of a single coefficient is well-defined; HigherMean
+        // keeps accepting it.
+        assert!(HigherMean.decide(&sets).is_ok());
+    }
+
+    #[test]
+    fn kind_decisions_match_the_trait_impls() {
+        let sets = vec![set(&[0.3, 0.4]), set(&[0.9, 0.95]), set(&[0.5, 0.52])];
+        let mean_scores: Vec<f64> = sets.iter().map(CorrelationSet::mean).collect();
+        let var_scores: Vec<f64> = sets.iter().map(CorrelationSet::variance).collect();
+        let via_kind = DistinguisherKind::Mean.decide_scores(mean_scores).unwrap();
+        assert_eq!(via_kind, HigherMean.decide(&sets).unwrap());
+        let via_kind = DistinguisherKind::Variance
+            .decide_scores(var_scores)
+            .unwrap();
+        assert_eq!(via_kind, LowerVariance.decide(&sets).unwrap());
+        assert_eq!(DistinguisherKind::Mean.name(), "mean");
+        assert_eq!(DistinguisherKind::Variance.name(), "variance");
+        assert_eq!(DistinguisherKind::default(), DistinguisherKind::Variance);
+        let s = set(&[0.2, 0.4]);
+        assert_eq!(
+            DistinguisherKind::Mean.statistic(&s),
+            HigherMean.statistic(&s)
+        );
     }
 
     #[test]

@@ -27,9 +27,75 @@ pub enum CoreError {
         /// Number of candidates provided.
         provided: usize,
     },
+    /// A variance-based comparative decision needs at least two
+    /// coefficients per candidate set (the variance of a single
+    /// coefficient is identically zero, which would make every
+    /// one-coefficient candidate win by construction).
+    NotEnoughCoefficients {
+        /// Index of the offending candidate set.
+        candidate: usize,
+        /// Number of coefficients that set held.
+        provided: usize,
+    },
+    /// A streaming verification session was driven incorrectly.
+    Session(SessionError),
     /// An internal invariant was violated — indicates a bug, surfaced as a
     /// typed error instead of a panic (panic-freedom contract).
     Invariant(&'static str),
+}
+
+/// Misuse of the [`VerificationSession`](crate::session::VerificationSession)
+/// state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// A chunk was ingested after the session already reached a verdict.
+    AlreadyDecided,
+    /// A chunk was addressed to a candidate index the session does not hold.
+    UnknownCandidate {
+        /// Requested candidate index.
+        candidate: usize,
+        /// Number of candidates in the session.
+        candidates: usize,
+    },
+    /// More DUT traces were ingested for a candidate than its `n2` budget.
+    TooManyTraces {
+        /// Candidate the excess trace was addressed to.
+        candidate: usize,
+        /// The per-candidate trace budget (`n2`).
+        budget: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SessionError::AlreadyDecided => {
+                write!(
+                    f,
+                    "session already reached a verdict; no more chunks accepted"
+                )
+            }
+            SessionError::UnknownCandidate {
+                candidate,
+                candidates,
+            } => write!(
+                f,
+                "unknown candidate index {candidate} (session holds {candidates})"
+            ),
+            SessionError::TooManyTraces { candidate, budget } => write!(
+                f,
+                "candidate {candidate} exceeded its trace budget of n2 = {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<SessionError> for CoreError {
+    fn from(e: SessionError) -> Self {
+        CoreError::Session(e)
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +112,15 @@ impl fmt::Display for CoreError {
                 f,
                 "comparative verification needs at least 2 candidate devices, got {provided}"
             ),
+            CoreError::NotEnoughCoefficients {
+                candidate,
+                provided,
+            } => write!(
+                f,
+                "candidate {candidate} has {provided} correlation coefficient(s); \
+                 a variance-based decision needs at least 2 per candidate"
+            ),
+            CoreError::Session(e) => write!(f, "session error: {e}"),
             CoreError::Invariant(what) => {
                 write!(f, "internal invariant violated (bug): {what}")
             }
@@ -60,6 +135,7 @@ impl std::error::Error for CoreError {
             CoreError::Power(e) => Some(e),
             CoreError::Trace(e) => Some(e),
             CoreError::Stats(e) => Some(e),
+            CoreError::Session(e) => Some(e),
             _ => None,
         }
     }
@@ -110,6 +186,19 @@ mod tests {
                 reason: "k > n1".into(),
             },
             CoreError::NotEnoughCandidates { provided: 1 },
+            CoreError::NotEnoughCoefficients {
+                candidate: 0,
+                provided: 1,
+            },
+            CoreError::Session(SessionError::AlreadyDecided),
+            CoreError::Session(SessionError::UnknownCandidate {
+                candidate: 3,
+                candidates: 2,
+            }),
+            CoreError::Session(SessionError::TooManyTraces {
+                candidate: 0,
+                budget: 10,
+            }),
             CoreError::Invariant("broken"),
         ];
         for e in errors {

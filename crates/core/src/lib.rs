@@ -55,10 +55,11 @@ pub mod matrix;
 pub mod params;
 pub mod report;
 pub mod screen;
+pub mod session;
 pub mod verify;
 
-pub use distinguisher::{Decision, Distinguisher, HigherMean, LowerVariance};
-pub use error::CoreError;
+pub use distinguisher::{Decision, Distinguisher, DistinguisherKind, HigherMean, LowerVariance};
+pub use error::{CoreError, SessionError};
 pub use ip::{
     default_chain, ip_a, ip_b, ip_c, ip_d, reference_ips, CounterKind, FabricatedDevice, IpSpec,
     Substitution,
@@ -68,4 +69,5 @@ pub use matrix::{ExperimentConfig, IdentificationMatrix};
 pub use params::{choose_m, f_alpha, f_limit, p_zeta, ParameterPlan};
 pub use report::{CandidateReport, VerificationReport};
 pub use screen::{CounterfeitScreen, ScreeningVerdict};
-pub use verify::{correlation_process, CorrelationParams, CorrelationSet};
+pub use session::{EarlyStopRule, SessionOptions, SessionStatus, Verdict, VerificationSession};
+pub use verify::{correlation_process, correlation_process_seq, CorrelationParams, CorrelationSet};

@@ -1,0 +1,920 @@
+//! Streaming verification sessions.
+//!
+//! The batch pipeline ([`correlation_process`](crate::correlation_process))
+//! assumes all `n2` DUT traces are on disk before verification starts. A
+//! real acquisition hands traces over a few at a time, and most of a
+//! campaign is wasted when the watermark is obvious early. This module
+//! turns the correlation computation process of §III into an incremental
+//! state machine:
+//!
+//! * [`VerificationSession`] holds, per candidate, the `k`-averaged
+//!   reference `A_RefD` (as a fused
+//!   [`PearsonRef`](ipmark_traces::stats::PearsonRef) kernel) and a
+//!   [`StreamingKAverager`] over the `n2` DUT stream. Memory is
+//!   `O(candidates × m × trace_len)` — the `n2`-trace campaign is never
+//!   materialized.
+//! * After each ingested chunk the session re-evaluates the decision on
+//!   the *contiguous prefix* of finished coefficients, in rounds
+//!   `r = 2, …, m`. Round `r` uses exactly the first `r` coefficients,
+//!   bit-identical to what the batch pipeline would produce from the same
+//!   seed (DESIGN.md §9).
+//! * An optional [`EarlyStopRule`] ends the session once the same winner
+//!   has held with enough confidence for `stability` consecutive rounds;
+//!   round `m` always forces a decision. Because rounds — not chunks —
+//!   drive the evaluation, the verdict is invariant to chunk size and to
+//!   thread count.
+//!
+//! ## Example
+//!
+//! ```
+//! use ipmark_core::session::{EarlyStopRule, SessionOptions, SessionStatus, VerificationSession};
+//! use ipmark_core::CorrelationParams;
+//! use ipmark_traces::{Trace, TraceSet};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), ipmark_core::CoreError> {
+//! let wave = |i: usize, phase: f64| ((i as f64) * 0.3 + phase).sin();
+//! let make = |phase: f64, n: usize, seed: u64| -> TraceSet {
+//!     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+//!     let mut set = TraceSet::new("dev");
+//!     for _ in 0..n {
+//!         let noise = ipmark_power::device::gaussian(&mut rng, 0.0, 0.3);
+//!         set.push(Trace::from_samples(
+//!             (0..64).map(|i| wave(i, phase) + noise).collect(),
+//!         )).unwrap();
+//!     }
+//!     set
+//! };
+//! let refd = make(0.0, 60, 1);
+//! let duts = [make(0.0, 200, 2), make(1.6, 200, 3)]; // candidate 0 matches
+//! let params = CorrelationParams { n1: 60, n2: 200, k: 10, m: 8 };
+//! let options = SessionOptions::new(params)
+//!     .with_early_stop(EarlyStopRule { stability: 3, min_confidence_percent: 50.0 });
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let mut session = VerificationSession::new(&refd, 2, options, &mut rng)?;
+//! 'outer: for start in (0..200).step_by(16) {
+//!     for (candidate, dut) in duts.iter().enumerate() {
+//!         let chunk: Vec<Trace> = (start..(start + 16).min(200))
+//!             .map(|i| dut.trace(i).cloned())
+//!             .collect::<Result<_, _>>()?;
+//!         if let SessionStatus::Decided(v) = session.ingest_chunk(candidate, &chunk)? {
+//!             assert_eq!(v.best, 0);
+//!             break 'outer;
+//!         }
+//!     }
+//! }
+//! assert!(session.verdict().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::Rng;
+
+use ipmark_traces::average::StreamingKAverager;
+use ipmark_traces::stats::{PearsonRef, PrefixStats};
+use ipmark_traces::{Trace, TraceError, TraceSource};
+
+use crate::distinguisher::DistinguisherKind;
+use crate::error::{CoreError, SessionError};
+use crate::verify::{k_average_bounded, CorrelationParams};
+
+/// Early-stop policy: decide once the same candidate has won with at least
+/// `min_confidence_percent` confidence for `stability` consecutive rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopRule {
+    /// Consecutive confident rounds with an unchanged winner required
+    /// before deciding early. Must be at least 1.
+    pub stability: usize,
+    /// Minimum confidence distance (`Δmean` or `Δv`, in percent) a round
+    /// must reach to count toward the streak. Must be finite and ≥ 0.
+    pub min_confidence_percent: f64,
+}
+
+impl EarlyStopRule {
+    /// Checks the rule's own constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for `stability == 0` or a
+    /// non-finite/negative confidence threshold.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.stability == 0 {
+            return Err(CoreError::InvalidParams {
+                reason: "early-stop stability must be at least 1 round".into(),
+            });
+        }
+        if !self.min_confidence_percent.is_finite() || self.min_confidence_percent < 0.0 {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "early-stop confidence threshold must be a finite percentage ≥ 0, got {}",
+                    self.min_confidence_percent
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a [`VerificationSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionOptions {
+    /// The §III correlation parameters `(n1, n2, k, m)`.
+    pub params: CorrelationParams,
+    /// Which statistic decides (the paper's §V.A distinguishers).
+    pub distinguisher: DistinguisherKind,
+    /// Optional early-stop policy; without one the session always consumes
+    /// the full prefix up to round `m`.
+    pub early_stop: Option<EarlyStopRule>,
+}
+
+impl SessionOptions {
+    /// Options with the paper's better distinguisher (lower variance) and
+    /// no early stop.
+    pub fn new(params: CorrelationParams) -> Self {
+        Self {
+            params,
+            distinguisher: DistinguisherKind::default(),
+            early_stop: None,
+        }
+    }
+
+    /// Replaces the distinguisher.
+    pub fn with_distinguisher(mut self, distinguisher: DistinguisherKind) -> Self {
+        self.distinguisher = distinguisher;
+        self
+    }
+
+    /// Installs an early-stop rule.
+    pub fn with_early_stop(mut self, rule: EarlyStopRule) -> Self {
+        self.early_stop = Some(rule);
+        self
+    }
+
+    /// Checks parameters, the session's own `m ≥ 2` requirement and the
+    /// early-stop rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on any violated constraint.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.params.validate()?;
+        if self.params.m < 2 {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "streaming session needs m ≥ 2 (a single coefficient has zero variance \
+                     and admits no stable-prefix decision), got m = {}",
+                    self.params.m
+                ),
+            });
+        }
+        if let Some(rule) = &self.early_stop {
+            rule.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// The decision a session reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Index of the winning candidate.
+    pub best: usize,
+    /// Confidence distance of the deciding round (`Δmean` or `Δv`, %).
+    pub confidence_percent: f64,
+    /// Per-candidate decision statistic of the deciding round.
+    pub scores: Vec<f64>,
+    /// The round (= coefficients per candidate) that decided.
+    pub rounds_used: usize,
+    /// Per-candidate minimum number of stream traces needed to finish the
+    /// first `rounds_used` coefficients. Selections are fixed at session
+    /// construction, so this is exact and chunk-size invariant (actual
+    /// ingestion may overshoot by up to one chunk).
+    pub traces_required: Vec<usize>,
+    /// Whether the early-stop rule fired before round `m`.
+    pub early_stopped: bool,
+}
+
+/// What the caller should do after a chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionStatus {
+    /// Keep streaming: at least `traces_needed_hint` more traces (on the
+    /// candidate furthest behind) are needed before the next round can be
+    /// evaluated.
+    Continue {
+        /// Exact shortfall in traces until the next evaluation round, for
+        /// the candidate that needs the most.
+        traces_needed_hint: usize,
+    },
+    /// The session reached a verdict; further chunks are rejected.
+    Decided(Verdict),
+}
+
+/// One candidate's incremental state.
+#[derive(Debug, Clone)]
+struct Candidate {
+    /// Centered/normalized `A_RefD`, fused for `O(trace_len)` correlation.
+    kernel: PearsonRef,
+    averager: StreamingKAverager,
+    /// Coefficient per slot, filled as slots complete (out of order).
+    coefficients: Vec<Option<f64>>,
+    /// Length of the contiguous finished prefix of `coefficients`.
+    prefix: usize,
+    stats: PrefixStats,
+    /// `(mean, population variance)` after each prefix length; entry
+    /// `r - 1` is bit-identical to the batch statistics over the first
+    /// `r` coefficients.
+    snapshots: Vec<(f64, f64)>,
+}
+
+/// Incremental implementation of the §III correlation computation process
+/// plus a §V.A decision, over chunked DUT trace delivery.
+///
+/// Bit-identity contract: at any point, a candidate's finished coefficient
+/// prefix — and the decision statistics derived from it — are bitwise equal
+/// to what [`correlation_process`](crate::correlation_process) /
+/// [`correlation_process_seq`](crate::verify::correlation_process_seq)
+/// produce from clones of the same seeded RNG, regardless of chunk size or
+/// thread count (see DESIGN.md §9 and `tests/streaming_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub struct VerificationSession {
+    options: SessionOptions,
+    candidates: Vec<Candidate>,
+    /// Next round to evaluate (rounds run `2..=m`).
+    next_round: usize,
+    streak_winner: Option<usize>,
+    streak: usize,
+    verdict: Option<Verdict>,
+}
+
+impl VerificationSession {
+    /// Opens a session: draws per-candidate reference and DUT selections
+    /// from `rng` in exactly the order the batch pipeline would (one
+    /// reference `k`-average then `m` DUT selections per candidate,
+    /// candidates in index order), and fuses each `A_RefD` into a Pearson
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for invalid options or a
+    /// reference source smaller than `n1`,
+    /// [`CoreError::NotEnoughCandidates`] for fewer than two candidates,
+    /// and propagates trace/statistics errors (e.g. a zero-variance
+    /// reference).
+    pub fn new<S, R>(
+        refd: &S,
+        candidates: usize,
+        options: SessionOptions,
+        rng: &mut R,
+    ) -> Result<Self, CoreError>
+    where
+        S: TraceSource + ?Sized,
+        R: Rng + ?Sized,
+    {
+        options.validate()?;
+        if candidates < 2 {
+            return Err(CoreError::NotEnoughCandidates {
+                provided: candidates,
+            });
+        }
+        if refd.num_traces() < options.params.n1 {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "reference source holds {} traces, n1 = {}",
+                    refd.num_traces(),
+                    options.params.n1
+                ),
+            });
+        }
+        let trace_len = refd.trace_len();
+        let params = options.params;
+        let mut cands = Vec::with_capacity(candidates);
+        for _ in 0..candidates {
+            let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
+            let kernel = PearsonRef::new(a_refd.samples()).map_err(CoreError::Stats)?;
+            let averager = StreamingKAverager::new(params.n2, trace_len, params.k, params.m, rng)
+                .map_err(CoreError::Trace)?;
+            cands.push(Candidate {
+                kernel,
+                averager,
+                coefficients: vec![None; params.m],
+                prefix: 0,
+                stats: PrefixStats::new(),
+                snapshots: Vec::with_capacity(params.m),
+            });
+        }
+        Ok(Self {
+            options,
+            candidates: cands,
+            next_round: 2,
+            streak_winner: None,
+            streak: 0,
+            verdict: None,
+        })
+    }
+
+    /// Ingests the next chunk of `candidate`'s DUT stream (traces arrive in
+    /// campaign index order), updates every finished coefficient, and
+    /// evaluates any rounds the new contiguous prefixes unlock.
+    ///
+    /// A rejected chunk is atomic: the whole chunk is validated before any
+    /// sample touches a partial sum, so on error nothing was consumed and
+    /// the caller may re-supply a corrected chunk for the same indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::AlreadyDecided`] /
+    /// [`SessionError::UnknownCandidate`] / [`SessionError::TooManyTraces`]
+    /// (wrapped in [`CoreError::Session`]) for state-machine misuse, and
+    /// [`CoreError::Trace`] for malformed chunks
+    /// ([`TraceError::EmptyChunk`], [`TraceError::LengthMismatch`],
+    /// [`TraceError::NonFiniteSample`]).
+    pub fn ingest_chunk(
+        &mut self,
+        candidate: usize,
+        chunk: &[Trace],
+    ) -> Result<SessionStatus, CoreError> {
+        if self.verdict.is_some() {
+            return Err(SessionError::AlreadyDecided.into());
+        }
+        let total = self.candidates.len();
+        let cand = self
+            .candidates
+            .get_mut(candidate)
+            .ok_or(SessionError::UnknownCandidate {
+                candidate,
+                candidates: total,
+            })?;
+        if chunk.is_empty() {
+            return Err(CoreError::Trace(TraceError::EmptyChunk));
+        }
+        let trace_len = cand.averager.trace_len();
+        let budget = cand.averager.population();
+        if cand.averager.ingested() + chunk.len() > budget {
+            return Err(SessionError::TooManyTraces { candidate, budget }.into());
+        }
+        for (offset, trace) in chunk.iter().enumerate() {
+            let samples = trace.samples();
+            if samples.len() != trace_len {
+                return Err(CoreError::Trace(TraceError::LengthMismatch {
+                    expected: trace_len,
+                    provided: samples.len(),
+                }));
+            }
+            if let Some(sample_index) = samples.iter().position(|s| !s.is_finite()) {
+                return Err(CoreError::Trace(TraceError::NonFiniteSample {
+                    trace_index: cand.averager.ingested() + offset,
+                    sample_index,
+                }));
+            }
+        }
+
+        // The chunk is clean; ingestion can no longer fail.
+        let mut finished: Vec<(usize, Trace)> = Vec::new();
+        for trace in chunk {
+            finished.extend(
+                cand.averager
+                    .ingest(trace.samples())
+                    .map_err(CoreError::Trace)?,
+            );
+        }
+
+        // Correlate every average the chunk completed. Coefficients are
+        // independent, so the parallel map is bitwise equal to the
+        // sequential loop (same `PearsonRef::correlate` per slot).
+        #[cfg(feature = "parallel")]
+        let coefficients: Vec<f64> = {
+            let kernel = &cand.kernel;
+            ipmark_parallel::par_try_map_indexed(finished.len(), |i| {
+                kernel
+                    .correlate(finished[i].1.samples())
+                    .map_err(CoreError::Stats)
+            })?
+        };
+        #[cfg(not(feature = "parallel"))]
+        let coefficients: Vec<f64> = finished
+            .iter()
+            .map(|(_, average)| {
+                cand.kernel
+                    .correlate(average.samples())
+                    .map_err(CoreError::Stats)
+            })
+            .collect::<Result<_, CoreError>>()?;
+
+        for ((slot, _), coefficient) in finished.iter().zip(coefficients) {
+            cand.coefficients[*slot] = Some(coefficient);
+        }
+        // Push the prefix forward in slot order so the running statistics
+        // see coefficients exactly as the batch statistics would.
+        while let Some(Some(c)) = cand.coefficients.get(cand.prefix).copied() {
+            cand.stats.push(c);
+            cand.snapshots
+                .push((cand.stats.mean(), cand.stats.variance_population()));
+            cand.prefix += 1;
+        }
+
+        self.evaluate_rounds()?;
+        Ok(self.status())
+    }
+
+    /// The session's current status without ingesting anything.
+    pub fn status(&self) -> SessionStatus {
+        if let Some(v) = &self.verdict {
+            return SessionStatus::Decided(v.clone());
+        }
+        let next = self.next_round.min(self.options.params.m);
+        let traces_needed_hint = self
+            .candidates
+            .iter()
+            .map(|c| {
+                c.averager
+                    .traces_required_for_slots(next)
+                    .saturating_sub(c.averager.ingested())
+            })
+            .max()
+            .unwrap_or(0);
+        SessionStatus::Continue { traces_needed_hint }
+    }
+
+    /// Forces a decision on the currently shared coefficient prefix, for
+    /// callers whose stream ended before the session decided. Idempotent
+    /// once decided.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotEnoughCoefficients`] when some candidate has
+    /// fewer than two finished coefficients in its contiguous prefix.
+    pub fn finalize(&mut self) -> Result<Verdict, CoreError> {
+        if let Some(v) = &self.verdict {
+            return Ok(v.clone());
+        }
+        let (laggard, prefix) = self
+            .candidates
+            .iter()
+            .map(|c| c.prefix)
+            .enumerate()
+            .min_by_key(|&(_, p)| p)
+            .ok_or(CoreError::Invariant(
+                "session holds at least two candidates",
+            ))?;
+        if prefix < 2 {
+            return Err(CoreError::NotEnoughCoefficients {
+                candidate: laggard,
+                provided: prefix,
+            });
+        }
+        let verdict = self.decide_round(prefix, prefix < self.options.params.m)?;
+        self.verdict = Some(verdict.clone());
+        Ok(verdict)
+    }
+
+    /// The verdict, once reached.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        self.verdict.as_ref()
+    }
+
+    /// Whether the session reached a verdict.
+    pub fn is_decided(&self) -> bool {
+        self.verdict.is_some()
+    }
+
+    /// The session's configuration.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Number of candidates.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// A candidate's finished coefficient for `slot`, if complete.
+    pub fn coefficient(&self, candidate: usize, slot: usize) -> Option<f64> {
+        self.candidates
+            .get(candidate)
+            .and_then(|c| c.coefficients.get(slot))
+            .copied()
+            .flatten()
+    }
+
+    /// Length of a candidate's contiguous finished-coefficient prefix.
+    pub fn completed_prefix(&self, candidate: usize) -> usize {
+        self.candidates.get(candidate).map_or(0, |c| c.prefix)
+    }
+
+    /// Traces ingested so far for a candidate.
+    pub fn traces_ingested(&self, candidate: usize) -> usize {
+        self.candidates
+            .get(candidate)
+            .map_or(0, |c| c.averager.ingested())
+    }
+
+    /// Evaluates every round the shared prefix allows, in increasing round
+    /// order — this is what makes the verdict chunk-size invariant: the
+    /// same rounds see the same statistics no matter how ingestion was
+    /// partitioned.
+    fn evaluate_rounds(&mut self) -> Result<(), CoreError> {
+        let m = self.options.params.m;
+        let shared_prefix = self.candidates.iter().map(|c| c.prefix).min().unwrap_or(0);
+        while self.verdict.is_none() && self.next_round <= shared_prefix.min(m) {
+            let round = self.next_round;
+            let decision = self.round_decision(round)?;
+            if let Some(rule) = &self.options.early_stop {
+                if decision.confidence_percent >= rule.min_confidence_percent {
+                    if self.streak_winner == Some(decision.best) {
+                        self.streak += 1;
+                    } else {
+                        self.streak_winner = Some(decision.best);
+                        self.streak = 1;
+                    }
+                } else {
+                    self.streak_winner = None;
+                    self.streak = 0;
+                }
+                if self.streak >= rule.stability {
+                    self.verdict = Some(self.decide_round(round, round < m)?);
+                }
+            }
+            if self.verdict.is_none() && round == m {
+                self.verdict = Some(self.decide_round(round, false)?);
+            }
+            self.next_round = round + 1;
+        }
+        Ok(())
+    }
+
+    /// The distinguisher decision over the first `round` coefficients.
+    fn round_decision(&self, round: usize) -> Result<crate::Decision, CoreError> {
+        let scores = self
+            .candidates
+            .iter()
+            .map(|c| {
+                c.snapshots
+                    .get(round - 1)
+                    .map(|&(mean, variance)| match self.options.distinguisher {
+                        DistinguisherKind::Mean => mean,
+                        DistinguisherKind::Variance => variance,
+                    })
+                    .ok_or(CoreError::Invariant("round beyond a candidate's prefix"))
+            })
+            .collect::<Result<Vec<f64>, CoreError>>()?;
+        self.options.distinguisher.decide_scores(scores)
+    }
+
+    fn decide_round(&self, round: usize, early_stopped: bool) -> Result<Verdict, CoreError> {
+        let decision = self.round_decision(round)?;
+        Ok(Verdict {
+            best: decision.best,
+            confidence_percent: decision.confidence_percent,
+            scores: decision.scores,
+            rounds_used: round,
+            traces_required: self
+                .candidates
+                .iter()
+                .map(|c| c.averager.traces_required_for_slots(round))
+                .collect(),
+            early_stopped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinguisher::Distinguisher;
+    use crate::verify::{correlation_process, correlation_process_seq};
+    use ipmark_traces::TraceSet;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn noisy_set(device: &str, phase: f64, n: usize, seed: u64) -> TraceSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut set = TraceSet::new(device);
+        for _ in 0..n {
+            let samples: Vec<f64> = (0..96)
+                .map(|i| {
+                    (i as f64 * 0.31 + phase).sin()
+                        + ipmark_power::device::gaussian(&mut rng, 0.0, 0.4)
+                })
+                .collect();
+            set.push(Trace::from_samples(samples)).unwrap();
+        }
+        set
+    }
+
+    fn params() -> CorrelationParams {
+        CorrelationParams {
+            n1: 50,
+            n2: 240,
+            k: 12,
+            m: 8,
+        }
+    }
+
+    /// Streams `duts` into `session` in `chunk` sized pieces, candidate by
+    /// candidate per wave, until a verdict or stream end.
+    fn drive(
+        session: &mut VerificationSession,
+        duts: &[&TraceSet],
+        chunk: usize,
+        n2: usize,
+    ) -> Option<Verdict> {
+        let mut start = 0;
+        while start < n2 {
+            let end = (start + chunk).min(n2);
+            for (candidate, dut) in duts.iter().enumerate() {
+                let traces: Vec<Trace> = (start..end)
+                    .map(|i| dut.trace(i).unwrap().clone())
+                    .collect();
+                match session.ingest_chunk(candidate, &traces) {
+                    Ok(SessionStatus::Decided(v)) => return Some(v),
+                    Ok(SessionStatus::Continue { .. }) => {}
+                    Err(e) => panic!("ingest failed: {e}"),
+                }
+            }
+            start = end;
+        }
+        None
+    }
+
+    #[test]
+    fn full_session_matches_batch_bitwise() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let duts = [
+            noisy_set("d0", 1.3, 240, 2),
+            noisy_set("d1", 0.0, 240, 3),
+            noisy_set("d2", 2.2, 240, 4),
+        ];
+        let p = params();
+        for chunk in [1usize, 7, 64, 240] {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let mut session =
+                VerificationSession::new(&refd, 3, SessionOptions::new(p), &mut rng).unwrap();
+            let verdict = drive(&mut session, &[&duts[0], &duts[1], &duts[2]], chunk, p.n2)
+                .expect("no early stop: the m-th round must decide");
+
+            // Batch reference: the CLI's sequential candidate loop.
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let sets: Vec<_> = duts
+                .iter()
+                .map(|d| correlation_process(&refd, d, &p, &mut rng).unwrap())
+                .collect();
+            for (candidate, set) in sets.iter().enumerate() {
+                for (slot, &expected) in set.coefficients().iter().enumerate() {
+                    let got = session.coefficient(candidate, slot).unwrap();
+                    assert_eq!(
+                        got.to_bits(),
+                        expected.to_bits(),
+                        "chunk {chunk}, candidate {candidate}, slot {slot}"
+                    );
+                }
+            }
+            let batch = crate::LowerVariance.decide(&sets).unwrap();
+            assert_eq!(verdict.best, batch.best, "chunk {chunk}");
+            assert_eq!(
+                verdict.confidence_percent.to_bits(),
+                batch.confidence_percent.to_bits()
+            );
+            assert_eq!(verdict.rounds_used, p.m);
+            assert!(!verdict.early_stopped);
+            assert_eq!(verdict.best, 1);
+        }
+    }
+
+    #[test]
+    fn session_matches_sequential_reference_too() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let duts = [noisy_set("d0", 0.0, 240, 2), noisy_set("d1", 0.9, 240, 3)];
+        let p = params();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut session =
+            VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).unwrap();
+        drive(&mut session, &[&duts[0], &duts[1]], 23, p.n2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for (candidate, dut) in duts.iter().enumerate() {
+            let set = correlation_process_seq(&refd, dut, &p, &mut rng).unwrap();
+            for (slot, &expected) in set.coefficients().iter().enumerate() {
+                assert_eq!(
+                    session.coefficient(candidate, slot).unwrap().to_bits(),
+                    expected.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_decides_before_the_full_campaign() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let duts = [noisy_set("d0", 0.0, 240, 2), noisy_set("d1", 1.4, 240, 3)];
+        let p = params();
+        let options = SessionOptions::new(p).with_early_stop(EarlyStopRule {
+            stability: 2,
+            min_confidence_percent: 10.0,
+        });
+        let mut verdicts = Vec::new();
+        for chunk in [1usize, 13, 60] {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let mut session = VerificationSession::new(&refd, 2, options, &mut rng).unwrap();
+            let verdict = drive(&mut session, &[&duts[0], &duts[1]], chunk, p.n2)
+                .expect("matched DUT should trigger the early stop");
+            assert!(verdict.early_stopped);
+            assert!(verdict.rounds_used < p.m);
+            assert_eq!(verdict.best, 0);
+            assert!(verdict.traces_required.iter().all(|&t| t <= p.n2));
+            verdicts.push(verdict);
+        }
+        // Chunk-size invariance: identical verdict, rounds and (exact)
+        // trace requirements for every delivery granularity.
+        assert_eq!(verdicts[0], verdicts[1]);
+        assert_eq!(verdicts[0], verdicts[2]);
+    }
+
+    #[test]
+    fn state_machine_misuse_is_typed() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let dut = noisy_set("d0", 0.0, 240, 2);
+        let p = params();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut session =
+            VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).unwrap();
+
+        let chunk: Vec<Trace> = (0..4).map(|i| dut.trace(i).unwrap().clone()).collect();
+        assert!(matches!(
+            session.ingest_chunk(5, &chunk),
+            Err(CoreError::Session(SessionError::UnknownCandidate {
+                candidate: 5,
+                candidates: 2
+            }))
+        ));
+        assert!(matches!(
+            session.ingest_chunk(0, &[]),
+            Err(CoreError::Trace(TraceError::EmptyChunk))
+        ));
+
+        // Oversized delivery: budget is n2 per candidate.
+        let all: Vec<Trace> = (0..240).map(|i| dut.trace(i).unwrap().clone()).collect();
+        session.ingest_chunk(0, &all).unwrap();
+        assert!(matches!(
+            session.ingest_chunk(0, &chunk),
+            Err(CoreError::Session(SessionError::TooManyTraces {
+                candidate: 0,
+                budget: 240
+            }))
+        ));
+
+        // Malformed chunks are rejected atomically: nothing consumed.
+        let before = session.traces_ingested(1);
+        let mut bad = chunk.clone();
+        bad[2] = Trace::from_samples(vec![1.0, f64::NAN]);
+        assert!(matches!(
+            session.ingest_chunk(1, &bad),
+            Err(CoreError::Trace(TraceError::LengthMismatch { .. }))
+        ));
+        let mut nan = chunk.clone();
+        nan[1] = Trace::from_samples(vec![f64::NAN; 96]);
+        assert!(matches!(
+            session.ingest_chunk(1, &nan),
+            Err(CoreError::Trace(TraceError::NonFiniteSample {
+                trace_index: 1,
+                sample_index: 0
+            }))
+        ));
+        assert_eq!(session.traces_ingested(1), before);
+        // The clean chunk for the same indices still goes through.
+        session.ingest_chunk(1, &chunk).unwrap();
+        assert_eq!(session.traces_ingested(1), before + 4);
+    }
+
+    #[test]
+    fn ingest_after_verdict_is_rejected() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let duts = [noisy_set("d0", 0.0, 240, 2), noisy_set("d1", 1.4, 240, 3)];
+        let p = params();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut session =
+            VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).unwrap();
+        drive(&mut session, &[&duts[0], &duts[1]], 240, p.n2).unwrap();
+        assert!(session.is_decided());
+        let chunk: Vec<Trace> = vec![duts[0].trace(0).unwrap().clone()];
+        assert!(matches!(
+            session.ingest_chunk(0, &chunk),
+            Err(CoreError::Session(SessionError::AlreadyDecided))
+        ));
+    }
+
+    #[test]
+    fn finalize_needs_two_coefficients_per_candidate() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let dut = noisy_set("d0", 0.0, 240, 2);
+        let p = params();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut session =
+            VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).unwrap();
+        // Candidate 1 never receives a trace: prefix 0 → typed error.
+        let chunk: Vec<Trace> = (0..240).map(|i| dut.trace(i).unwrap().clone()).collect();
+        session.ingest_chunk(0, &chunk).unwrap();
+        assert!(matches!(
+            session.finalize(),
+            Err(CoreError::NotEnoughCoefficients {
+                candidate: 1,
+                provided: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn finalize_on_a_partial_stream_decides_from_the_shared_prefix() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let duts = [noisy_set("d0", 0.0, 240, 2), noisy_set("d1", 1.4, 240, 3)];
+        // A small k spreads slot-completion times far apart, so partial
+        // prefixes are wide states rather than a burst near index n2.
+        let p = CorrelationParams {
+            n1: 50,
+            n2: 240,
+            k: 3,
+            m: 8,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut session =
+            VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).unwrap();
+        // Deliver the campaign one trace at a time and stop as soon as
+        // both candidates have at least 4 finished coefficients — a
+        // partial stream that ends before round m.
+        let mut next = 0;
+        while session.completed_prefix(0) < 4 || session.completed_prefix(1) < 4 {
+            for (candidate, dut) in duts.iter().enumerate() {
+                let chunk = vec![dut.trace(next).unwrap().clone()];
+                session.ingest_chunk(candidate, &chunk).unwrap();
+            }
+            next += 1;
+        }
+        assert!(!session.is_decided());
+        let verdict = session.finalize().unwrap();
+        assert!(verdict.rounds_used >= 4);
+        assert!(verdict.early_stopped);
+        assert_eq!(verdict.best, 0);
+        // Idempotent.
+        assert_eq!(session.finalize().unwrap(), verdict);
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_configurations() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let p = params();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(matches!(
+            VerificationSession::new(&refd, 1, SessionOptions::new(p), &mut rng),
+            Err(CoreError::NotEnoughCandidates { provided: 1 })
+        ));
+        let m1 = CorrelationParams {
+            n1: 50,
+            n2: 240,
+            k: 12,
+            m: 1,
+        };
+        assert!(matches!(
+            VerificationSession::new(&refd, 2, SessionOptions::new(m1), &mut rng),
+            Err(CoreError::InvalidParams { .. })
+        ));
+        let big_n1 = CorrelationParams { n1: 51, ..p };
+        assert!(matches!(
+            VerificationSession::new(&refd, 2, SessionOptions::new(big_n1), &mut rng),
+            Err(CoreError::InvalidParams { .. })
+        ));
+        assert!(EarlyStopRule {
+            stability: 0,
+            min_confidence_percent: 50.0
+        }
+        .validate()
+        .is_err());
+        assert!(EarlyStopRule {
+            stability: 1,
+            min_confidence_percent: f64::NAN
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn continue_hint_is_an_exact_shortfall() {
+        let refd = noisy_set("r", 0.0, 50, 1);
+        let duts = [noisy_set("d0", 0.0, 240, 2), noisy_set("d1", 1.4, 240, 3)];
+        let p = params();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut session =
+            VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).unwrap();
+        let SessionStatus::Continue { traces_needed_hint } = session.status() else {
+            panic!("fresh session cannot be decided");
+        };
+        // Feeding exactly the hinted number of traces to every candidate
+        // must unlock round 2 (prefix ≥ 2 everywhere).
+        for (candidate, dut) in duts.iter().enumerate() {
+            let chunk: Vec<Trace> = (0..traces_needed_hint)
+                .map(|i| dut.trace(i).unwrap().clone())
+                .collect();
+            session.ingest_chunk(candidate, &chunk).unwrap();
+        }
+        assert!(session.completed_prefix(0) >= 2);
+        assert!(session.completed_prefix(1) >= 2);
+        assert!(session.next_round > 2, "round 2 must have been evaluated");
+    }
+}

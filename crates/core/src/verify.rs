@@ -357,7 +357,7 @@ impl<S: TraceSource + ?Sized> TraceSource for BoundedSource<'_, S> {
     }
 }
 
-fn k_average_bounded<S: TraceSource + ?Sized, R: Rng + ?Sized>(
+pub(crate) fn k_average_bounded<S: TraceSource + ?Sized, R: Rng + ?Sized>(
     source: &S,
     limit: usize,
     k: usize,

@@ -185,6 +185,23 @@ impl SimulatedAcquisition {
         }
     }
 
+    /// Streams the campaign as fixed-size chunks — the delivery shape a
+    /// streaming verification session (backed by
+    /// [`StreamingKAverager`](ipmark_traces::average::StreamingKAverager))
+    /// consumes. Traces arrive in campaign index order, so the stream is
+    /// bit-identical to what [`SimulatedAcquisition::acquire_all`] would
+    /// have materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptyChunk`] for a zero chunk size.
+    pub fn chunked(
+        &self,
+        chunk_size: usize,
+    ) -> Result<ipmark_traces::streaming::ChunkedSource<'_, Self>, TraceError> {
+        ipmark_traces::streaming::ChunkedSource::new(self, chunk_size)
+    }
+
     /// The sequential reference implementation of
     /// [`SimulatedAcquisition::acquire_all`].
     ///
@@ -360,6 +377,26 @@ mod tests {
             MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 0.9, 0.15, None).unwrap();
         let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 17, 5).unwrap();
         assert_eq!(acq.acquire_all().unwrap(), acq.acquire_all_seq().unwrap());
+    }
+
+    #[test]
+    fn chunked_stream_matches_materialized_campaign() {
+        let mut circuit = test_circuit();
+        let device = test_device();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 0.9, 0.1, None).unwrap();
+        let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 11, 9).unwrap();
+        let mut chunks = acq.chunked(4).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(chunk) = chunks.next_chunk().unwrap() {
+            streamed.extend(chunk);
+        }
+        let batch = acq.acquire_all().unwrap();
+        assert_eq!(streamed.len(), batch.len());
+        for (i, trace) in streamed.iter().enumerate() {
+            assert_eq!(trace, batch.trace(i).unwrap());
+        }
+        assert!(acq.chunked(0).is_err());
     }
 
     #[test]

@@ -144,6 +144,199 @@ fn draw_selections<S: TraceSource + ?Sized, R: Rng + ?Sized>(
         .collect()
 }
 
+/// Builds the `m` `k`-averaged traces of one device from a stream of traces
+/// arriving in index order, without materializing the backing population.
+///
+/// The constructor pre-draws the `m` index selections exactly as
+/// [`k_averages`] does, consuming the RNG identically. Because
+/// [`uniform_distinct_indices`] returns selections in ascending order, the
+/// batch path accumulates each average lowest-index-first — which is
+/// precisely the order the stream delivers traces. Each arriving trace is
+/// added into every partial average that selected it (`acc[j] += s[j]`,
+/// the same element-wise addition [`mean_of_indices`] performs), and a
+/// slot that receives its `k`-th trace is finalized by the same `× 1/k`
+/// scaling. The finished averages are therefore **bit-identical** to the
+/// batch result, while memory stays at `O(m × trace_len)` instead of
+/// `O(n2 × trace_len)`.
+///
+/// Slots complete out of slot order (slot completion is governed by each
+/// selection's *largest* index); [`StreamingKAverager::ingest`] reports
+/// which slots finished so the caller can maintain contiguous-prefix
+/// semantics.
+#[derive(Debug, Clone)]
+pub struct StreamingKAverager {
+    /// Ascending index selection per slot, drawn up front.
+    selections: Vec<Vec<usize>>,
+    slots: Vec<Slot>,
+    trace_len: usize,
+    population: usize,
+    next_index: usize,
+    completed: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Next unmatched position in this slot's selection.
+    cursor: usize,
+    /// Partial sum, allocated on first contribution and released on
+    /// completion so peak memory tracks only *active* slots.
+    acc: Option<Vec<f64>>,
+}
+
+impl StreamingKAverager {
+    /// Draws the `m` selections over a population of `population` traces of
+    /// `trace_len` samples each.
+    ///
+    /// Consumes `rng` exactly as [`k_averages`] over the same population
+    /// does, so a batch and a streaming run from clones of one seeded RNG
+    /// average identical subsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptyTrace`] for `trace_len == 0`,
+    /// [`TraceError::EmptySet`] for `m == 0` and a selection error when `k`
+    /// is zero or exceeds `population`.
+    pub fn new<R: Rng + ?Sized>(
+        population: usize,
+        trace_len: usize,
+        k: usize,
+        m: usize,
+        rng: &mut R,
+    ) -> Result<Self, TraceError> {
+        if trace_len == 0 {
+            return Err(TraceError::EmptyTrace);
+        }
+        if m == 0 {
+            return Err(TraceError::EmptySet);
+        }
+        let selections: Vec<Vec<usize>> = (0..m)
+            .map(|_| Ok(uniform_distinct_indices(population, k, rng)?))
+            .collect::<Result<_, TraceError>>()?;
+        let slots = (0..m)
+            .map(|_| Slot {
+                cursor: 0,
+                acc: None,
+            })
+            .collect();
+        Ok(Self {
+            selections,
+            slots,
+            trace_len,
+            population,
+            next_index: 0,
+            completed: 0,
+        })
+    }
+
+    /// Ingests the next trace of the stream (index [`Self::ingested`]) and
+    /// returns the slots it completed, as `(slot, finished_average)` pairs.
+    ///
+    /// A rejected trace is **not** consumed: the stream index does not
+    /// advance and no partial sum is touched, so the caller can re-supply a
+    /// corrected measurement for the same index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::IndexOutOfRange`] once `population` traces
+    /// have been ingested, [`TraceError::LengthMismatch`] for a wrong
+    /// sample count and [`TraceError::NonFiniteSample`] for NaN/infinite
+    /// samples.
+    pub fn ingest(&mut self, samples: &[f64]) -> Result<Vec<(usize, Trace)>, TraceError> {
+        let index = self.next_index;
+        if index >= self.population {
+            return Err(TraceError::IndexOutOfRange {
+                index,
+                available: self.population,
+            });
+        }
+        if samples.len() != self.trace_len {
+            return Err(TraceError::LengthMismatch {
+                expected: self.trace_len,
+                provided: samples.len(),
+            });
+        }
+        if let Some(sample_index) = samples.iter().position(|s| !s.is_finite()) {
+            return Err(TraceError::NonFiniteSample {
+                trace_index: index,
+                sample_index,
+            });
+        }
+
+        let mut finished = Vec::new();
+        for (slot_idx, slot) in self.slots.iter_mut().enumerate() {
+            let selection = &self.selections[slot_idx];
+            if slot.cursor >= selection.len() || selection[slot.cursor] != index {
+                continue;
+            }
+            let acc = slot.acc.get_or_insert_with(|| vec![0.0; samples.len()]);
+            for (a, s) in acc.iter_mut().zip(samples) {
+                *a += s;
+            }
+            slot.cursor += 1;
+            if slot.cursor == selection.len() {
+                // Same finalization as `mean_of_indices`: scale the sum by
+                // the reciprocal of the selection length.
+                let mut sum = slot.acc.take().unwrap_or_default();
+                let scale = 1.0 / selection.len() as f64;
+                for a in &mut sum {
+                    *a *= scale;
+                }
+                finished.push((slot_idx, Trace::from_samples(sum)));
+            }
+        }
+        self.next_index += 1;
+        self.completed += finished.len();
+        Ok(finished)
+    }
+
+    /// Number of traces ingested so far (= the index of the next trace).
+    pub fn ingested(&self) -> usize {
+        self.next_index
+    }
+
+    /// Size of the backing population (`n2`).
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Samples per trace.
+    pub fn trace_len(&self) -> usize {
+        self.trace_len
+    }
+
+    /// Number of slots (`m`).
+    pub fn num_slots(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// Number of slots whose average is finished.
+    pub fn completed_slots(&self) -> usize {
+        self.completed
+    }
+
+    /// Whether every slot has finished.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.selections.len()
+    }
+
+    /// The ascending index selection of every slot.
+    pub fn selections(&self) -> &[Vec<usize>] {
+        &self.selections
+    }
+
+    /// How many stream traces must be ingested before the first `slots`
+    /// slots are all complete (0 for `slots == 0`; `slots` saturates at
+    /// `m`). Selections are fixed at construction, so this is an exact
+    /// prediction, not an estimate.
+    pub fn traces_required_for_slots(&self, slots: usize) -> usize {
+        self.selections[..slots.min(self.selections.len())]
+            .iter()
+            .filter_map(|sel| sel.last().map(|&last| last + 1))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +440,138 @@ mod tests {
                 .unwrap();
             assert_eq!(got, baseline, "threads = {threads}");
         }
+    }
+
+    fn noisy_test_set(n: usize, len: usize, seed: u64) -> TraceSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut set = TraceSet::new("stream");
+        use rand::Rng as _;
+        for _ in 0..n {
+            set.push(Trace::from_samples(
+                (0..len)
+                    .map(|i| (i as f64 * 0.31).sin() + rng.gen_range(-0.5..0.5))
+                    .collect(),
+            ))
+            .unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn streaming_averager_is_bitwise_equal_to_batch() {
+        let set = noisy_test_set(120, 16, 5);
+        for seed in 0..4u64 {
+            let batch = k_averages(&set, 9, 7, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            let mut streamer =
+                StreamingKAverager::new(set.len(), 16, 9, 7, &mut ChaCha8Rng::seed_from_u64(seed))
+                    .unwrap();
+            let mut streamed: Vec<Option<Trace>> = vec![None; 7];
+            for trace in set.iter() {
+                for (slot, avg) in streamer.ingest(trace.samples()).unwrap() {
+                    assert!(streamed[slot].is_none(), "slot {slot} completed twice");
+                    streamed[slot] = Some(avg);
+                }
+            }
+            assert!(streamer.is_complete());
+            for (slot, avg) in streamed.iter().enumerate() {
+                let got = avg.as_ref().expect("every slot completes");
+                let got_bits: Vec<u64> = got.samples().iter().map(|s| s.to_bits()).collect();
+                let want_bits: Vec<u64> =
+                    batch[slot].samples().iter().map(|s| s.to_bits()).collect();
+                assert_eq!(got_bits, want_bits, "seed {seed}, slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_averager_consumes_rng_like_batch() {
+        use rand::RngCore as _;
+        let set = noisy_test_set(50, 4, 1);
+        let mut r1 = ChaCha8Rng::seed_from_u64(8);
+        let mut r2 = ChaCha8Rng::seed_from_u64(8);
+        k_averages(&set, 5, 6, &mut r1).unwrap();
+        StreamingKAverager::new(50, 4, 5, 6, &mut r2).unwrap();
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn streaming_averager_rejects_bad_input_without_consuming() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut s = StreamingKAverager::new(10, 3, 2, 2, &mut rng).unwrap();
+        assert!(matches!(
+            s.ingest(&[1.0, 2.0]),
+            Err(TraceError::LengthMismatch {
+                expected: 3,
+                provided: 2
+            })
+        ));
+        assert!(matches!(
+            s.ingest(&[1.0, f64::NAN, 2.0]),
+            Err(TraceError::NonFiniteSample {
+                trace_index: 0,
+                sample_index: 1
+            })
+        ));
+        // Rejections did not advance the stream: a corrected trace for the
+        // same index is accepted.
+        assert_eq!(s.ingested(), 0);
+        for i in 0..10 {
+            s.ingest(&[i as f64, 1.0, 2.0]).unwrap();
+        }
+        assert!(s.is_complete());
+        assert!(matches!(
+            s.ingest(&[0.0, 0.0, 0.0]),
+            Err(TraceError::IndexOutOfRange {
+                index: 10,
+                available: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn streaming_averager_rejects_degenerate_construction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(matches!(
+            StreamingKAverager::new(10, 0, 2, 2, &mut rng),
+            Err(TraceError::EmptyTrace)
+        ));
+        assert!(matches!(
+            StreamingKAverager::new(10, 3, 2, 0, &mut rng),
+            Err(TraceError::EmptySet)
+        ));
+        assert!(StreamingKAverager::new(3, 3, 4, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn traces_required_predicts_completion_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut s = StreamingKAverager::new(40, 2, 6, 5, &mut rng).unwrap();
+        let required: Vec<usize> = (0..=5).map(|r| s.traces_required_for_slots(r)).collect();
+        assert_eq!(required[0], 0);
+        assert!(required.windows(2).all(|w| w[0] <= w[1]));
+        // Feed the stream; after exactly required[r] traces the first r
+        // slots must all be complete (and not one trace earlier).
+        let mut done = [false; 5];
+        for i in 0..40 {
+            for (slot, _) in s.ingest(&[i as f64, 2.0 * i as f64 + 1.0]).unwrap() {
+                done[slot] = true;
+            }
+            let fed = i + 1;
+            for r in 1..=5 {
+                let prefix_done = done[..r].iter().all(|&d| d);
+                assert_eq!(
+                    prefix_done,
+                    fed >= required[r],
+                    "prefix {r} after {fed} traces"
+                );
+            }
+        }
+        assert!(s.is_complete());
+        assert_eq!(s.completed_slots(), 5);
+        assert_eq!(s.num_slots(), 5);
+        assert_eq!(s.population(), 40);
+        assert_eq!(s.trace_len(), 2);
+        assert_eq!(s.selections().len(), 5);
     }
 
     #[test]

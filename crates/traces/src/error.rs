@@ -90,6 +90,20 @@ pub enum TraceError {
     },
     /// A trace with zero samples was provided.
     EmptyTrace,
+    /// A streamed trace carried a non-finite (NaN/infinite) sample.
+    ///
+    /// Streaming accumulators reject the trace *before* touching any
+    /// partial sum — one corrupted chunk must not poison the whole
+    /// session — so the caller may re-supply a clean measurement for the
+    /// same index and continue.
+    NonFiniteSample {
+        /// Stream index of the offending trace.
+        trace_index: usize,
+        /// Position of the first non-finite sample within the trace.
+        sample_index: usize,
+    },
+    /// A chunked reader was configured with a zero chunk size.
+    EmptyChunk,
     /// An underlying statistics error.
     Stats(StatsError),
     /// An underlying selection error.
@@ -110,6 +124,16 @@ impl fmt::Display for TraceError {
                 write!(f, "trace index {index} out of range (have {available})")
             }
             TraceError::EmptyTrace => write!(f, "trace has zero samples"),
+            TraceError::NonFiniteSample {
+                trace_index,
+                sample_index,
+            } => {
+                write!(
+                    f,
+                    "streamed trace {trace_index} has a non-finite sample at position {sample_index}"
+                )
+            }
+            TraceError::EmptyChunk => write!(f, "chunk size must be at least 1"),
             TraceError::Stats(e) => write!(f, "statistics error: {e}"),
             TraceError::Select(e) => write!(f, "selection error: {e}"),
         }
@@ -163,6 +187,11 @@ mod tests {
                 available: 3,
             }),
             Box::new(TraceError::EmptyTrace),
+            Box::new(TraceError::NonFiniteSample {
+                trace_index: 7,
+                sample_index: 2,
+            }),
+            Box::new(TraceError::EmptyChunk),
             Box::new(TraceError::Stats(StatsError::ZeroVariance)),
             Box::new(TraceError::Select(SelectError::EmptySelection)),
         ];

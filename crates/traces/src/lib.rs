@@ -45,6 +45,7 @@ pub mod io;
 pub mod preprocess;
 pub mod select;
 pub mod stats;
+pub mod streaming;
 pub mod trace;
 
 pub use error::{SelectError, StatsError, TraceError};

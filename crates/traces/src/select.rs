@@ -10,11 +10,16 @@ use rand::Rng;
 
 use crate::error::SelectError;
 
-/// Selects `k` distinct indices uniformly at random from `0..n`.
+/// Selects `k` distinct indices uniformly at random from `0..n`,
+/// returned in **ascending order**.
 ///
-/// Every `k`-subset of `0..n` is equally likely (Floyd's algorithm). The
-/// returned order is not itself uniform over permutations, which is
-/// irrelevant here: the verification process only averages over the subset.
+/// Every `k`-subset of `0..n` is equally likely (Floyd's algorithm); only
+/// the subset matters to the verification process, which averages over it.
+/// The ascending order is a deliberate contract (DESIGN.md §9): batch
+/// averaging accumulates the selected traces lowest-index-first, which is
+/// exactly the order a *streaming* consumer sees them arrive — so the batch
+/// and streaming paths perform the identical floating-point operation
+/// sequence and stay bit-identical.
 ///
 /// # Errors
 ///
@@ -49,25 +54,18 @@ pub fn uniform_distinct_indices<R: Rng + ?Sized>(
     // unless already chosen, in which case insert j. Membership uses a
     // sorted Vec + binary search instead of a HashSet so iteration-order
     // nondeterminism can never leak into the result (determinism contract,
-    // DESIGN.md §7); memory stays O(k).
+    // DESIGN.md §7); memory stays O(k). The sorted membership vector *is*
+    // the result: when `t` collides, `j` exceeds every previously chosen
+    // value, so pushing it keeps the vector sorted.
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
-    let mut out = Vec::with_capacity(k);
     for j in (n - k)..n {
         let t = rng.gen_range(0..=j);
-        let pick = match chosen.binary_search(&t) {
-            Err(pos) => {
-                chosen.insert(pos, t);
-                t
-            }
-            Ok(_) => {
-                // `j` exceeds every previously chosen value, so it is new.
-                chosen.push(j);
-                j
-            }
-        };
-        out.push(pick);
+        match chosen.binary_search(&t) {
+            Err(pos) => chosen.insert(pos, t),
+            Ok(_) => chosen.push(j),
+        }
     }
-    Ok(out)
+    Ok(chosen)
 }
 
 #[cfg(test)]
@@ -105,9 +103,19 @@ mod tests {
     #[test]
     fn k_equals_n_selects_everything() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let mut picks = uniform_distinct_indices(20, 20, &mut rng).unwrap();
-        picks.sort_unstable();
+        let picks = uniform_distinct_indices(20, 20, &mut rng).unwrap();
         assert_eq!(picks, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn selections_are_sorted_ascending() {
+        // The ascending-order contract that keeps the batch and streaming
+        // averaging paths bit-identical (DESIGN.md §9).
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..200 {
+            let picks = uniform_distinct_indices(500, 40, &mut rng).unwrap();
+            assert!(picks.windows(2).all(|w| w[0] < w[1]), "unsorted: {picks:?}");
+        }
     }
 
     #[test]

@@ -137,6 +137,69 @@ impl RunningStats {
     }
 }
 
+/// Incrementally tracks the mean and population variance of a growing
+/// prefix of a series, **bit-identical** to calling [`mean`] /
+/// [`variance_population`] on that prefix.
+///
+/// This is what lets a streaming verification session evaluate the
+/// distinguisher statistics after every newly completed coefficient without
+/// re-scanning the prefix — and still produce the exact bits the batch path
+/// would: the mean is a plain left-to-right running sum divided by the
+/// count (the same operation sequence as `xs.iter().sum::<f64>() / n`),
+/// and the variance delegates to the same [`RunningStats`] Welford updates
+/// that [`variance_population`] performs.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_traces::stats::{mean, variance_population, PrefixStats};
+///
+/// let xs = [0.93, 0.91, 0.95, 0.90];
+/// let mut ps = PrefixStats::new();
+/// for (i, &x) in xs.iter().enumerate() {
+///     ps.push(x);
+///     let prefix = &xs[..=i];
+///     assert_eq!(ps.mean(), mean(prefix).unwrap());
+///     assert_eq!(ps.variance_population(), variance_population(prefix).unwrap());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefixStats {
+    sum: f64,
+    welford: RunningStats,
+}
+
+impl PrefixStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next element of the prefix.
+    pub fn push(&mut self, x: f64) {
+        self.sum += x;
+        self.welford.push(x);
+    }
+
+    /// Number of elements pushed so far.
+    pub fn count(&self) -> usize {
+        self.welford.count() as usize
+    }
+
+    /// Mean of the prefix, bit-identical to [`mean`] over the same values;
+    /// NaN before the first push (an empty prefix has no mean).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.welford.count() as f64
+    }
+
+    /// Population variance of the prefix, bit-identical to
+    /// [`variance_population`] over the same values; NaN before the first
+    /// push.
+    pub fn variance_population(&self) -> f64 {
+        self.welford.variance_population().unwrap_or(f64::NAN)
+    }
+}
+
 /// Pearson correlation coefficient between two equal-length series — the ρ
 /// of the paper's §III:
 ///
@@ -421,6 +484,41 @@ mod tests {
         let mut empty = RunningStats::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn prefix_stats_bitwise_match_batch_on_every_prefix() {
+        // Irrational-ish values so any reordering of the accumulation
+        // would change low-order bits.
+        let xs: Vec<f64> = (1..40)
+            .map(|i| (f64::from(i) * 0.7311).sin() * 0.93)
+            .collect();
+        let mut ps = PrefixStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            ps.push(x);
+            let prefix = &xs[..=i];
+            assert_eq!(ps.count(), prefix.len());
+            assert_eq!(
+                ps.mean().to_bits(),
+                mean(prefix).unwrap().to_bits(),
+                "mean drifted at prefix {}",
+                prefix.len()
+            );
+            assert_eq!(
+                ps.variance_population().to_bits(),
+                variance_population(prefix).unwrap().to_bits(),
+                "variance drifted at prefix {}",
+                prefix.len()
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_stats_empty_is_nan_not_panic() {
+        let ps = PrefixStats::new();
+        assert_eq!(ps.count(), 0);
+        assert!(ps.mean().is_nan());
+        assert!(ps.variance_population().is_nan());
     }
 
     #[test]

@@ -66,11 +66,13 @@ pub use ipmark_traces as traces;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use ipmark_core::{
-        correlation_process, default_chain, ip_a, ip_b, ip_c, ip_d, reference_ips,
-        CorrelationParams, CorrelationSet, CounterKind, Decision, Distinguisher, ExperimentConfig,
-        FabricatedDevice, HigherMean, IdentificationMatrix, IpSpec, LowerVariance, Substitution,
-        WatermarkKey,
+        correlation_process, default_chain, ip_a, ip_b, ip_c, ip_d, reference_ips, CoreError,
+        CorrelationParams, CorrelationSet, CounterKind, Decision, Distinguisher, DistinguisherKind,
+        EarlyStopRule, ExperimentConfig, FabricatedDevice, HigherMean, IdentificationMatrix,
+        IpSpec, LowerVariance, SessionError, SessionOptions, SessionStatus, Substitution, Verdict,
+        VerificationSession, WatermarkKey,
     };
     pub use ipmark_power::{MeasurementChain, ProcessVariation};
-    pub use ipmark_traces::{Trace, TraceSet, TraceSource};
+    pub use ipmark_traces::streaming::ChunkedSource;
+    pub use ipmark_traces::{Trace, TraceError, TraceSet, TraceSource};
 }

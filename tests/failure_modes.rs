@@ -136,6 +136,203 @@ fn comparative_decisions_require_a_panel() {
     assert!(HigherMean.decide(&[]).is_err());
 }
 
+/// A small synthetic campaign for session failure tests.
+fn session_set(device: &str, phase: f64, n: usize, seed: u64) -> TraceSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut set = TraceSet::new(device);
+    for _ in 0..n {
+        let samples: Vec<f64> = (0..32)
+            .map(|i| {
+                (i as f64 * 0.31 + phase).sin()
+                    + ipmark::power::device::gaussian(&mut rng, 0.0, 0.3)
+            })
+            .collect();
+        set.push(Trace::from_samples(samples))
+            .expect("finite trace");
+    }
+    set
+}
+
+fn session_params() -> CorrelationParams {
+    CorrelationParams {
+        n1: 12,
+        n2: 60,
+        k: 3,
+        m: 4,
+    }
+}
+
+#[test]
+fn streaming_sessions_reject_malformed_chunks_atomically() {
+    let refd = session_set("r", 0.0, 12, 1);
+    let dut = session_set("d0", 0.4, 60, 2);
+    let p = session_params();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut session =
+        VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).expect("session");
+
+    let clean: Vec<Trace> = (0..5)
+        .map(|i| dut.trace(i).expect("in range").clone())
+        .collect();
+
+    // Truncated trace inside a chunk: typed length mismatch, not a panic.
+    let mut truncated = clean.clone();
+    truncated[3] = Trace::from_samples(vec![0.5; 16]);
+    assert!(matches!(
+        session.ingest_chunk(0, &truncated),
+        Err(CoreError::Trace(TraceError::LengthMismatch { .. }))
+    ));
+
+    // NaN sample: typed error naming the offending trace and sample.
+    let mut poisoned = clean.clone();
+    poisoned[2] = {
+        let mut samples = vec![0.25; 32];
+        samples[7] = f64::NAN;
+        Trace::from_samples(samples)
+    };
+    assert!(matches!(
+        session.ingest_chunk(0, &poisoned),
+        Err(CoreError::Trace(TraceError::NonFiniteSample {
+            trace_index: 2,
+            sample_index: 7
+        }))
+    ));
+
+    // Infinity is rejected the same way.
+    let mut infinite = clean.clone();
+    infinite[0] = Trace::from_samples(vec![f64::INFINITY; 32]);
+    assert!(matches!(
+        session.ingest_chunk(0, &infinite),
+        Err(CoreError::Trace(TraceError::NonFiniteSample {
+            trace_index: 0,
+            sample_index: 0
+        }))
+    ));
+
+    // Rejection is atomic: nothing was consumed, so the corrected chunk
+    // for the same trace indices streams straight through.
+    assert_eq!(session.traces_ingested(0), 0);
+    session.ingest_chunk(0, &clean).expect("clean chunk");
+    assert_eq!(session.traces_ingested(0), clean.len());
+}
+
+#[test]
+fn streaming_session_misuse_is_typed_not_panicking() {
+    let refd = session_set("r", 0.0, 12, 1);
+    let duts = [session_set("d0", 0.0, 60, 2), session_set("d1", 1.2, 60, 3)];
+    let p = session_params();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut session =
+        VerificationSession::new(&refd, 2, SessionOptions::new(p), &mut rng).expect("session");
+
+    let chunk: Vec<Trace> = (0..4)
+        .map(|i| duts[0].trace(i).expect("in range").clone())
+        .collect();
+    assert!(matches!(
+        session.ingest_chunk(7, &chunk),
+        Err(CoreError::Session(SessionError::UnknownCandidate {
+            candidate: 7,
+            candidates: 2
+        }))
+    ));
+    assert!(matches!(
+        session.ingest_chunk(0, &[]),
+        Err(CoreError::Trace(TraceError::EmptyChunk))
+    ));
+
+    // Delivering past the per-candidate budget n2 is refused up front.
+    let all: Vec<Trace> = (0..p.n2)
+        .map(|i| duts[0].trace(i).expect("in range").clone())
+        .collect();
+    session.ingest_chunk(0, &all).expect("exact budget");
+    assert!(matches!(
+        session.ingest_chunk(0, &chunk),
+        Err(CoreError::Session(SessionError::TooManyTraces {
+            candidate: 0,
+            budget: 60
+        }))
+    ));
+
+    // Finalizing while a candidate still has fewer than two coefficients
+    // names the laggard instead of deciding from a 1-point variance.
+    assert!(matches!(
+        session.finalize(),
+        Err(CoreError::NotEnoughCoefficients {
+            candidate: 1,
+            provided: 0
+        })
+    ));
+
+    // Completing the campaign decides; any further delivery is refused.
+    let all: Vec<Trace> = (0..p.n2)
+        .map(|i| duts[1].trace(i).expect("in range").clone())
+        .collect();
+    assert!(matches!(
+        session.ingest_chunk(1, &all),
+        Ok(SessionStatus::Decided(_))
+    ));
+    assert!(matches!(
+        session.ingest_chunk(1, &chunk),
+        Err(CoreError::Session(SessionError::AlreadyDecided))
+    ));
+}
+
+#[test]
+fn degenerate_session_configurations_are_rejected() {
+    let refd = session_set("r", 0.0, 12, 1);
+    let p = session_params();
+
+    // A single candidate can never be compared.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    assert!(matches!(
+        VerificationSession::new(&refd, 1, SessionOptions::new(p), &mut rng),
+        Err(CoreError::NotEnoughCandidates { provided: 1 })
+    ));
+
+    // m = 1 leaves the variance distinguisher with one-point sets.
+    let degenerate = CorrelationParams { m: 1, ..p };
+    assert!(SessionOptions::new(degenerate).validate().is_err());
+    assert!(matches!(
+        VerificationSession::new(&refd, 2, SessionOptions::new(degenerate), &mut rng),
+        Err(CoreError::InvalidParams { .. })
+    ));
+
+    // Early-stop rules must be well-formed.
+    let bad_rule = SessionOptions::new(p).with_early_stop(EarlyStopRule {
+        stability: 0,
+        min_confidence_percent: 50.0,
+    });
+    assert!(matches!(
+        VerificationSession::new(&refd, 2, bad_rule, &mut rng),
+        Err(CoreError::InvalidParams { .. })
+    ));
+}
+
+#[test]
+fn variance_distinguishers_refuse_single_coefficient_sets() {
+    // A 1-coefficient set has no variance: the paper's m >= 2 requirement
+    // surfaces as a typed error, not a fabricated 0-variance win.
+    let sets = vec![
+        CorrelationSet::new(vec![0.9]).expect("non-empty"),
+        CorrelationSet::new(vec![0.1, 0.2]).expect("non-empty"),
+    ];
+    assert!(matches!(
+        LowerVariance.decide(&sets),
+        Err(CoreError::NotEnoughCoefficients {
+            candidate: 0,
+            provided: 1
+        })
+    ));
+    // The factored score-level decision needs a comparison panel too.
+    assert!(DistinguisherKind::Variance
+        .decide_scores(vec![0.5])
+        .is_err());
+    assert!(DistinguisherKind::Mean.decide_scores(vec![]).is_err());
+
+    // The mean distinguisher tolerates single-coefficient sets.
+    assert!(HigherMean.decide(&sets).is_ok());
+}
+
 #[test]
 fn error_messages_are_actionable() {
     let p = CorrelationParams {
