@@ -1,0 +1,71 @@
+//! The attack baselines consume a contiguous [`TraceBlock`] arena through
+//! the same generic [`TraceSource`] plumbing as an owned [`TraceSet`] —
+//! and produce bit-identical statistics either way. This pins the arena
+//! refactor: switching a campaign's container must never move a single
+//! bit of any attack result.
+
+use ipmark_attacks::cpa::recover_key;
+use ipmark_attacks::ttest::ttest_traces;
+use ipmark_core::ip::{default_chain, FabricatedDevice, IpSpec, SAMPLES_PER_CYCLE};
+use ipmark_core::{CounterKind, Substitution, WatermarkKey};
+use ipmark_power::{ProcessVariation, SimulatedAcquisition};
+use ipmark_traces::{TraceBlock, TraceSet};
+
+fn campaign(spec: &IpSpec, cycles: usize, n: usize, die_seed: u64) -> SimulatedAcquisition {
+    let chain = default_chain().unwrap();
+    let mut die =
+        FabricatedDevice::fabricate(spec, &ProcessVariation::typical(), die_seed).unwrap();
+    die.acquisition(&chain, cycles, n, 7).unwrap()
+}
+
+#[test]
+fn cpa_over_a_block_is_bitwise_equal_to_cpa_over_a_set() {
+    let kw = WatermarkKey::new(0x5b);
+    let spec = IpSpec::watermarked("target", CounterKind::Gray, kw);
+    let acq = campaign(&spec, 256, 120, 3);
+    let block: TraceBlock = acq.acquire_block().unwrap();
+    let set: TraceSet = block.to_set().unwrap();
+
+    let from_block = recover_key(
+        &block,
+        120,
+        SAMPLES_PER_CYCLE,
+        CounterKind::Gray,
+        Substitution::AesSbox,
+        Some(kw),
+    )
+    .unwrap();
+    let from_set = recover_key(
+        &set,
+        120,
+        SAMPLES_PER_CYCLE,
+        CounterKind::Gray,
+        Substitution::AesSbox,
+        Some(kw),
+    )
+    .unwrap();
+
+    assert_eq!(from_block.best_key, from_set.best_key);
+    assert_eq!(from_block.true_key_rank, from_set.true_key_rank);
+    for (a, b) in from_block.scores.iter().zip(&from_set.scores) {
+        assert_eq!(a.to_bits(), b.to_bits(), "CPA guess scores diverged");
+    }
+    assert_eq!(from_block.best_key, kw);
+}
+
+#[test]
+fn ttest_over_blocks_is_bitwise_equal_to_ttest_over_sets() {
+    let marked = IpSpec::watermarked("m", CounterKind::Gray, WatermarkKey::new(0xa7));
+    let unmarked = IpSpec::unmarked("u", CounterKind::Gray);
+    let a: TraceBlock = campaign(&marked, 64, 50, 1).acquire_block().unwrap();
+    let b: TraceBlock = campaign(&unmarked, 64, 50, 2).acquire_block().unwrap();
+
+    let from_blocks = ttest_traces(&a, 50, &b, 50).unwrap();
+    let from_sets = ttest_traces(&a.to_set().unwrap(), 50, &b.to_set().unwrap(), 50).unwrap();
+
+    assert_eq!(from_blocks.t_values.len(), from_sets.t_values.len());
+    for (x, y) in from_blocks.t_values.iter().zip(&from_sets.t_values) {
+        assert_eq!(x.to_bits(), y.to_bits(), "t-statistic diverged");
+    }
+    assert_eq!(from_blocks.max_abs_t(), from_sets.max_abs_t());
+}

@@ -1,0 +1,106 @@
+//! Microbenchmark for the X8 experiment: the correlation process reading
+//! its campaign from a per-trace `Vec<Trace>` container (`TraceSet`)
+//! versus the contiguous `TraceBlock` arena, at a fig-4-sized campaign
+//! (n1 = 400, n2 = 2000, k = 10, m = 20).
+//!
+//! Before the timed runs, the harness reports `VmHWM` (peak RSS) deltas.
+//! `VmHWM` only ever grows, so the arena path is measured first: its delta
+//! bounds the arena working set, and the follow-up delta is the extra
+//! memory the per-trace container costs on top of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipmark_core::ip::{default_chain, FabricatedDevice, DEFAULT_CYCLES};
+use ipmark_core::verify::{correlation_process, CorrelationParams};
+use ipmark_core::{ip_b, ip_c};
+use ipmark_power::ProcessVariation;
+use ipmark_traces::{TraceBlock, TraceSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const PARAMS: CorrelationParams = CorrelationParams {
+    n1: 400,
+    n2: 2000,
+    k: 10,
+    m: 20,
+};
+
+/// Peak resident set size in KiB, from `/proc/self/status` (Linux only).
+fn vm_hwm_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn bench_arena(c: &mut Criterion) {
+    let chain = default_chain().expect("built-in");
+    let mut refd_die =
+        FabricatedDevice::fabricate(&ip_b(), &ProcessVariation::typical(), 1).expect("die");
+    let mut dut_die =
+        FabricatedDevice::fabricate(&ip_c(), &ProcessVariation::typical(), 2).expect("die");
+    let refd_acq = refd_die
+        .acquisition(&chain, DEFAULT_CYCLES, PARAMS.n1, 3)
+        .expect("campaign");
+    let dut_acq = dut_die
+        .acquisition(&chain, DEFAULT_CYCLES, PARAMS.n2, 4)
+        .expect("campaign");
+
+    // --- Peak-RSS probe, arena first (VmHWM is monotone) ---------------
+    let baseline = vm_hwm_kib();
+    let refd_block: TraceBlock = refd_acq.acquire_block().expect("refd block");
+    let dut_block: TraceBlock = dut_acq.acquire_block().expect("dut block");
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    black_box(correlation_process(&refd_block, &dut_block, &PARAMS, &mut rng).expect("process"));
+    let after_block = vm_hwm_kib();
+
+    let refd_set: TraceSet = refd_block.to_set().expect("refd set");
+    let dut_set: TraceSet = dut_block.to_set().expect("dut set");
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    black_box(correlation_process(&refd_set, &dut_set, &PARAMS, &mut rng).expect("process"));
+    let after_set = vm_hwm_kib();
+
+    if let (Some(b0), Some(b1), Some(b2)) = (baseline, after_block, after_set) {
+        println!("arena-rss: baseline {b0} KiB");
+        println!("arena-rss: TraceBlock path peak delta {} KiB", b1 - b0);
+        println!("arena-rss: +Vec<Trace> path peak delta {} KiB", b2 - b1);
+        println!(
+            "arena-rss: raw samples = {} KiB per campaign copy",
+            (PARAMS.n2 * dut_block.trace_len() * 8) / 1024
+        );
+    } else {
+        println!("arena-rss: VmHWM unavailable on this platform");
+    }
+
+    // --- Throughput: identical pipeline, different containers -----------
+    let mut group = c.benchmark_group("arena-correlation");
+    group.sample_size(20);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("trace-block"),
+        &PARAMS,
+        |b, params| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                black_box(
+                    correlation_process(&refd_block, &dut_block, params, &mut rng)
+                        .expect("process"),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("vec-of-traces"),
+        &PARAMS,
+        |b, params| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                black_box(
+                    correlation_process(&refd_set, &dut_set, params, &mut rng).expect("process"),
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena);
+criterion_main!(benches);

@@ -22,7 +22,7 @@ use ipmark_core::{
 };
 use ipmark_netlist::vcd::dump_vcd;
 use ipmark_power::ProcessVariation;
-use ipmark_traces::{io as trace_io, TraceSet};
+use ipmark_traces::{io as trace_io, TraceBlock};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -66,7 +66,8 @@ COMMANDS
   help       Show this text.
 
 Trace files: `.csv` for one-trace-per-line CSV, anything else for the
-compact binary format (IPMKTRC1)."
+compact binary formats. `acquire` writes the contiguous IPMKTRC2 block
+format; readers accept both IPMKTRC1 and IPMKTRC2 transparently."
         .to_owned()
 }
 
@@ -148,7 +149,10 @@ fn parse_ip(args: &Args) -> Result<IpSpec, CliError> {
     ))
 }
 
-fn load_traces(path: &str) -> Result<TraceSet, CliError> {
+/// Loads a campaign as one contiguous [`TraceBlock`] arena. CSV parses
+/// row by row; binary files (IPMKTRC1 or IPMKTRC2 — the payloads are
+/// byte-identical) stream straight into the arena.
+fn load_traces(path: &str) -> Result<TraceBlock, CliError> {
     let device = Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -156,20 +160,20 @@ fn load_traces(path: &str) -> Result<TraceSet, CliError> {
         .to_owned();
     let file = File::open(path)?;
     let reader = BufReader::new(file);
-    let set = if path.ends_with(".csv") {
-        trace_io::read_csv(&device, reader)?
+    let block = if path.ends_with(".csv") {
+        trace_io::read_csv_block(&device, reader)?
     } else {
-        trace_io::read_binary(&device, reader)?
+        trace_io::read_block_any(&device, reader)?
     };
-    Ok(set)
+    Ok(block)
 }
 
-fn save_traces(set: &TraceSet, path: &str, format: &str) -> Result<(), CliError> {
+fn save_traces(block: &TraceBlock, path: &str, format: &str) -> Result<(), CliError> {
     let file = File::create(path)?;
     let writer = BufWriter::new(file);
     match format {
-        "csv" => trace_io::write_csv(set, writer)?,
-        "bin" | "binary" => trace_io::write_binary(set, writer)?,
+        "csv" => trace_io::write_block_csv(block, writer)?,
+        "bin" | "binary" => trace_io::write_block(block, writer)?,
         other => {
             return Err(CliError::Usage(format!(
                 "unknown format `{other}` (bin|csv)"
@@ -247,11 +251,11 @@ fn acquire(args: &Args) -> Result<String, CliError> {
     let chain = default_chain()?;
     let mut die = FabricatedDevice::fabricate(&spec, &ProcessVariation::typical(), die_seed)?;
     let acq = die.acquisition(&chain, cycles, traces, seed)?;
-    let set = acq.acquire_all()?;
-    save_traces(&set, out_path, &format)?;
+    let block = acq.acquire_block()?;
+    save_traces(&block, out_path, &format)?;
     Ok(format!(
         "acquired {traces} traces x {} samples on {} (die seed {die_seed}) -> {out_path}",
-        set.trace_len(),
+        block.trace_len(),
         die.device().name()
     ))
 }
@@ -263,7 +267,7 @@ fn verify(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Usage("need at least one --dut FILE".into()));
     }
     let refd = load_traces(refd_path)?;
-    let duts: Vec<TraceSet> = dut_paths
+    let duts: Vec<TraceBlock> = dut_paths
         .iter()
         .map(|p| load_traces(p))
         .collect::<Result<_, _>>()?;
@@ -271,7 +275,7 @@ fn verify(args: &Args) -> Result<String, CliError> {
     let k: usize = args.get_or("k", 50)?;
     let m: usize = args.get_or("m", 20)?;
     let n1: usize = args.get_or("n1", refd.len())?;
-    let n2_default = duts.iter().map(TraceSet::len).min().unwrap_or(0);
+    let n2_default = duts.iter().map(TraceBlock::len).min().unwrap_or(0);
     let n2: usize = args.get_or("n2", n2_default)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let params = CorrelationParams { n1, n2, k, m };
@@ -319,7 +323,7 @@ fn session(args: &Args) -> Result<String, CliError> {
         ));
     }
     let refd = load_traces(refd_path)?;
-    let duts: Vec<TraceSet> = dut_paths
+    let duts: Vec<TraceBlock> = dut_paths
         .iter()
         .map(|p| load_traces(p))
         .collect::<Result<_, _>>()?;
@@ -327,7 +331,7 @@ fn session(args: &Args) -> Result<String, CliError> {
     let k: usize = args.get_or("k", 50)?;
     let m: usize = args.get_or("m", 20)?;
     let n1: usize = args.get_or("n1", refd.len())?;
-    let n2_default = duts.iter().map(TraceSet::len).min().unwrap_or(0);
+    let n2_default = duts.iter().map(TraceBlock::len).min().unwrap_or(0);
     let n2: usize = args.get_or("n2", n2_default)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let chunk: usize = args.get_or("chunk", k)?;

@@ -29,6 +29,7 @@
 //! ```
 //! use ipmark_core::session::{EarlyStopRule, SessionOptions, SessionStatus, VerificationSession};
 //! use ipmark_core::CorrelationParams;
+//! use ipmark_traces::streaming::ChunkedSource;
 //! use ipmark_traces::{Trace, TraceSet};
 //! use rand::SeedableRng;
 //!
@@ -52,11 +53,15 @@
 //!     .with_early_stop(EarlyStopRule { stability: 3, min_confidence_percent: 50.0 });
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
 //! let mut session = VerificationSession::new(&refd, 2, options, &mut rng)?;
-//! 'outer: for start in (0..200).step_by(16) {
-//!     for (candidate, dut) in duts.iter().enumerate() {
-//!         let chunk: Vec<Trace> = (start..(start + 16).min(200))
-//!             .map(|i| dut.trace(i).cloned())
-//!             .collect::<Result<_, _>>()?;
+//! // Each DUT streams as contiguous `TraceBlock` chunks — one arena
+//! // allocation per chunk, no per-trace clones.
+//! let mut streams: Vec<ChunkedSource<'_, TraceSet>> = duts
+//!     .iter()
+//!     .map(|dut| ChunkedSource::new(dut, 16))
+//!     .collect::<Result<_, _>>()?;
+//! 'outer: while !session.is_decided() {
+//!     for (candidate, stream) in streams.iter_mut().enumerate() {
+//!         let Some(chunk) = stream.next_chunk()? else { break 'outer };
 //!         if let SessionStatus::Decided(v) = session.ingest_chunk(candidate, &chunk)? {
 //!             assert_eq!(v.best, 0);
 //!             break 'outer;
@@ -72,7 +77,7 @@ use rand::Rng;
 
 use ipmark_traces::average::StreamingKAverager;
 use ipmark_traces::stats::{PearsonRef, PrefixStats};
-use ipmark_traces::{Trace, TraceError, TraceSource};
+use ipmark_traces::{TraceChunk, TraceError, TraceSource};
 
 use crate::distinguisher::DistinguisherKind;
 use crate::error::{CoreError, SessionError};
@@ -316,6 +321,13 @@ impl VerificationSession {
     /// campaign index order), updates every finished coefficient, and
     /// evaluates any rounds the new contiguous prefixes unlock.
     ///
+    /// The chunk may be any [`TraceChunk`] container — the contiguous
+    /// [`TraceBlock`](ipmark_traces::TraceBlock) a
+    /// [`ChunkedSource`](ipmark_traces::streaming::ChunkedSource) delivers
+    /// (the allocation-free path), or an owned `Vec<Trace>` / `[Trace]` /
+    /// `TraceSet`. All containers flow through identical validation and
+    /// accumulation code, so the produced coefficients are bit-identical.
+    ///
     /// A rejected chunk is atomic: the whole chunk is validated before any
     /// sample touches a partial sum, so on error nothing was consumed and
     /// the caller may re-supply a corrected chunk for the same indices.
@@ -328,10 +340,10 @@ impl VerificationSession {
     /// [`CoreError::Trace`] for malformed chunks
     /// ([`TraceError::EmptyChunk`], [`TraceError::LengthMismatch`],
     /// [`TraceError::NonFiniteSample`]).
-    pub fn ingest_chunk(
+    pub fn ingest_chunk<C: TraceChunk + ?Sized>(
         &mut self,
         candidate: usize,
-        chunk: &[Trace],
+        chunk: &C,
     ) -> Result<SessionStatus, CoreError> {
         if self.verdict.is_some() {
             return Err(SessionError::AlreadyDecided.into());
@@ -344,16 +356,19 @@ impl VerificationSession {
                 candidate,
                 candidates: total,
             })?;
-        if chunk.is_empty() {
+        let chunk_len = chunk.chunk_len();
+        if chunk_len == 0 {
             return Err(CoreError::Trace(TraceError::EmptyChunk));
         }
         let trace_len = cand.averager.trace_len();
         let budget = cand.averager.population();
-        if cand.averager.ingested() + chunk.len() > budget {
+        if cand.averager.ingested() + chunk_len > budget {
             return Err(SessionError::TooManyTraces { candidate, budget }.into());
         }
-        for (offset, trace) in chunk.iter().enumerate() {
-            let samples = trace.samples();
+        for offset in 0..chunk_len {
+            let samples = chunk
+                .chunk_row(offset)
+                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
             if samples.len() != trace_len {
                 return Err(CoreError::Trace(TraceError::LengthMismatch {
                     expected: trace_len,
@@ -368,40 +383,46 @@ impl VerificationSession {
             }
         }
 
-        // The chunk is clean; ingestion can no longer fail.
-        let mut finished: Vec<(usize, Trace)> = Vec::new();
-        for trace in chunk {
-            finished.extend(
-                cand.averager
-                    .ingest(trace.samples())
-                    .map_err(CoreError::Trace)?,
-            );
+        // The chunk is clean; ingestion can no longer fail. A finished
+        // slot's average lives as a borrowed row of the averager's
+        // preallocated output arena.
+        let mut finished: Vec<usize> = Vec::new();
+        for offset in 0..chunk_len {
+            let samples = chunk
+                .chunk_row(offset)
+                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
+            finished.extend(cand.averager.ingest(samples).map_err(CoreError::Trace)?);
         }
 
-        // Correlate every average the chunk completed. Coefficients are
-        // independent, so the parallel map is bitwise equal to the
-        // sequential loop (same `PearsonRef::correlate` per slot).
+        // Correlate every average the chunk completed, reading borrowed
+        // arena rows — no per-slot copies. Coefficients are independent, so
+        // the parallel map is bitwise equal to the sequential loop (same
+        // `PearsonRef::correlate` per slot).
         #[cfg(feature = "parallel")]
         let coefficients: Vec<f64> = {
             let kernel = &cand.kernel;
+            let averager = &cand.averager;
             ipmark_parallel::par_try_map_indexed(finished.len(), |i| {
-                kernel
-                    .correlate(finished[i].1.samples())
-                    .map_err(CoreError::Stats)
+                let average = averager
+                    .average(finished[i])
+                    .ok_or(CoreError::Invariant("finished slot holds an average"))?;
+                kernel.correlate(average).map_err(CoreError::Stats)
             })?
         };
         #[cfg(not(feature = "parallel"))]
         let coefficients: Vec<f64> = finished
             .iter()
-            .map(|(_, average)| {
-                cand.kernel
-                    .correlate(average.samples())
-                    .map_err(CoreError::Stats)
+            .map(|&slot| {
+                let average = cand
+                    .averager
+                    .average(slot)
+                    .ok_or(CoreError::Invariant("finished slot holds an average"))?;
+                cand.kernel.correlate(average).map_err(CoreError::Stats)
             })
             .collect::<Result<_, CoreError>>()?;
 
-        for ((slot, _), coefficient) in finished.iter().zip(coefficients) {
-            cand.coefficients[*slot] = Some(coefficient);
+        for (&slot, coefficient) in finished.iter().zip(coefficients) {
+            cand.coefficients[slot] = Some(coefficient);
         }
         // Push the prefix forward in slot order so the running statistics
         // see coefficients exactly as the batch statistics would.
@@ -582,7 +603,8 @@ mod tests {
     use super::*;
     use crate::distinguisher::Distinguisher;
     use crate::verify::{correlation_process, correlation_process_seq};
-    use ipmark_traces::TraceSet;
+    use ipmark_traces::streaming::ChunkedSource;
+    use ipmark_traces::{Trace, TraceSet};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -610,30 +632,35 @@ mod tests {
         }
     }
 
-    /// Streams `duts` into `session` in `chunk` sized pieces, candidate by
-    /// candidate per wave, until a verdict or stream end.
+    /// Streams `duts` into `session` in `chunk` sized `TraceBlock` pieces,
+    /// candidate by candidate per wave, until a verdict or stream end.
     fn drive(
         session: &mut VerificationSession,
         duts: &[&TraceSet],
         chunk: usize,
         n2: usize,
     ) -> Option<Verdict> {
-        let mut start = 0;
-        while start < n2 {
-            let end = (start + chunk).min(n2);
-            for (candidate, dut) in duts.iter().enumerate() {
-                let traces: Vec<Trace> = (start..end)
-                    .map(|i| dut.trace(i).unwrap().clone())
-                    .collect();
-                match session.ingest_chunk(candidate, &traces) {
+        let mut streams: Vec<ChunkedSource<'_, TraceSet>> = duts
+            .iter()
+            .map(|dut| ChunkedSource::with_limit(*dut, chunk, n2).unwrap())
+            .collect();
+        loop {
+            let mut progressed = false;
+            for (candidate, stream) in streams.iter_mut().enumerate() {
+                let Some(block) = stream.next_chunk().unwrap() else {
+                    continue;
+                };
+                progressed = true;
+                match session.ingest_chunk(candidate, &block) {
                     Ok(SessionStatus::Decided(v)) => return Some(v),
                     Ok(SessionStatus::Continue { .. }) => {}
                     Err(e) => panic!("ingest failed: {e}"),
                 }
             }
-            start = end;
+            if !progressed {
+                return None;
+            }
         }
-        None
     }
 
     #[test]
@@ -746,7 +773,7 @@ mod tests {
             }))
         ));
         assert!(matches!(
-            session.ingest_chunk(0, &[]),
+            session.ingest_chunk(0, &Vec::<Trace>::new()),
             Err(CoreError::Trace(TraceError::EmptyChunk))
         ));
 

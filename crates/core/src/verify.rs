@@ -12,9 +12,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use ipmark_traces::average::{k_average, k_averages, k_averages_seq};
+use ipmark_traces::average::{k_average, k_averages_block, k_averages_block_seq};
 use ipmark_traces::stats::{mean, pearson, variance_population, PearsonRef};
-use ipmark_traces::TraceSource;
+use ipmark_traces::{TraceBlock, TraceSource};
 
 use crate::error::CoreError;
 
@@ -233,23 +233,25 @@ where
 
     // One reference k-average, drawn from the first n1 reference traces.
     let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
-    // m independent DUT k-averages from the first n2 DUT traces.
+    // m independent DUT k-averages from the first n2 DUT traces, laid out
+    // as one contiguous m × trace_len arena (row i = average i).
     let a_duts = k_averages_bounded(dut, params.n2, params.k, params.m, rng)?;
 
     // Center and normalize the single reference once; each of the m
-    // correlations then costs one fused pass over the DUT average. The
-    // result is bit-identical to per-pair `pearson` calls (see
-    // `PearsonRef`), as is the error surfaced for a flat reference.
+    // correlations then costs one fused pass over the DUT average's arena
+    // row. The result is bit-identical to per-pair `pearson` calls (see
+    // `PearsonRef`), as is the error surfaced for a flat reference. With
+    // the `parallel` feature the workers read disjoint rows of the shared
+    // arena — no per-thread trace copies.
     let reference = PearsonRef::new(a_refd.samples()).map_err(CoreError::Stats)?;
     #[cfg(feature = "parallel")]
     let coefficients = ipmark_parallel::par_try_map_indexed(a_duts.len(), |i| {
-        reference
-            .correlate(a_duts[i].samples())
-            .map_err(CoreError::Stats)
+        let row = a_duts.row(i).map_err(CoreError::Trace)?;
+        reference.correlate(row.samples()).map_err(CoreError::Stats)
     })?;
     #[cfg(not(feature = "parallel"))]
     let coefficients = a_duts
-        .iter()
+        .rows()
         .map(|a| reference.correlate(a.samples()).map_err(CoreError::Stats))
         .collect::<Result<Vec<f64>, CoreError>>()?;
     CorrelationSet::new(coefficients)
@@ -281,10 +283,11 @@ where
         inner: dut,
         limit: params.n2,
     };
-    let a_duts = k_averages_seq(&bounded, params.k, params.m, rng).map_err(CoreError::Trace)?;
+    let a_duts =
+        k_averages_block_seq(&bounded, params.k, params.m, rng).map_err(CoreError::Trace)?;
 
     let coefficients = a_duts
-        .iter()
+        .rows()
         .map(|a| pearson(a_refd.samples(), a.samples()).map_err(CoreError::Stats))
         .collect::<Result<Vec<f64>, CoreError>>()?;
     CorrelationSet::new(coefficients)
@@ -376,12 +379,12 @@ fn k_averages_bounded<S: TraceSource + Sync + ?Sized, R: Rng + ?Sized>(
     k: usize,
     m: usize,
     rng: &mut R,
-) -> Result<Vec<ipmark_traces::Trace>, CoreError> {
+) -> Result<TraceBlock, CoreError> {
     let bounded = BoundedSource {
         inner: source,
         limit,
     };
-    k_averages(&bounded, k, m, rng).map_err(CoreError::Trace)
+    k_averages_block(&bounded, k, m, rng).map_err(CoreError::Trace)
 }
 
 #[cfg(test)]

@@ -187,6 +187,78 @@ impl Pool {
             None => Ok(out),
         }
     }
+
+    /// Fallibly fills the rows of one contiguous row-major buffer:
+    /// `data` is split into `data.len() / row_len` rows and `f(i, row)` is
+    /// called exactly once per row, each row visited by exactly one worker.
+    ///
+    /// This is the arena-writing counterpart of
+    /// [`Pool::try_map_indexed`]: instead of collecting per-index
+    /// allocations, all workers write into disjoint row ranges of a single
+    /// caller-owned allocation (safe — the buffer is partitioned with
+    /// `split_at_mut` along the same contiguous chunk boundaries the map
+    /// primitives use). Row order and error normalization follow the
+    /// determinism contract: `f` runs once per row, and the reported error
+    /// is the one with the **lowest row index**, as in the sequential loop.
+    ///
+    /// Rows past `data.len() / row_len * row_len` samples do not exist; a
+    /// trailing partial row is ignored (callers pass exact-multiple
+    /// buffers). `row_len == 0` is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-row-index error from `f`.
+    pub fn try_fill_rows<E, F>(&self, data: &mut [f64], row_len: usize, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
+    {
+        if row_len == 0 {
+            return Ok(());
+        }
+        let rows = data.len() / row_len;
+        if self.threads <= 1 || rows <= 1 {
+            for (i, row) in data.chunks_exact_mut(row_len).enumerate() {
+                f(i, row)?;
+            }
+            return Ok(());
+        }
+        let chunks = self.chunks(rows);
+        let f = &f;
+        let results: Vec<Result<(), (usize, E)>> = std::thread::scope(|scope| {
+            let mut rest = &mut data[..rows * row_len];
+            let mut handles = Vec::with_capacity(chunks.len());
+            for &(start, end) in &chunks {
+                let (part, tail) = rest.split_at_mut((end - start) * row_len);
+                rest = tail;
+                handles.push(scope.spawn(move || {
+                    for (offset, row) in part.chunks_exact_mut(row_len).enumerate() {
+                        if let Err(e) = f(start + offset, row) {
+                            return Err((start + offset, e));
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            handles
+                .into_iter()
+                // See map_indexed: propagate `f`'s own panic payload.
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let mut first_error: Option<(usize, E)> = None;
+        for result in results {
+            if let Err((i, e)) = result {
+                if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_error = Some((i, e));
+                }
+            }
+        }
+        match first_error {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Maps over `0..n` with the environment-derived thread count.
@@ -210,6 +282,20 @@ where
     F: Fn(usize) -> Result<U, E> + Sync,
 {
     Pool::from_env().try_map_indexed(n, f)
+}
+
+/// Fallible arena row fill with the environment-derived thread count (see
+/// [`Pool::try_fill_rows`]).
+///
+/// # Errors
+///
+/// Propagates the lowest-row-index error from `f`.
+pub fn par_try_fill_rows<E, F>(data: &mut [f64], row_len: usize, f: F) -> Result<(), E>
+where
+    E: Send,
+    F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
+{
+    Pool::from_env().try_fill_rows(data, row_len, f)
 }
 
 #[cfg(test)]
@@ -280,5 +366,65 @@ mod tests {
     #[test]
     fn with_threads_clamps_zero() {
         assert_eq!(Pool::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn fill_rows_matches_sequential_for_every_thread_count() {
+        let rows = 23;
+        let row_len = 5;
+        let mut expected = vec![0.0; rows * row_len];
+        for (i, row) in expected.chunks_exact_mut(row_len).enumerate() {
+            for (j, s) in row.iter_mut().enumerate() {
+                *s = (i * 100 + j) as f64;
+            }
+        }
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = Pool::with_threads(threads);
+            let mut got = vec![0.0; rows * row_len];
+            let ok: Result<(), ()> = pool.try_fill_rows(&mut got, row_len, |i, row| {
+                for (j, s) in row.iter_mut().enumerate() {
+                    *s = (i * 100 + j) as f64;
+                }
+                Ok(())
+            });
+            ok.unwrap();
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fill_rows_reports_lowest_row_error() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let mut data = vec![0.0; 100 * 3];
+            let result: Result<(), usize> = pool.try_fill_rows(&mut data, 3, |i, _| {
+                if i % 13 == 0 && i > 0 {
+                    Err(i)
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(result.unwrap_err(), 13, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fill_rows_degenerate_shapes_are_no_ops() {
+        let pool = Pool::with_threads(4);
+        let mut empty: Vec<f64> = Vec::new();
+        let ok: Result<(), ()> = pool.try_fill_rows(&mut empty, 4, |_, _| Err(()));
+        ok.unwrap();
+        let mut some = vec![1.0; 6];
+        let ok: Result<(), ()> = pool.try_fill_rows(&mut some, 0, |_, _| Err(()));
+        ok.unwrap();
+        assert_eq!(some, vec![1.0; 6]);
+        // One row: runs inline.
+        let ran: Result<(), ()> = pool.try_fill_rows(&mut some, 6, |i, row| {
+            assert_eq!(i, 0);
+            row.fill(2.0);
+            Ok(())
+        });
+        ran.unwrap();
+        assert_eq!(some, vec![2.0; 6]);
     }
 }

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use ipmark_netlist::Circuit;
-use ipmark_traces::{Trace, TraceError, TraceSet, TraceSource};
+use ipmark_traces::{Trace, TraceBlock, TraceError, TraceSet, TraceSource};
 
 use crate::chain::MeasurementChain;
 use crate::device::DeviceModel;
@@ -146,16 +146,36 @@ impl SimulatedAcquisition {
     /// Returns [`TraceError::IndexOutOfRange`] when `index` is outside the
     /// campaign.
     pub fn trace(&self, index: usize) -> Result<Trace, TraceError> {
+        let mut samples = vec![0.0; self.clean.len()];
+        self.trace_into(index, &mut samples)?;
+        Ok(Trace::from_samples(samples))
+    }
+
+    /// Regenerates measured trace `index` into a caller-provided buffer
+    /// (e.g. one row of a preallocated campaign arena), producing the same
+    /// sample bits as [`SimulatedAcquisition::trace`] without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::IndexOutOfRange`] when `index` is outside the
+    /// campaign and [`TraceError::LengthMismatch`] when `out` is not
+    /// `trace_len()` samples.
+    pub fn trace_into(&self, index: usize, out: &mut [f64]) -> Result<(), TraceError> {
         if index >= self.num_traces {
             return Err(TraceError::IndexOutOfRange {
                 index,
                 available: self.num_traces,
             });
         }
+        if out.len() != self.clean.len() {
+            return Err(TraceError::LengthMismatch {
+                expected: self.clean.len(),
+                provided: out.len(),
+            });
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(self.effective_seed ^ splitmix64(index as u64));
-        Ok(Trace::from_samples(
-            self.chain.measure(&self.clean, &mut rng),
-        ))
+        self.chain.measure_into(&self.clean, out, &mut rng);
+        Ok(())
     }
 
     /// Materializes the whole campaign as an in-memory [`TraceSet`] — the
@@ -214,6 +234,53 @@ impl SimulatedAcquisition {
             set.push(self.trace(i)?)?;
         }
         Ok(set)
+    }
+
+    /// Materializes the whole campaign into one contiguous [`TraceBlock`]
+    /// — the arena-native form of [`SimulatedAcquisition::acquire_all`],
+    /// performing exactly one allocation for all `num_traces` traces.
+    ///
+    /// Each trace regenerates from its own per-index seed directly into its
+    /// arena row, so with the `parallel` feature the workers write disjoint
+    /// row ranges of the shared allocation. The sample bits equal
+    /// [`SimulatedAcquisition::trace`]'s for every row and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container errors (cannot occur for a valid campaign).
+    pub fn acquire_block(&self) -> Result<TraceBlock, TraceError> {
+        let mut block =
+            TraceBlock::zeros(self.device_name.clone(), self.num_traces, self.clean.len())?;
+        let trace_len = self.clean.len();
+        #[cfg(feature = "parallel")]
+        {
+            ipmark_parallel::par_try_fill_rows(block.samples_mut(), trace_len, |i, row| {
+                self.trace_into(i, row)
+            })?;
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            let _ = trace_len;
+            for (i, mut row) in block.rows_mut().enumerate() {
+                self.trace_into(i, row.samples_mut())?;
+            }
+        }
+        Ok(block)
+    }
+
+    /// The sequential reference implementation of
+    /// [`SimulatedAcquisition::acquire_block`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates container errors (cannot occur for a valid campaign).
+    pub fn acquire_block_seq(&self) -> Result<TraceBlock, TraceError> {
+        let mut block =
+            TraceBlock::zeros(self.device_name.clone(), self.num_traces, self.clean.len())?;
+        for (i, mut row) in block.rows_mut().enumerate() {
+            self.trace_into(i, row.samples_mut())?;
+        }
+        Ok(block)
     }
 }
 
@@ -387,16 +454,51 @@ mod tests {
             MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 0.9, 0.1, None).unwrap();
         let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 11, 9).unwrap();
         let mut chunks = acq.chunked(4).unwrap();
-        let mut streamed = Vec::new();
+        let mut streamed: Vec<Vec<f64>> = Vec::new();
         while let Some(chunk) = chunks.next_chunk().unwrap() {
-            streamed.extend(chunk);
+            streamed.extend(chunk.rows().map(|r| r.samples().to_vec()));
         }
         let batch = acq.acquire_all().unwrap();
         assert_eq!(streamed.len(), batch.len());
-        for (i, trace) in streamed.iter().enumerate() {
-            assert_eq!(trace, batch.trace(i).unwrap());
+        for (i, samples) in streamed.iter().enumerate() {
+            assert_eq!(samples.as_slice(), batch.trace(i).unwrap().samples());
         }
         assert!(acq.chunked(0).is_err());
+    }
+
+    #[test]
+    fn acquire_block_is_bitwise_equal_to_per_trace_acquisition() {
+        let mut circuit = test_circuit();
+        let device = test_device();
+        let chain =
+            MeasurementChain::new(PulseShape::rectangular(2).unwrap(), 0.9, 0.2, None).unwrap();
+        let acq = SimulatedAcquisition::prepare(&mut circuit, &device, &chain, 8, 13, 4).unwrap();
+        let block = acq.acquire_block().unwrap();
+        let block_seq = acq.acquire_block_seq().unwrap();
+        assert_eq!(block, block_seq);
+        assert_eq!(block.len(), 13);
+        assert_eq!(block.device(), "dev");
+        for i in 0..13 {
+            let row: Vec<u64> = block
+                .row(i)
+                .unwrap()
+                .samples()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            let want: Vec<u64> = acq
+                .trace(i)
+                .unwrap()
+                .samples()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(row, want, "row {i}");
+        }
+        // trace_into validates its buffer.
+        let mut bad = vec![0.0; 3];
+        assert!(acq.trace_into(0, &mut bad).is_err());
+        assert!(acq.trace_into(13, &mut vec![0.0; acq.trace_len()]).is_err());
     }
 
     #[test]

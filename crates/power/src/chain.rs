@@ -315,16 +315,30 @@ impl MeasurementChain {
     /// Produces one measured trace from the clean expanded waveform:
     /// add the noise mixture, band-limit, AC-couple, quantize.
     pub fn measure<R: Rng + ?Sized>(&self, clean: &[f64], rng: &mut R) -> Vec<f64> {
-        let mut signal = clean.to_vec();
-        self.noise.add_into(&mut signal, rng);
-        self.filter_in_place(&mut signal);
-        self.ac_couple_in_place(&mut signal);
+        let mut signal = vec![0.0; clean.len()];
+        self.measure_into(clean, &mut signal, rng);
+        signal
+    }
+
+    /// [`MeasurementChain::measure`] into a caller-provided buffer (e.g. one
+    /// row of a preallocated campaign arena), performing no heap
+    /// allocation. Applies the identical transformation sequence, so the
+    /// produced sample bits match `measure` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != clean.len()` (a programming error at the
+    /// acquisition layer, which sizes the arena from the chain itself).
+    pub fn measure_into<R: Rng + ?Sized>(&self, clean: &[f64], out: &mut [f64], rng: &mut R) {
+        out.copy_from_slice(clean);
+        self.noise.add_into(out, rng);
+        self.filter_in_place(out);
+        self.ac_couple_in_place(out);
         if let Some(adc) = &self.adc {
-            for s in &mut signal {
+            for s in out.iter_mut() {
                 *s = adc.quantize(*s);
             }
         }
-        signal
     }
 }
 
@@ -536,6 +550,28 @@ mod tests {
         let noisy = chain.measure(&clean, &mut rng);
         let var = noisy.iter().map(|x| x * x).sum::<f64>() / noisy.len() as f64;
         assert!(var > 0.01, "pink noise missing, var = {var}");
+    }
+
+    #[test]
+    fn measure_into_is_bitwise_equal_to_measure() {
+        let chain = MeasurementChain::new(
+            PulseShape::exponential(3, 1.5).unwrap(),
+            0.6,
+            0.3,
+            Some(AdcConfig {
+                bits: 9,
+                full_scale_min: -1.0,
+                full_scale_max: 5.0,
+            }),
+        )
+        .unwrap();
+        let clean = chain.expand(&[2.0, 1.0, 0.5]);
+        let owned = chain.measure(&clean, &mut ChaCha8Rng::seed_from_u64(17));
+        let mut buf = vec![9.9; clean.len()];
+        chain.measure_into(&clean, &mut buf, &mut ChaCha8Rng::seed_from_u64(17));
+        let a: Vec<u64> = owned.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u64> = buf.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -6,9 +6,49 @@
 
 use rand::Rng;
 
+use crate::block::TraceBlock;
 use crate::error::TraceError;
 use crate::select::uniform_distinct_indices;
 use crate::trace::{Trace, TraceSource};
+
+/// Averages the traces at the given indices of `source` into a
+/// caller-provided buffer (typically one row of a preallocated
+/// [`TraceBlock`]), performing no heap allocation.
+///
+/// The buffer is zeroed first, the selected traces are accumulated
+/// lowest-index-first, and the sum is scaled by `1/len` — the exact
+/// floating-point operation sequence of [`mean_of_indices`], which is a
+/// thin allocating wrapper around this function.
+///
+/// # Errors
+///
+/// Returns [`TraceError::EmptySet`] for an empty index list,
+/// [`TraceError::LengthMismatch`] when `out` is not `source.trace_len()`
+/// samples, and propagates out-of-range indices.
+pub fn mean_of_indices_into<S: TraceSource + ?Sized>(
+    source: &S,
+    indices: &[usize],
+    out: &mut [f64],
+) -> Result<(), TraceError> {
+    if indices.is_empty() {
+        return Err(TraceError::EmptySet);
+    }
+    if out.len() != source.trace_len() {
+        return Err(TraceError::LengthMismatch {
+            expected: source.trace_len(),
+            provided: out.len(),
+        });
+    }
+    out.fill(0.0);
+    for &i in indices {
+        source.accumulate(i, out)?;
+    }
+    let scale = 1.0 / indices.len() as f64;
+    for a in out.iter_mut() {
+        *a *= scale;
+    }
+    Ok(())
+}
 
 /// Averages the traces at the given indices of `source`.
 ///
@@ -20,17 +60,8 @@ pub fn mean_of_indices<S: TraceSource + ?Sized>(
     source: &S,
     indices: &[usize],
 ) -> Result<Trace, TraceError> {
-    if indices.is_empty() {
-        return Err(TraceError::EmptySet);
-    }
     let mut acc = vec![0.0; source.trace_len()];
-    for &i in indices {
-        source.accumulate(i, &mut acc)?;
-    }
-    let scale = 1.0 / indices.len() as f64;
-    for a in &mut acc {
-        *a *= scale;
-    }
+    mean_of_indices_into(source, indices, &mut acc)?;
     Ok(Trace::from_samples(acc))
 }
 
@@ -128,6 +159,100 @@ pub fn k_averages_seq<S: TraceSource + ?Sized, R: Rng + ?Sized>(
     (0..m).map(|_| k_average(source, k, rng)).collect()
 }
 
+/// Computes the `m` `k`-averaged traces of [`k_averages`] directly into one
+/// contiguous [`TraceBlock`] (row `i` = average `i`), allocating exactly
+/// one arena for the whole output instead of `m` separate traces.
+///
+/// Selections are pre-drawn exactly as in [`k_averages`] and every row is
+/// produced by [`mean_of_indices_into`] — the same floating-point sequence
+/// as the per-trace path, so `k_averages(..)?[i].samples()` and
+/// `k_averages_block(..)?.row(i)?.samples()` are bit-identical. With the
+/// `parallel` feature the rows are filled by disjoint workers writing into
+/// the shared arena (index-ordered, thread-count invariant).
+///
+/// # Errors
+///
+/// Same as [`k_averages`].
+pub fn k_averages_block<S: TraceSource + Sync + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<TraceBlock, TraceError> {
+    let selections = draw_selections(source, k, m, rng)?;
+    fill_block_from_selections(source, &selections)
+}
+
+/// [`k_averages_block`] with an explicit worker pool.
+///
+/// # Errors
+///
+/// Same as [`k_averages`].
+#[cfg(feature = "parallel")]
+pub fn k_averages_block_with_pool<S: TraceSource + Sync + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+    pool: &ipmark_parallel::Pool,
+) -> Result<TraceBlock, TraceError> {
+    let selections = draw_selections(source, k, m, rng)?;
+    let mut block = TraceBlock::zeros("", selections.len(), source.trace_len())?;
+    let trace_len = source.trace_len();
+    pool.try_fill_rows(block.samples_mut(), trace_len, |i, row| {
+        mean_of_indices_into(source, &selections[i], row)
+    })?;
+    Ok(block)
+}
+
+/// The sequential reference implementation of [`k_averages_block`]:
+/// interleaved draw-then-average, like [`k_averages_seq`], but writing into
+/// one preallocated arena. Compiled unconditionally.
+///
+/// # Errors
+///
+/// Same as [`k_averages`].
+pub fn k_averages_block_seq<S: TraceSource + ?Sized, R: Rng + ?Sized>(
+    source: &S,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<TraceBlock, TraceError> {
+    if m == 0 {
+        return Err(TraceError::EmptySet);
+    }
+    let trace_len = source.trace_len();
+    let mut block = TraceBlock::zeros("", m, trace_len)?;
+    for i in 0..m {
+        let indices = uniform_distinct_indices(source.num_traces(), k, rng)?;
+        let mut row = block.row_mut(i)?;
+        mean_of_indices_into(source, &indices, row.samples_mut())?;
+    }
+    Ok(block)
+}
+
+fn fill_block_from_selections<S: TraceSource + Sync + ?Sized>(
+    source: &S,
+    selections: &[Vec<usize>],
+) -> Result<TraceBlock, TraceError> {
+    let trace_len = source.trace_len();
+    let mut block = TraceBlock::zeros("", selections.len(), trace_len)?;
+    #[cfg(feature = "parallel")]
+    {
+        ipmark_parallel::par_try_fill_rows(block.samples_mut(), trace_len, |i, row| {
+            mean_of_indices_into(source, &selections[i], row)
+        })?;
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        for (i, selection) in selections.iter().enumerate() {
+            let mut row = block.row_mut(i)?;
+            mean_of_indices_into(source, selection, row.samples_mut())?;
+        }
+    }
+    Ok(block)
+}
+
 /// Draws the `m` index selections up front, in the order the sequential
 /// loop would draw them.
 fn draw_selections<S: TraceSource + ?Sized, R: Rng + ?Sized>(
@@ -159,6 +284,11 @@ fn draw_selections<S: TraceSource + ?Sized, R: Rng + ?Sized>(
 /// batch result, while memory stays at `O(m × trace_len)` instead of
 /// `O(n2 × trace_len)`.
 ///
+/// The `m` partial sums live in **one preallocated [`TraceBlock`]** (row
+/// `i` = slot `i`), allocated once at construction: ingestion performs no
+/// per-trace or per-slot heap allocation, and a finished average is read
+/// as a borrowed row via [`StreamingKAverager::average`].
+///
 /// Slots complete out of slot order (slot completion is governed by each
 /// selection's *largest* index); [`StreamingKAverager::ingest`] reports
 /// which slots finished so the caller can maintain contiguous-prefix
@@ -167,20 +297,17 @@ fn draw_selections<S: TraceSource + ?Sized, R: Rng + ?Sized>(
 pub struct StreamingKAverager {
     /// Ascending index selection per slot, drawn up front.
     selections: Vec<Vec<usize>>,
-    slots: Vec<Slot>,
+    /// Next unmatched position in each slot's selection.
+    cursors: Vec<usize>,
+    /// The preallocated `m × trace_len` output arena: partial sums while a
+    /// slot accumulates, the finished average once it completes.
+    slots: TraceBlock,
+    /// Whether each slot's average is finished (scaled by `1/k`).
+    finished: Vec<bool>,
     trace_len: usize,
     population: usize,
     next_index: usize,
     completed: usize,
-}
-
-#[derive(Debug, Clone)]
-struct Slot {
-    /// Next unmatched position in this slot's selection.
-    cursor: usize,
-    /// Partial sum, allocated on first contribution and released on
-    /// completion so peak memory tracks only *active* slots.
-    acc: Option<Vec<f64>>,
 }
 
 impl StreamingKAverager {
@@ -212,15 +339,12 @@ impl StreamingKAverager {
         let selections: Vec<Vec<usize>> = (0..m)
             .map(|_| Ok(uniform_distinct_indices(population, k, rng)?))
             .collect::<Result<_, TraceError>>()?;
-        let slots = (0..m)
-            .map(|_| Slot {
-                cursor: 0,
-                acc: None,
-            })
-            .collect();
+        let slots = TraceBlock::zeros("", m, trace_len)?;
         Ok(Self {
             selections,
+            cursors: vec![0; m],
             slots,
+            finished: vec![false; m],
             trace_len,
             population,
             next_index: 0,
@@ -229,7 +353,8 @@ impl StreamingKAverager {
     }
 
     /// Ingests the next trace of the stream (index [`Self::ingested`]) and
-    /// returns the slots it completed, as `(slot, finished_average)` pairs.
+    /// returns the indices of the slots it completed; their finished
+    /// averages are readable through [`StreamingKAverager::average`].
     ///
     /// A rejected trace is **not** consumed: the stream index does not
     /// advance and no partial sum is touched, so the caller can re-supply a
@@ -241,7 +366,7 @@ impl StreamingKAverager {
     /// have been ingested, [`TraceError::LengthMismatch`] for a wrong
     /// sample count and [`TraceError::NonFiniteSample`] for NaN/infinite
     /// samples.
-    pub fn ingest(&mut self, samples: &[f64]) -> Result<Vec<(usize, Trace)>, TraceError> {
+    pub fn ingest(&mut self, samples: &[f64]) -> Result<Vec<usize>, TraceError> {
         let index = self.next_index;
         if index >= self.population {
             return Err(TraceError::IndexOutOfRange {
@@ -263,30 +388,48 @@ impl StreamingKAverager {
         }
 
         let mut finished = Vec::new();
-        for (slot_idx, slot) in self.slots.iter_mut().enumerate() {
-            let selection = &self.selections[slot_idx];
-            if slot.cursor >= selection.len() || selection[slot.cursor] != index {
+        for (slot_idx, selection) in self.selections.iter().enumerate() {
+            let cursor = self.cursors[slot_idx];
+            if cursor >= selection.len() || selection[cursor] != index {
                 continue;
             }
-            let acc = slot.acc.get_or_insert_with(|| vec![0.0; samples.len()]);
+            let mut row = self.slots.row_mut(slot_idx)?;
+            let acc = row.samples_mut();
             for (a, s) in acc.iter_mut().zip(samples) {
                 *a += s;
             }
-            slot.cursor += 1;
-            if slot.cursor == selection.len() {
+            self.cursors[slot_idx] = cursor + 1;
+            if cursor + 1 == selection.len() {
                 // Same finalization as `mean_of_indices`: scale the sum by
                 // the reciprocal of the selection length.
-                let mut sum = slot.acc.take().unwrap_or_default();
                 let scale = 1.0 / selection.len() as f64;
-                for a in &mut sum {
+                for a in acc.iter_mut() {
                     *a *= scale;
                 }
-                finished.push((slot_idx, Trace::from_samples(sum)));
+                self.finished[slot_idx] = true;
+                finished.push(slot_idx);
             }
         }
         self.next_index += 1;
         self.completed += finished.len();
         Ok(finished)
+    }
+
+    /// The finished `k`-average of `slot` — a borrowed row of the output
+    /// arena — or `None` while the slot is still accumulating (its row
+    /// holds an unscaled partial sum) or out of range.
+    pub fn average(&self, slot: usize) -> Option<&[f64]> {
+        if !*self.finished.get(slot)? {
+            return None;
+        }
+        self.slots.row(slot).ok().map(|row| row.samples())
+    }
+
+    /// The preallocated `m × trace_len` output arena. Row `i` is slot `i`'s
+    /// finished average once [`StreamingKAverager::average`] returns
+    /// `Some`; before that it holds the slot's running partial sum.
+    pub fn output_block(&self) -> &TraceBlock {
+        &self.slots
     }
 
     /// Number of traces ingested so far (= the index of the next trace).
@@ -465,22 +608,92 @@ mod tests {
             let mut streamer =
                 StreamingKAverager::new(set.len(), 16, 9, 7, &mut ChaCha8Rng::seed_from_u64(seed))
                     .unwrap();
-            let mut streamed: Vec<Option<Trace>> = vec![None; 7];
+            let mut streamed: Vec<Option<Vec<f64>>> = vec![None; 7];
             for trace in set.iter() {
-                for (slot, avg) in streamer.ingest(trace.samples()).unwrap() {
+                for slot in streamer.ingest(trace.samples()).unwrap() {
                     assert!(streamed[slot].is_none(), "slot {slot} completed twice");
-                    streamed[slot] = Some(avg);
+                    let avg = streamer.average(slot).expect("slot just finished");
+                    streamed[slot] = Some(avg.to_vec());
                 }
             }
             assert!(streamer.is_complete());
             for (slot, avg) in streamed.iter().enumerate() {
                 let got = avg.as_ref().expect("every slot completes");
-                let got_bits: Vec<u64> = got.samples().iter().map(|s| s.to_bits()).collect();
+                let got_bits: Vec<u64> = got.iter().map(|s| s.to_bits()).collect();
                 let want_bits: Vec<u64> =
                     batch[slot].samples().iter().map(|s| s.to_bits()).collect();
                 assert_eq!(got_bits, want_bits, "seed {seed}, slot {slot}");
+                // The output arena holds the same finished rows.
+                let row = streamer.output_block().row(slot).unwrap();
+                assert_eq!(row.samples(), got.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn block_averages_are_bitwise_equal_to_per_trace_averages() {
+        let set = noisy_test_set(90, 12, 3);
+        for seed in 0..4u64 {
+            let traces = k_averages(&set, 8, 6, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            let block = k_averages_block(&set, 8, 6, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            let block_seq =
+                k_averages_block_seq(&set, 8, 6, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            assert_eq!(block.len(), 6);
+            assert_eq!(block, block_seq, "seed {seed}");
+            for (i, trace) in traces.iter().enumerate() {
+                let got: Vec<u64> = block
+                    .row(i)
+                    .unwrap()
+                    .samples()
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect();
+                let want: Vec<u64> = trace.samples().iter().map(|s| s.to_bits()).collect();
+                assert_eq!(got, want, "seed {seed}, row {i}");
+            }
+        }
+        assert!(matches!(
+            k_averages_block(&set, 8, 0, &mut ChaCha8Rng::seed_from_u64(0)),
+            Err(TraceError::EmptySet)
+        ));
+        assert!(matches!(
+            k_averages_block_seq(&set, 8, 0, &mut ChaCha8Rng::seed_from_u64(0)),
+            Err(TraceError::EmptySet)
+        ));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn block_averages_are_thread_count_invariant() {
+        let set = noisy_test_set(70, 9, 6);
+        let baseline = k_averages_block_seq(&set, 5, 8, &mut ChaCha8Rng::seed_from_u64(4)).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = ipmark_parallel::Pool::with_threads(threads);
+            let got =
+                k_averages_block_with_pool(&set, 5, 8, &mut ChaCha8Rng::seed_from_u64(4), &pool)
+                    .unwrap();
+            assert_eq!(got, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn mean_of_indices_into_validates_the_buffer() {
+        let set = set_of(&[&[1.0, 2.0], &[3.0, 6.0]]);
+        let mut bad = vec![0.0; 3];
+        assert!(matches!(
+            mean_of_indices_into(&set, &[0], &mut bad),
+            Err(TraceError::LengthMismatch {
+                expected: 2,
+                provided: 3
+            })
+        ));
+        let mut out = vec![9.0; 2];
+        mean_of_indices_into(&set, &[0, 1], &mut out).unwrap();
+        assert_eq!(out, vec![2.0, 4.0]);
+        assert!(matches!(
+            mean_of_indices_into(&set, &[], &mut out),
+            Err(TraceError::EmptySet)
+        ));
     }
 
     #[test]
@@ -553,7 +766,7 @@ mod tests {
         // slots must all be complete (and not one trace earlier).
         let mut done = [false; 5];
         for i in 0..40 {
-            for (slot, _) in s.ingest(&[i as f64, 2.0 * i as f64 + 1.0]).unwrap() {
+            for slot in s.ingest(&[i as f64, 2.0 * i as f64 + 1.0]).unwrap() {
                 done[slot] = true;
             }
             let fed = i + 1;

@@ -104,6 +104,14 @@ pub enum TraceError {
     },
     /// A chunked reader was configured with a zero chunk size.
     EmptyChunk,
+    /// A trace block's declared dimensions overflow the addressable sample
+    /// count (`count × trace_len` exceeds `usize`).
+    DimensionOverflow {
+        /// Declared trace count.
+        count: usize,
+        /// Declared samples per trace.
+        trace_len: usize,
+    },
     /// An underlying statistics error.
     Stats(StatsError),
     /// An underlying selection error.
@@ -134,6 +142,12 @@ impl fmt::Display for TraceError {
                 )
             }
             TraceError::EmptyChunk => write!(f, "chunk size must be at least 1"),
+            TraceError::DimensionOverflow { count, trace_len } => {
+                write!(
+                    f,
+                    "trace block dimensions {count} x {trace_len} samples overflow"
+                )
+            }
             TraceError::Stats(e) => write!(f, "statistics error: {e}"),
             TraceError::Select(e) => write!(f, "selection error: {e}"),
         }
@@ -192,6 +206,10 @@ mod tests {
                 sample_index: 2,
             }),
             Box::new(TraceError::EmptyChunk),
+            Box::new(TraceError::DimensionOverflow {
+                count: usize::MAX,
+                trace_len: 2,
+            }),
             Box::new(TraceError::Stats(StatsError::ZeroVariance)),
             Box::new(TraceError::Select(SelectError::EmptySelection)),
         ];

@@ -1,20 +1,29 @@
-//! Reading and writing trace sets.
+//! Reading and writing trace campaigns.
 //!
-//! Two formats:
+//! Three formats:
 //!
 //! * **CSV** — one trace per line, samples comma-separated; interoperable
 //!   with spreadsheet tools and the plotting scripts of side-channel suites.
-//! * **Binary** — a compact little-endian format (`IPMKTRC1` magic, trace
-//!   count, trace length, raw `f64` samples) for large campaigns.
+//! * **`IPMKTRC1`** — the legacy compact little-endian format (magic, trace
+//!   count, trace length, raw `f64` samples, trace by trace).
+//! * **`IPMKTRC2`** — the arena-native block format. Its payload is
+//!   **byte-identical** to `IPMKTRC1` (writing traces contiguously *is*
+//!   row-major order); only the magic differs. The payload therefore maps
+//!   1:1 onto a [`TraceBlock`]'s sample arena, and [`read_block_any`] loads
+//!   either version straight into one contiguous allocation.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
+use crate::block::TraceBlock;
 use crate::error::TraceError;
 use crate::trace::{Trace, TraceSet};
 
-/// Magic bytes opening the binary trace format.
+/// Magic bytes opening the legacy (v1) binary trace format.
 pub const BINARY_MAGIC: &[u8; 8] = b"IPMKTRC1";
+
+/// Magic bytes opening the arena-native (v2) binary block format.
+pub const BLOCK_MAGIC: &[u8; 8] = b"IPMKTRC2";
 
 /// Error raised by trace serialization.
 #[derive(Debug)]
@@ -130,19 +139,85 @@ pub fn write_binary<W: Write>(set: &TraceSet, writer: W) -> Result<(), IoError> 
 /// Reads a binary trace set written by [`write_binary`]. A mutable
 /// reference may be passed as the reader.
 ///
+/// Only the legacy `IPMKTRC1` magic is accepted; use [`read_block_any`] to
+/// load either binary version (into a [`TraceBlock`]).
+///
 /// # Errors
 ///
 /// Returns [`IoError::Format`] for a bad magic or truncated payload.
 pub fn read_binary<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError> {
+    Ok(read_block_magics(device, reader, &[BINARY_MAGIC])?.to_set()?)
+}
+
+/// Writes a trace block in the arena-native `IPMKTRC2` format. A mutable
+/// reference may be passed as the writer.
+///
+/// The payload is the block's row-major sample arena verbatim (little
+/// endian), so [`read_block`] restores it with a single streamed read into
+/// one allocation.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_block<W: Write>(block: &TraceBlock, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BLOCK_MAGIC)?;
+    w.write_all(&(block.len() as u64).to_le_bytes())?;
+    w.write_all(&(block.trace_len() as u64).to_le_bytes())?;
+    for s in block.samples() {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an `IPMKTRC2` trace block written by [`write_block`]. A mutable
+/// reference may be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for a bad magic (including the legacy
+/// `IPMKTRC1` — use [`read_block_any`] to accept both) or a truncated
+/// payload.
+pub fn read_block<R: Read>(device: &str, reader: R) -> Result<TraceBlock, IoError> {
+    read_block_magics(device, reader, &[BLOCK_MAGIC])
+}
+
+/// Reads either binary version — `IPMKTRC1` or `IPMKTRC2` — into a
+/// contiguous [`TraceBlock`].
+///
+/// The two payloads are byte-identical (v1's trace-by-trace layout *is*
+/// row-major), so a v1 campaign file loads into the arena without any
+/// per-trace allocation or re-ordering.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for an unknown magic or truncated payload.
+pub fn read_block_any<R: Read>(device: &str, reader: R) -> Result<TraceBlock, IoError> {
+    read_block_magics(device, reader, &[BINARY_MAGIC, BLOCK_MAGIC])
+}
+
+/// Shared header + payload reader for both binary versions: validates an
+/// untrusted header, then streams the row-major payload into one flat
+/// arena through a fixed scratch buffer.
+fn read_block_magics<R: Read>(
+    device: &str,
+    reader: R,
+    accept: &[&[u8; 8]],
+) -> Result<TraceBlock, IoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)
         .map_err(|_| IoError::Format("missing magic".to_owned()))?;
-    if &magic != BINARY_MAGIC {
+    if !accept.contains(&&magic) {
         return Err(IoError::Format(format!(
             "bad magic `{}`, expected `{}` — not an ipmark binary trace file",
             String::from_utf8_lossy(&magic).escape_default(),
-            String::from_utf8_lossy(BINARY_MAGIC)
+            accept
+                .iter()
+                .map(|m| String::from_utf8_lossy(*m).into_owned())
+                .collect::<Vec<_>>()
+                .join("` or `")
         )));
     }
     let mut u64buf = [0u8; 8];
@@ -157,25 +232,49 @@ pub fn read_binary<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError
     }
     // The header is untrusted: never pre-allocate from it unboundedly, and
     // reject sizes whose byte count cannot even be represented.
-    count
+    let total = count
         .checked_mul(len)
-        .and_then(|s| s.checked_mul(8))
+        .filter(|s| s.checked_mul(8).is_some())
         .ok_or_else(|| {
             IoError::Format(format!("declared size {count} x {len} samples overflows"))
         })?;
-    let prealloc = len.min(1 << 16);
-    let mut set = TraceSet::new(device);
-    let mut sample = [0u8; 8];
-    for t in 0..count {
-        let mut samples = Vec::with_capacity(prealloc);
-        for s in 0..len {
-            r.read_exact(&mut sample)
-                .map_err(|_| IoError::Format(format!("truncated at trace {t}, sample {s}")))?;
-            samples.push(f64::from_le_bytes(sample));
+    // Bounded pre-allocation: the arena grows towards `total` as payload
+    // bytes actually arrive, so a hostile header cannot force a giant
+    // up-front allocation.
+    let mut data: Vec<f64> = Vec::with_capacity(total.min(1 << 20));
+    let mut scratch = [0u8; 8192];
+    while data.len() < total {
+        let want = ((total - data.len()) * 8).min(scratch.len());
+        r.read_exact(&mut scratch[..want]).map_err(|_| {
+            let (t, s) = (data.len() / len, data.len() % len);
+            IoError::Format(format!("truncated at trace {t}, sample {s}"))
+        })?;
+        for chunk in scratch[..want].chunks_exact(8) {
+            let mut sample = [0u8; 8];
+            sample.copy_from_slice(chunk);
+            data.push(f64::from_le_bytes(sample));
         }
-        set.push(Trace::from_samples(samples))?;
     }
-    Ok(set)
+    Ok(TraceBlock::from_data(device, len, data)?)
+}
+
+/// Writes a trace block as CSV (conversion boundary — copies through the
+/// owned per-trace representation).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_block_csv<W: Write>(block: &TraceBlock, writer: W) -> Result<(), IoError> {
+    write_csv(&block.to_set()?, writer)
+}
+
+/// Reads a CSV campaign straight into a contiguous [`TraceBlock`].
+///
+/// # Errors
+///
+/// Same as [`read_csv`].
+pub fn read_csv_block<R: Read>(device: &str, reader: R) -> Result<TraceBlock, IoError> {
+    Ok(TraceBlock::from(&read_csv(device, reader)?))
 }
 
 #[cfg(test)]
@@ -272,6 +371,95 @@ mod tests {
         write_binary(&set, &mut buf).unwrap();
         let back = read_binary("empty", buf.as_slice()).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn block_round_trip_exact_bits() {
+        let block = TraceBlock::from_data("dev", 3, vec![1.0, -2.5, 3.25, 0.0, 1e-9, 7.0]).unwrap();
+        let mut buf = Vec::new();
+        write_block(&block, &mut buf).unwrap();
+        assert_eq!(&buf[..8], BLOCK_MAGIC);
+        let back = read_block("dev", buf.as_slice()).unwrap();
+        assert_eq!(back, block);
+        let bits: Vec<u64> = back.samples().iter().map(|s| s.to_bits()).collect();
+        let want: Vec<u64> = block.samples().iter().map(|s| s.to_bits()).collect();
+        assert_eq!(bits, want);
+    }
+
+    #[test]
+    fn v1_and_v2_payloads_are_byte_identical() {
+        let set = sample_set();
+        let block = TraceBlock::from(&set);
+        let mut v1 = Vec::new();
+        write_binary(&set, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        write_block(&block, &mut v2).unwrap();
+        assert_eq!(&v1[8..], &v2[8..], "payloads after the magic must match");
+        // Either version loads into the same arena.
+        let from_v1 = read_block_any("dev", v1.as_slice()).unwrap();
+        let from_v2 = read_block_any("dev", v2.as_slice()).unwrap();
+        assert_eq!(from_v1, from_v2);
+        assert_eq!(from_v1, block);
+        // And a block file converts back to the same set.
+        assert_eq!(from_v2.to_set().unwrap(), set);
+    }
+
+    #[test]
+    fn strict_block_reader_rejects_v1_magic() {
+        let mut v1 = Vec::new();
+        write_binary(&sample_set(), &mut v1).unwrap();
+        let err = read_block("dev", v1.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+        assert!(matches!(
+            read_block("d", b"NOTMAGIC".as_slice()).unwrap_err(),
+            IoError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn block_rejects_truncation_and_hostile_headers() {
+        let block = TraceBlock::from(&sample_set());
+        let mut buf = Vec::new();
+        write_block(&block, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        let err = read_block("d", buf.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+        // Truncated header.
+        let err = read_block("d", &BLOCK_MAGIC[..]).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+        // 2^40 x 2^40 samples must fail fast without a giant allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(BLOCK_MAGIC);
+        hostile.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        hostile.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = read_block("d", hostile.as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+        // Zero-length traces with a nonzero count are invalid.
+        let mut zero_len = Vec::new();
+        zero_len.extend_from_slice(BLOCK_MAGIC);
+        zero_len.extend_from_slice(&2u64.to_le_bytes());
+        zero_len.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_block("d", zero_len.as_slice()).is_err());
+    }
+
+    #[test]
+    fn block_empty_campaign_round_trips() {
+        let empty = TraceBlock::new("empty");
+        let mut buf = Vec::new();
+        write_block(&empty, &mut buf).unwrap();
+        let back = read_block("empty", buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn block_csv_round_trips_through_conversion() {
+        let block = TraceBlock::from(&sample_set());
+        let mut buf = Vec::new();
+        write_block_csv(&block, &mut buf).unwrap();
+        let back = read_csv_block("dev", buf.as_slice()).unwrap();
+        assert_eq!(back.len(), block.len());
+        assert_eq!(back.trace_len(), block.trace_len());
+        assert_eq!(back.samples(), block.samples());
     }
 
     #[test]

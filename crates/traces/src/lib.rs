@@ -40,6 +40,7 @@
 
 pub mod align;
 pub mod average;
+pub mod block;
 pub mod error;
 pub mod io;
 pub mod preprocess;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod streaming;
 pub mod trace;
 
+pub use block::{TraceBlock, TraceChunk, TraceView, TraceViewMut};
 pub use error::{SelectError, StatsError, TraceError};
 pub use io::IoError;
 pub use trace::{Trace, TraceSet, TraceSource};

@@ -2,14 +2,15 @@
 //!
 //! A verification service does not receive `n2 = 10 000` DUT traces at
 //! once — the oscilloscope hands them over a few at a time. ChunkedSource
-//! adapts any [`TraceSource`] into that delivery shape: fixed-size chunks
-//! of materialized traces, in index order, so a
+//! adapts any [`TraceSource`] into that delivery shape: fixed-size
+//! contiguous [`TraceBlock`] chunks, in index order, so a
 //! [`StreamingKAverager`](crate::average::StreamingKAverager)-backed
 //! session can consume the campaign incrementally and stop acquiring as
 //! soon as its decision is confident.
 
+use crate::block::TraceBlock;
 use crate::error::TraceError;
-use crate::trace::{Trace, TraceSource};
+use crate::trace::TraceSource;
 
 /// Reads a [`TraceSource`] as a sequence of fixed-size chunks.
 ///
@@ -100,22 +101,28 @@ impl<'a, S: TraceSource + ?Sized> ChunkedSource<'a, S> {
         self.next
     }
 
-    /// Delivers the next chunk, or `Ok(None)` once the limit is reached.
+    /// Delivers the next chunk as one contiguous [`TraceBlock`] (row `i` =
+    /// source trace `position() + i`), or `Ok(None)` once the limit is
+    /// reached.
+    ///
+    /// The chunk is a single arena allocation; each row is zeroed and then
+    /// accumulated from the source — the same element-wise zero-then-add
+    /// sequence a per-trace materialization performs, so the delivered
+    /// sample bits are unchanged.
     ///
     /// # Errors
     ///
     /// Propagates the source's per-trace errors; a failed chunk is not
     /// consumed (the position only advances on success).
-    pub fn next_chunk(&mut self) -> Result<Option<Vec<Trace>>, TraceError> {
+    pub fn next_chunk(&mut self) -> Result<Option<TraceBlock>, TraceError> {
         if self.next >= self.limit {
             return Ok(None);
         }
         let end = (self.next + self.chunk_size).min(self.limit);
-        let mut chunk = Vec::with_capacity(end - self.next);
-        for index in self.next..end {
-            let mut acc = vec![0.0; self.source.trace_len()];
-            self.source.accumulate(index, &mut acc)?;
-            chunk.push(Trace::from_samples(acc));
+        let mut chunk = TraceBlock::zeros("", end - self.next, self.source.trace_len())?;
+        for (offset, mut row) in chunk.rows_mut().enumerate() {
+            self.source
+                .accumulate(self.next + offset, row.samples_mut())?;
         }
         self.next = end;
         Ok(Some(chunk))
@@ -125,7 +132,7 @@ impl<'a, S: TraceSource + ?Sized> ChunkedSource<'a, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::TraceSet;
+    use crate::trace::{Trace, TraceSet};
 
     fn set_of(n: usize) -> TraceSet {
         let mut set = TraceSet::new("d");
@@ -142,13 +149,13 @@ mod tests {
         let mut chunks = ChunkedSource::new(&set, 3).unwrap();
         assert_eq!(chunks.chunk_size(), 3);
         assert_eq!(chunks.trace_len(), 2);
-        let mut seen = Vec::new();
+        let mut seen: Vec<Vec<f64>> = Vec::new();
         while let Some(chunk) = chunks.next_chunk().unwrap() {
-            seen.extend(chunk);
+            seen.extend(chunk.rows().map(|r| r.samples().to_vec()));
         }
         assert_eq!(seen.len(), 10);
         for (i, t) in seen.iter().enumerate() {
-            assert_eq!(t.samples(), &[i as f64, 10.0 + i as f64]);
+            assert_eq!(t.as_slice(), &[i as f64, 10.0 + i as f64]);
         }
         assert!(chunks.next_chunk().unwrap().is_none());
         assert_eq!(chunks.remaining(), 0);

@@ -5,7 +5,7 @@ use ipmark_traces::select::uniform_distinct_indices;
 use ipmark_traces::stats::{
     mean, pearson, two_largest, two_smallest, variance_population, PearsonRef, RunningStats,
 };
-use ipmark_traces::{Trace, TraceSet};
+use ipmark_traces::{io, Trace, TraceBlock, TraceSet};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -205,5 +205,74 @@ proptest! {
         for i in 0..set.len() {
             prop_assert_eq!(back.trace(i).unwrap().samples(), set.trace(i).unwrap().samples());
         }
+    }
+
+    #[test]
+    fn every_format_round_trips_into_the_same_arena(
+        campaign in (1usize..6).prop_flat_map(|len| prop::collection::vec(
+            prop::collection::vec(-1e30f64..1e30, len..=len),
+            1..8,
+        )),
+    ) {
+        // One campaign, four containers — CSV text, IPMKTRC1, IPMKTRC2 and
+        // the in-memory TraceBlock — must all hold the same sample bits.
+        let len = campaign[0].len();
+        let block = TraceBlock::from_data(
+            "d",
+            len,
+            campaign.iter().flatten().copied().collect::<Vec<f64>>(),
+        ).unwrap();
+
+        let mut csv = Vec::new();
+        io::write_block_csv(&block, &mut csv).unwrap();
+        let via_csv = io::read_csv_block("d", csv.as_slice()).unwrap();
+
+        let mut v1 = Vec::new();
+        io::write_binary(&block.to_set().unwrap(), &mut v1).unwrap();
+        let via_v1 = io::read_block_any("d", v1.as_slice()).unwrap();
+
+        let mut v2 = Vec::new();
+        io::write_block(&block, &mut v2).unwrap();
+        let via_v2 = io::read_block("d", v2.as_slice()).unwrap();
+
+        for other in [&via_csv, &via_v1, &via_v2] {
+            prop_assert_eq!(other.len(), block.len());
+            prop_assert_eq!(other.trace_len(), block.trace_len());
+            for (a, b) in other.samples().iter().zip(block.samples()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // The v1 and v2 payloads behind the 8-byte magic are byte-identical.
+        prop_assert_eq!(&v1[8..], &v2[8..]);
+    }
+
+    #[test]
+    fn truncated_and_corrupted_block_files_are_rejected(
+        rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 3), 1..6),
+        cut in 0.0f64..1.0,
+    ) {
+        let block = TraceBlock::from_data(
+            "d",
+            3,
+            rows.iter().flatten().copied().collect::<Vec<f64>>(),
+        ).unwrap();
+        let mut v2 = Vec::new();
+        io::write_block(&block, &mut v2).unwrap();
+
+        // Any strict truncation must surface a typed error, never a panic
+        // or a short silent read.
+        let keep = ((v2.len() - 1) as f64 * cut) as usize;
+        prop_assert!(io::read_block("d", &v2[..keep]).is_err());
+
+        // A flipped magic byte is rejected up front.
+        let mut bad_magic = v2.clone();
+        bad_magic[0] ^= 0xff;
+        prop_assert!(io::read_block("d", bad_magic.as_slice()).is_err());
+
+        // A hostile header claiming astronomically many traces errors out
+        // without attempting the allocation.
+        let mut hostile = v2.clone();
+        hostile[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        prop_assert!(io::read_block("d", hostile.as_slice()).is_err());
     }
 }

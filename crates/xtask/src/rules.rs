@@ -103,6 +103,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "naive `sum::<f32|f64>()` reduction; use the `RunningStats`/`PearsonRef` \
                   kernels unless the summation order is itself part of the contract",
     },
+    RuleInfo {
+        id: "NS003",
+        scope: "library",
+        summary: "per-trace heap copy (`samples().to_vec()` / `Trace::clone`) in library code; \
+                  borrow a `TraceView` or accumulate into the preallocated arena instead",
+    },
 ];
 
 const DT002_IDENTS: &[&str] = &["Instant", "SystemTime", "ThreadId"];
@@ -203,6 +209,37 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
                         toks[i + 2].text,
                         toks[i + 2].text
                     ),
+                );
+            }
+            // NS003: per-trace heap copies that the TraceBlock arena makes
+            // unnecessary on every hot path.
+            if t.is_ident("samples")
+                && next_is_punct(&toks, i + 1, '(')
+                && next_is_punct(&toks, i + 2, ')')
+                && next_is_punct(&toks, i + 3, '.')
+                && toks.get(i + 4).is_some_and(|x| x.is_ident("to_vec"))
+            {
+                push(
+                    &mut out,
+                    "NS003",
+                    t.line,
+                    "`samples().to_vec()` copies a whole trace; borrow a view or \
+                     accumulate into a preallocated buffer"
+                        .to_owned(),
+                );
+            }
+            if t.is_ident("Trace")
+                && next_is_punct(&toks, i + 1, ':')
+                && next_is_punct(&toks, i + 2, ':')
+                && toks.get(i + 3).is_some_and(|x| x.is_ident("clone"))
+            {
+                push(
+                    &mut out,
+                    "NS003",
+                    t.line,
+                    "`Trace::clone` duplicates trace storage; flow borrowed rows \
+                     from the TraceBlock arena instead"
+                        .to_owned(),
                 );
             }
         }
@@ -429,5 +466,22 @@ mod tests {
     fn sum_turbofish() {
         assert_eq!(rules_of("v.iter().sum::<f64>()", NUM), vec!["NS002"]);
         assert!(rules_of("v.iter().sum::<u32>()", NUM).is_empty());
+    }
+
+    #[test]
+    fn per_trace_copies_fire_in_library_code() {
+        assert_eq!(
+            rules_of("let v = trace.samples().to_vec();", LIB),
+            vec!["NS003"]
+        );
+        assert_eq!(
+            rules_of("duts.iter().map(Trace::clone)", LIB),
+            vec!["NS003"]
+        );
+        // Views and non-samples to_vec calls are fine.
+        assert!(rules_of("let v = row.samples();", LIB).is_empty());
+        assert!(rules_of("let v = names.to_vec();", LIB).is_empty());
+        // `samples(x).to_vec()` (with arguments) is some other function.
+        assert!(rules_of("samples(x).to_vec()", LIB).is_empty());
     }
 }

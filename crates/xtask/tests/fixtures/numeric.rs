@@ -1,4 +1,4 @@
-//! Fixture: numeric-safety rules NS001–NS002, positive cases.
+//! Fixture: numeric-safety rules NS001–NS003, positive cases.
 //! Line numbers are asserted by `tests/lint_driver.rs` — keep them stable.
 
 fn ns001(x: f64) -> f32 {
@@ -11,4 +11,12 @@ fn ns002(v: &[f64]) -> f64 {
 
 fn ns002_f32(v: &[f32]) -> f32 {
     v.iter().sum::<f32>() // line 13: NS002
+}
+
+fn ns003_copy(trace: &Trace) -> Vec<f64> {
+    trace.samples().to_vec() // line 17: NS003
+}
+
+fn ns003_clone(traces: &[Trace]) -> Vec<Trace> {
+    traces.iter().map(Trace::clone).collect() // line 21: NS003
 }

@@ -69,7 +69,13 @@ fn determinism_fixture_detects_each_rule_with_line() {
 fn numeric_fixture_detects_each_rule_with_line() {
     assert_eq!(
         rule_lines(&findings_of("numeric.rs")),
-        vec![("NS001", 5), ("NS002", 9), ("NS002", 13)]
+        vec![
+            ("NS001", 5),
+            ("NS002", 9),
+            ("NS002", 13),
+            ("NS003", 17),
+            ("NS003", 21)
+        ]
     );
 }
 

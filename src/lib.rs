@@ -74,5 +74,7 @@ pub mod prelude {
     };
     pub use ipmark_power::{MeasurementChain, ProcessVariation};
     pub use ipmark_traces::streaming::ChunkedSource;
-    pub use ipmark_traces::{Trace, TraceError, TraceSet, TraceSource};
+    pub use ipmark_traces::{
+        Trace, TraceBlock, TraceChunk, TraceError, TraceSet, TraceSource, TraceView, TraceViewMut,
+    };
 }

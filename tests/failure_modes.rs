@@ -236,7 +236,7 @@ fn streaming_session_misuse_is_typed_not_panicking() {
         }))
     ));
     assert!(matches!(
-        session.ingest_chunk(0, &[]),
+        session.ingest_chunk(0, &Vec::<Trace>::new()),
         Err(CoreError::Trace(TraceError::EmptyChunk))
     ));
 
