@@ -15,6 +15,7 @@
 
 use ipmark_core::ip::{CounterKind, IpSpec, Substitution};
 use ipmark_core::WatermarkKey;
+use ipmark_traces::kernels;
 use ipmark_traces::stats::PearsonRef;
 use ipmark_traces::{StatsError, TraceSource};
 use serde::{Deserialize, Serialize};
@@ -73,9 +74,7 @@ pub fn per_cycle_profile<S: TraceSource + ?Sized>(
     let norm = 1.0 / (num_traces as f64 * samples_per_cycle as f64);
     let mut profile = Vec::with_capacity(cycles);
     for c in 0..cycles {
-        let s: f64 = acc[c * samples_per_cycle..(c + 1) * samples_per_cycle]
-            .iter()
-            .sum();
+        let s = kernels::sum(&acc[c * samples_per_cycle..(c + 1) * samples_per_cycle]);
         profile.push(s * norm);
     }
     Ok(profile)
@@ -154,20 +153,21 @@ fn score_hypothesis(
     }
 }
 
-/// Evaluates a scoring function over all 256 key guesses, fanning out
-/// across threads with the `parallel` feature. Scores come back in guess
-/// order either way, so the ranking is thread-count invariant.
-fn guess_scores<F>(score_one: F) -> Result<Vec<f64>, AttackError>
+/// Evaluates a per-guess function over all 256 key guesses, fanning out
+/// across threads with the `parallel` feature. Results come back in guess
+/// order either way, so downstream ranking is thread-count invariant.
+fn guess_map<T, F>(per_guess: F) -> Result<Vec<T>, AttackError>
 where
-    F: Fn(u8) -> Result<f64, AttackError> + Sync,
+    T: Send,
+    F: Fn(u8) -> Result<T, AttackError> + Sync,
 {
     #[cfg(feature = "parallel")]
     {
-        ipmark_parallel::par_try_map_indexed(256, |g| score_one(g as u8))
+        ipmark_parallel::par_try_map_indexed(256, |g| per_guess(g as u8))
     }
     #[cfg(not(feature = "parallel"))]
     {
-        (0..=255u8).map(score_one).collect()
+        (0..=255u8).map(per_guess).collect()
     }
 }
 
@@ -196,11 +196,26 @@ pub fn recover_key<S: TraceSource + ?Sized>(
         )));
     }
 
+    // Predictions fan out across threads; the correlation itself runs as
+    // one batched sweep with the centered profile cache-resident, scoring
+    // four hypotheses per pass. Bit-identical to per-guess
+    // `score_hypothesis` calls (`PearsonRef::correlate_many`), including
+    // the zero-score convention for constant predictions.
     let reference = center_profile(&profile)?;
-    let scores = guess_scores(|g| {
-        let prediction = predicted_leakage(counter, substitution, WatermarkKey::new(g), cycles)?;
-        score_hypothesis(reference.as_ref(), &prediction)
-    })?;
+    let predictions: Vec<Vec<f64>> =
+        guess_map(|g| predicted_leakage(counter, substitution, WatermarkKey::new(g), cycles))?;
+    let scores = match reference.as_ref() {
+        None => vec![0.0; predictions.len()],
+        Some(r) => r
+            .correlate_many(predictions.iter().map(Vec::as_slice))
+            .into_iter()
+            .map(|res| match res {
+                Ok(rho) => Ok(rho),
+                Err(StatsError::ZeroVariance) => Ok(0.0),
+                Err(e) => Err(AttackError::from(e)),
+            })
+            .collect::<Result<Vec<f64>, AttackError>>()?,
+    };
 
     let (best_key, margin, true_key_rank) = rank_guesses(&scores, true_key);
     Ok(CpaResult {
@@ -264,8 +279,7 @@ pub fn recover_key_phase_robust<S: TraceSource + ?Sized>(
             (0..cycles)
                 .map(|c| {
                     let start = phase + c * samples_per_cycle;
-                    acc[start..start + samples_per_cycle].iter().sum::<f64>()
-                        / samples_per_cycle as f64
+                    kernels::sum(&acc[start..start + samples_per_cycle]) / samples_per_cycle as f64
                 })
                 .collect()
         })
@@ -277,7 +291,7 @@ pub fn recover_key_phase_robust<S: TraceSource + ?Sized>(
         .map(|p| center_profile(p))
         .collect::<Result<_, _>>()?;
 
-    let scores = guess_scores(|g| {
+    let scores = guess_map(|g| {
         let mut best = 0.0f64;
         for (profile, reference) in profiles.iter().zip(&references) {
             let prediction =

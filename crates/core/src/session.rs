@@ -39,10 +39,13 @@
 //!     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
 //!     let mut set = TraceSet::new("dev");
 //!     for _ in 0..n {
-//!         let noise = ipmark_power::device::gaussian(&mut rng, 0.0, 0.3);
-//!         set.push(Trace::from_samples(
-//!             (0..64).map(|i| wave(i, phase) + noise).collect(),
-//!         )).unwrap();
+//!         // Per-sample noise: a per-trace constant offset would be
+//!         // removed exactly by Pearson centering, leaving the variance
+//!         // distinguisher nothing but rounding noise to decide on.
+//!         let samples: Vec<f64> = (0..64)
+//!             .map(|i| wave(i, phase) + ipmark_power::device::gaussian(&mut rng, 0.0, 0.3))
+//!             .collect();
+//!         set.push(Trace::from_samples(samples)).unwrap();
 //!     }
 //!     set
 //! };
@@ -394,31 +397,24 @@ impl VerificationSession {
             finished.extend(cand.averager.ingest(samples).map_err(CoreError::Trace)?);
         }
 
-        // Correlate every average the chunk completed, reading borrowed
-        // arena rows — no per-slot copies. Coefficients are independent, so
-        // the parallel map is bitwise equal to the sequential loop (same
-        // `PearsonRef::correlate` per slot).
-        #[cfg(feature = "parallel")]
-        let coefficients: Vec<f64> = {
-            let kernel = &cand.kernel;
-            let averager = &cand.averager;
-            ipmark_parallel::par_try_map_indexed(finished.len(), |i| {
-                let average = averager
-                    .average(finished[i])
-                    .ok_or(CoreError::Invariant("finished slot holds an average"))?;
-                kernel.correlate(average).map_err(CoreError::Stats)
-            })?
-        };
-        #[cfg(not(feature = "parallel"))]
-        let coefficients: Vec<f64> = finished
+        // Correlate every average the chunk completed in one batched
+        // sweep, reading borrowed arena rows — no per-slot copies. The
+        // batched kernel is bit-identical to per-slot
+        // `PearsonRef::correlate` calls (`PearsonRef::correlate_many`), so
+        // the streaming session keeps matching the batch pipeline exactly.
+        let averages: Vec<&[f64]> = finished
             .iter()
             .map(|&slot| {
-                let average = cand
-                    .averager
+                cand.averager
                     .average(slot)
-                    .ok_or(CoreError::Invariant("finished slot holds an average"))?;
-                cand.kernel.correlate(average).map_err(CoreError::Stats)
+                    .ok_or(CoreError::Invariant("finished slot holds an average"))
             })
+            .collect::<Result<_, CoreError>>()?;
+        let coefficients: Vec<f64> = cand
+            .kernel
+            .correlate_many(averages)
+            .into_iter()
+            .map(|r| r.map_err(CoreError::Stats))
             .collect::<Result<_, CoreError>>()?;
 
         for (&slot, coefficient) in finished.iter().zip(coefficients) {

@@ -237,22 +237,18 @@ where
     // as one contiguous m × trace_len arena (row i = average i).
     let a_duts = k_averages_bounded(dut, params.n2, params.k, params.m, rng)?;
 
-    // Center and normalize the single reference once; each of the m
-    // correlations then costs one fused pass over the DUT average's arena
-    // row. The result is bit-identical to per-pair `pearson` calls (see
-    // `PearsonRef`), as is the error surfaced for a flat reference. With
-    // the `parallel` feature the workers read disjoint rows of the shared
-    // arena — no per-thread trace copies.
+    // Center and normalize the single reference once, then compute all m
+    // coefficients in one batched sweep over the contiguous arena: the
+    // centered reference stays cache-resident across a register-blocked
+    // group of four rows at a time. Every coefficient is bit-identical to
+    // a per-pair `pearson` call (see `PearsonRef::correlate_many`), as is
+    // the error surfaced for a flat reference; the first (lowest-index)
+    // row error wins, matching the previous per-row collection order.
     let reference = PearsonRef::new(a_refd.samples()).map_err(CoreError::Stats)?;
-    #[cfg(feature = "parallel")]
-    let coefficients = ipmark_parallel::par_try_map_indexed(a_duts.len(), |i| {
-        let row = a_duts.row(i).map_err(CoreError::Trace)?;
-        reference.correlate(row.samples()).map_err(CoreError::Stats)
-    })?;
-    #[cfg(not(feature = "parallel"))]
-    let coefficients = a_duts
-        .rows()
-        .map(|a| reference.correlate(a.samples()).map_err(CoreError::Stats))
+    let coefficients = reference
+        .correlate_rows(&a_duts)
+        .into_iter()
+        .map(|r| r.map_err(CoreError::Stats))
         .collect::<Result<Vec<f64>, CoreError>>()?;
     CorrelationSet::new(coefficients)
 }

@@ -301,9 +301,7 @@ impl TraceSource for SimulatedAcquisition {
             });
         }
         let t = self.trace(index)?;
-        for (a, s) in acc.iter_mut().zip(t.samples()) {
-            *a += s;
-        }
+        ipmark_traces::kernels::accumulate(acc, t.samples());
         Ok(())
     }
 }

@@ -8,6 +8,7 @@ use rand::Rng;
 
 use crate::block::TraceBlock;
 use crate::error::TraceError;
+use crate::kernels;
 use crate::select::uniform_distinct_indices;
 use crate::trace::{Trace, TraceSource};
 
@@ -43,10 +44,7 @@ pub fn mean_of_indices_into<S: TraceSource + ?Sized>(
     for &i in indices {
         source.accumulate(i, out)?;
     }
-    let scale = 1.0 / indices.len() as f64;
-    for a in out.iter_mut() {
-        *a *= scale;
-    }
+    kernels::scale(out, 1.0 / indices.len() as f64);
     Ok(())
 }
 
@@ -395,17 +393,12 @@ impl StreamingKAverager {
             }
             let mut row = self.slots.row_mut(slot_idx)?;
             let acc = row.samples_mut();
-            for (a, s) in acc.iter_mut().zip(samples) {
-                *a += s;
-            }
+            kernels::accumulate(acc, samples);
             self.cursors[slot_idx] = cursor + 1;
             if cursor + 1 == selection.len() {
                 // Same finalization as `mean_of_indices`: scale the sum by
                 // the reciprocal of the selection length.
-                let scale = 1.0 / selection.len() as f64;
-                for a in acc.iter_mut() {
-                    *a *= scale;
-                }
+                kernels::scale(acc, 1.0 / selection.len() as f64);
                 self.finished[slot_idx] = true;
                 finished.push(slot_idx);
             }

@@ -19,6 +19,7 @@
 //! floating-point operation sequence is identical to the per-trace layout.
 
 use crate::error::TraceError;
+use crate::kernels;
 use crate::trace::{Trace, TraceSet, TraceSource};
 
 /// A contiguous row-major arena of `count` equal-length traces.
@@ -64,15 +65,17 @@ impl TraceBlock {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::EmptyTrace`] for `count > 0 && trace_len == 0`
-    /// and [`TraceError::DimensionOverflow`] when `count × trace_len`
-    /// cannot be represented.
+    /// Returns [`TraceError::EmptyTrace`] for `trace_len == 0` (a block
+    /// never holds zero-sample rows; use [`TraceBlock::new`] for an empty
+    /// block whose length is fixed by the first pushed row) and
+    /// [`TraceError::DimensionOverflow`] when `count × trace_len` cannot
+    /// be represented.
     pub fn zeros(
         device: impl Into<String>,
         count: usize,
         trace_len: usize,
     ) -> Result<Self, TraceError> {
-        if count > 0 && trace_len == 0 {
+        if trace_len == 0 {
             return Err(TraceError::EmptyTrace);
         }
         let total = count
@@ -80,7 +83,7 @@ impl TraceBlock {
             .ok_or(TraceError::DimensionOverflow { count, trace_len })?;
         Ok(Self {
             device: device.into(),
-            trace_len: if count > 0 { trace_len } else { 0 },
+            trace_len,
             count,
             data: vec![0.0; total],
         })
@@ -92,8 +95,9 @@ impl TraceBlock {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::EmptyTrace`] for samples with `trace_len == 0`
-    /// and [`TraceError::LengthMismatch`] for a trailing partial row (the
+    /// Returns [`TraceError::EmptyTrace`] for `trace_len == 0` (rows are
+    /// never zero-sample; use [`TraceBlock::new`] for an empty block) and
+    /// [`TraceError::LengthMismatch`] for a trailing partial row (the
     /// reported `provided` value is the number of leftover samples).
     pub fn from_data(
         device: impl Into<String>,
@@ -101,10 +105,7 @@ impl TraceBlock {
         data: Vec<f64>,
     ) -> Result<Self, TraceError> {
         if trace_len == 0 {
-            if !data.is_empty() {
-                return Err(TraceError::EmptyTrace);
-            }
-            return Ok(Self::new(device));
+            return Err(TraceError::EmptyTrace);
         }
         if !data.len().is_multiple_of(trace_len) {
             return Err(TraceError::LengthMismatch {
@@ -115,7 +116,7 @@ impl TraceBlock {
         let count = data.len() / trace_len;
         Ok(Self {
             device: device.into(),
-            trace_len: if count > 0 { trace_len } else { 0 },
+            trace_len,
             count,
             data,
         })
@@ -132,7 +133,9 @@ impl TraceBlock {
         if samples.is_empty() {
             return Err(TraceError::EmptyTrace);
         }
-        if self.count == 0 {
+        if self.trace_len == 0 {
+            // Deferred-length block (`TraceBlock::new`): the first row
+            // fixes the length.
             self.trace_len = samples.len();
         } else if samples.len() != self.trace_len {
             return Err(TraceError::LengthMismatch {
@@ -220,15 +223,18 @@ impl TraceBlock {
     /// Iterates over the rows as borrowed views.
     pub fn rows(&self) -> Rows<'_> {
         Rows {
-            // `chunks_exact(0)` panics; an empty block has no rows to yield.
-            inner: self.data.chunks_exact(self.trace_len.max(1)),
+            data: &self.data,
+            trace_len: self.trace_len,
+            remaining: self.count,
         }
     }
 
     /// Iterates over the rows as mutable views.
     pub fn rows_mut(&mut self) -> RowsMut<'_> {
         RowsMut {
-            inner: self.data.chunks_exact_mut(self.trace_len.max(1)),
+            data: &mut self.data,
+            trace_len: self.trace_len,
+            remaining: self.count,
         }
     }
 
@@ -282,9 +288,7 @@ impl TraceSource for TraceBlock {
                 provided: acc.len(),
             });
         }
-        for (a, s) in acc.iter_mut().zip(samples) {
-            *a += s;
-        }
+        kernels::accumulate(acc, samples);
         Ok(())
     }
 }
@@ -380,20 +384,32 @@ impl TraceViewMut<'_> {
 }
 
 /// Iterator over the rows of a [`TraceBlock`].
+///
+/// Counts rows explicitly rather than delegating to `ChunksExact`, so a
+/// default-constructed block (`trace_len == 0`, no rows) iterates as empty
+/// instead of requiring a chunk-size workaround.
 #[derive(Debug, Clone)]
 pub struct Rows<'a> {
-    inner: std::slice::ChunksExact<'a, f64>,
+    data: &'a [f64],
+    trace_len: usize,
+    remaining: usize,
 }
 
 impl<'a> Iterator for Rows<'a> {
     type Item = TraceView<'a>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner.next().map(|samples| TraceView { samples })
+        if self.remaining == 0 {
+            return None;
+        }
+        let (samples, rest) = self.data.split_at(self.trace_len);
+        self.data = rest;
+        self.remaining -= 1;
+        Some(TraceView { samples })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -402,18 +418,27 @@ impl ExactSizeIterator for Rows<'_> {}
 /// Iterator over the mutable rows of a [`TraceBlock`].
 #[derive(Debug)]
 pub struct RowsMut<'a> {
-    inner: std::slice::ChunksExactMut<'a, f64>,
+    data: &'a mut [f64],
+    trace_len: usize,
+    remaining: usize,
 }
 
 impl<'a> Iterator for RowsMut<'a> {
     type Item = TraceViewMut<'a>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.inner.next().map(|samples| TraceViewMut { samples })
+        if self.remaining == 0 {
+            return None;
+        }
+        let data = std::mem::take(&mut self.data);
+        let (samples, rest) = data.split_at_mut(self.trace_len);
+        self.data = rest;
+        self.remaining -= 1;
+        Some(TraceViewMut { samples })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -503,10 +528,11 @@ mod tests {
             TraceBlock::zeros("d", usize::MAX, 2),
             Err(TraceError::DimensionOverflow { .. })
         ));
-        // Zero rows are fine regardless of trace_len; the length resets.
+        // Zero rows are fine; the declared trace length is kept so a later
+        // writer can rely on it.
         let empty = TraceBlock::zeros("d", 0, 7).unwrap();
         assert!(empty.is_empty());
-        assert_eq!(empty.trace_len(), 0);
+        assert_eq!(empty.trace_len(), 7);
     }
 
     #[test]
@@ -525,7 +551,42 @@ mod tests {
             TraceBlock::from_data("d", 0, vec![1.0]),
             Err(TraceError::EmptyTrace)
         ));
-        assert!(TraceBlock::from_data("d", 0, vec![]).unwrap().is_empty());
+        // Zero-sample rows are rejected at construction even without data;
+        // `TraceBlock::new` is the way to build an empty block.
+        assert!(matches!(
+            TraceBlock::from_data("d", 0, vec![]),
+            Err(TraceError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn degenerate_blocks_iterate_as_empty() {
+        // Deferred-length block: no rows, trace_len still unset.
+        let mut deferred = TraceBlock::new("d");
+        assert_eq!(deferred.trace_len(), 0);
+        assert_eq!(deferred.rows().len(), 0);
+        assert!(deferred.rows().next().is_none());
+        assert!(deferred.rows_mut().next().is_none());
+        assert!(deferred.to_set().unwrap().is_empty());
+        // Zero-row block with a declared length: still yields no rows.
+        let mut empty = TraceBlock::zeros("d", 0, 7).unwrap();
+        assert_eq!(empty.rows().len(), 0);
+        assert!(empty.rows().next().is_none());
+        assert!(empty.rows_mut().next().is_none());
+        let empty2 = TraceBlock::from_data("d", 3, vec![]).unwrap();
+        assert!(empty2.is_empty());
+        assert_eq!(empty2.trace_len(), 3);
+        assert!(empty2.rows().next().is_none());
+        // The declared length still gates pushes.
+        assert!(matches!(
+            empty.push_row(&[1.0]),
+            Err(TraceError::LengthMismatch {
+                expected: 7,
+                provided: 1
+            })
+        ));
+        empty.push_row(&[0.0; 7]).unwrap();
+        assert_eq!(empty.rows().len(), 1);
     }
 
     #[test]

@@ -255,6 +255,12 @@ fn read_block_magics<R: Read>(
             data.push(f64::from_le_bytes(sample));
         }
     }
+    if count == 0 {
+        // An empty campaign file may declare any trace length (including
+        // zero); `from_data` rejects zero-sample rows, so build the empty
+        // block directly.
+        return Ok(TraceBlock::new(device));
+    }
     Ok(TraceBlock::from_data(device, len, data)?)
 }
 

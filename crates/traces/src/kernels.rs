@@ -1,0 +1,668 @@
+//! Canonical blocked reduction kernels — the workspace's single summation
+//! order.
+//!
+//! Every floating-point reduction in the numeric stack (means, dot
+//! products, centered sums of squares, the fused Pearson `sxy`/`syy` pair,
+//! and the k-average accumulate/scale steps) routes through this module, so
+//! there is exactly one accumulation order to reason about, bless, and
+//! optimize.
+//!
+//! # The fixed-lane blocked order
+//!
+//! A reduction over `n` elements runs [`LANES`] = 8 independent
+//! accumulators: element `i` always lands in lane `i % LANES`, and the
+//! lanes are combined in the fixed tree
+//! `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`. Lane assignment depends
+//! only on the element index — never on thread count, CPU features,
+//! chunk sizes, or which implementation below executes — so the result is
+//! deterministic everywhere, while the eight independent dependency chains
+//! let LLVM auto-vectorize what used to be a serial `acc += x` chain.
+//!
+//! # Implementations
+//!
+//! Two implementations of the same contract are always compiled:
+//!
+//! * [`scalar`] — plain blocked loops over `[f64; LANES]` accumulators,
+//!   relying on auto-vectorization.
+//! * [`wide`] — the same kernels written against an explicit-width
+//!   8-lane value type, keeping whole-register operations visible to the
+//!   optimizer.
+//!
+//! The crate-level `simd` feature selects which one backs the public
+//! functions of this module; the other remains available so tests can pin
+//! the two **bit-identical** on arbitrary inputs (per lane, both perform
+//! the same f64 additions in the same order, and no fused multiply-add is
+//! ever emitted — Rust does not contract `a * b + c`).
+//!
+//! Element-wise kernels ([`accumulate`], [`scale`]) are included for
+//! completeness of the canonical numeric entry points; their per-element
+//! operation order is trivially independent of blocking.
+
+/// Number of independent accumulator lanes in the canonical blocked order.
+pub const LANES: usize = 8;
+
+/// Elements per row processed between accumulator spills in the `_x4` group
+/// kernels (4 KiB of f64 — a row tile stays L1-resident while the four rows
+/// of a group are swept). Tiling only re-orders *scheduling across rows*;
+/// each row's lane sequence is untouched, so results stay bit-identical to
+/// the single-row kernels.
+const TILE: usize = 512;
+
+/// Combines the eight lane accumulators in the canonical fixed tree:
+/// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`.
+#[inline]
+#[must_use]
+pub fn combine(lanes: [f64; LANES]) -> f64 {
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+/// Folds a remainder (fewer than [`LANES`] trailing elements) into the lane
+/// accumulators: remainder element `j` has global index `≡ j (mod LANES)`,
+/// so it belongs to lane `j`.
+#[inline]
+fn fold_remainder(lanes: &mut [f64; LANES], rem: &[f64]) {
+    for (lane, &x) in lanes.iter_mut().zip(rem) {
+        *lane += x;
+    }
+}
+
+/// Scalar blocked implementation (auto-vectorized).
+pub mod scalar {
+    use super::{combine, fold_remainder, LANES, TILE};
+
+    /// Blocked sum of a series in the canonical lane order.
+    #[must_use]
+    pub fn sum(xs: &[f64]) -> f64 {
+        let mut lanes = [0.0; LANES];
+        let mut chunks = xs.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            for (lane, &x) in lanes.iter_mut().zip(chunk) {
+                *lane += x;
+            }
+        }
+        fold_remainder(&mut lanes, chunks.remainder());
+        combine(lanes)
+    }
+
+    /// Blocked sums of four equal-length series in one tiled sweep.
+    ///
+    /// Each row's lane sequence is identical to [`sum`] over that row
+    /// alone, so the results are bit-identical to four separate calls. The
+    /// sweep is tiled ([`TILE`] elements per row between spills): within a
+    /// tile a single row runs with register-resident accumulators, and the
+    /// four rows of the group share the tile's cache footprint. Rows longer
+    /// than the shortest are truncated to its length.
+    #[must_use]
+    pub fn sum_x4(ys: [&[f64]; 4]) -> [f64; 4] {
+        let n = ys.iter().fold(ys[0].len(), |n, y| n.min(y.len()));
+        let mut lanes = [[0.0; LANES]; 4];
+        let full = n - n % LANES;
+        let mut base = 0;
+        while base < full {
+            let end = (base + TILE).min(full);
+            for (row, y) in lanes.iter_mut().zip(ys) {
+                let mut acc = *row;
+                for chunk in y[base..end].chunks_exact(LANES) {
+                    for j in 0..LANES {
+                        acc[j] += chunk[j];
+                    }
+                }
+                *row = acc;
+            }
+            base = end;
+        }
+        for (row, y) in lanes.iter_mut().zip(ys) {
+            fold_remainder(row, &y[full..n]);
+        }
+        [
+            combine(lanes[0]),
+            combine(lanes[1]),
+            combine(lanes[2]),
+            combine(lanes[3]),
+        ]
+    }
+
+    /// Blocked dot product `Σ xᵢ·yᵢ` over the common prefix of the two
+    /// series, in the canonical lane order.
+    #[must_use]
+    pub fn dot(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let mut lanes = [0.0; LANES];
+        let mut xc = xs.chunks_exact(LANES);
+        let mut yc = ys.chunks_exact(LANES);
+        for (cx, cy) in xc.by_ref().zip(yc.by_ref()) {
+            for (lane, (&x, &y)) in lanes.iter_mut().zip(cx.iter().zip(cy)) {
+                *lane += x * y;
+            }
+        }
+        for (lane, (&x, &y)) in lanes
+            .iter_mut()
+            .zip(xc.remainder().iter().zip(yc.remainder()))
+        {
+            *lane += x * y;
+        }
+        combine(lanes)
+    }
+
+    /// Blocked `Σ (xᵢ − mean)²` in the canonical lane order.
+    #[must_use]
+    pub fn centered_sum_sq(xs: &[f64], mean: f64) -> f64 {
+        let mut lanes = [0.0; LANES];
+        let mut chunks = xs.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            for (lane, &x) in lanes.iter_mut().zip(chunk) {
+                let d = x - mean;
+                *lane += d * d;
+            }
+        }
+        for (lane, &x) in lanes.iter_mut().zip(chunks.remainder()) {
+            let d = x - mean;
+            *lane += d * d;
+        }
+        combine(lanes)
+    }
+
+    /// Fused blocked `(Σ cxᵢ·(yᵢ − my), Σ (yᵢ − my)²)` over the common
+    /// prefix — the Pearson numerator and DUT-side denominator in one
+    /// sweep, each in the canonical lane order.
+    #[must_use]
+    pub fn sxy_syy(centered: &[f64], y: &[f64], my: f64) -> (f64, f64) {
+        let n = centered.len().min(y.len());
+        let (centered, y) = (&centered[..n], &y[..n]);
+        let mut sxy = [0.0; LANES];
+        let mut syy = [0.0; LANES];
+        let mut cc = centered.chunks_exact(LANES);
+        let mut yc = y.chunks_exact(LANES);
+        for (cx, cy) in cc.by_ref().zip(yc.by_ref()) {
+            for (j, (&x, &b)) in cx.iter().zip(cy).enumerate() {
+                let dy = b - my;
+                sxy[j] += x * dy;
+                syy[j] += dy * dy;
+            }
+        }
+        for (j, (&x, &b)) in cc.remainder().iter().zip(yc.remainder()).enumerate() {
+            let dy = b - my;
+            sxy[j] += x * dy;
+            syy[j] += dy * dy;
+        }
+        (combine(sxy), combine(syy))
+    }
+
+    /// Four [`sxy_syy`] reductions in one tiled sweep: the centered
+    /// reference tile is loaded once and reused against four DUT rows while
+    /// it is cache-hot.
+    ///
+    /// Each row's per-lane operation sequence is identical to a standalone
+    /// [`sxy_syy`] call, so every `(sxy, syy)` pair is bit-identical to the
+    /// single-row kernel — the tiling only changes scheduling across rows,
+    /// never the per-row accumulation order. Within a tile a row's sixteen
+    /// accumulators live in registers; they spill to the `sxy`/`syy` arrays
+    /// only at tile boundaries. Rows longer than the reference are
+    /// truncated to its length.
+    #[must_use]
+    pub fn sxy_syy_x4(centered: &[f64], ys: [&[f64]; 4], mys: [f64; 4]) -> [(f64, f64); 4] {
+        let n = ys.iter().fold(centered.len(), |n, y| n.min(y.len()));
+        let centered = &centered[..n];
+        let mut sxy = [[0.0; LANES]; 4];
+        let mut syy = [[0.0; LANES]; 4];
+        let full = n - n % LANES;
+        let mut base = 0;
+        while base < full {
+            let end = (base + TILE).min(full);
+            for r in 0..4 {
+                let my = mys[r];
+                let mut lx = sxy[r];
+                let mut ly = syy[r];
+                let ctile = centered[base..end].chunks_exact(LANES);
+                let ytile = ys[r][base..end].chunks_exact(LANES);
+                for (cx, cy) in ctile.zip(ytile) {
+                    for j in 0..LANES {
+                        let dy = cy[j] - my;
+                        lx[j] += cx[j] * dy;
+                        ly[j] += dy * dy;
+                    }
+                }
+                sxy[r] = lx;
+                syy[r] = ly;
+            }
+            base = end;
+        }
+        let cx = &centered[full..n];
+        for r in 0..4 {
+            let cy = &ys[r][full..n];
+            for j in 0..cx.len() {
+                let dy = cy[j] - mys[r];
+                sxy[r][j] += cx[j] * dy;
+                syy[r][j] += dy * dy;
+            }
+        }
+        [
+            (combine(sxy[0]), combine(syy[0])),
+            (combine(sxy[1]), combine(syy[1])),
+            (combine(sxy[2]), combine(syy[2])),
+            (combine(sxy[3]), combine(syy[3])),
+        ]
+    }
+
+    /// Element-wise accumulate `accᵢ += xsᵢ` over the common prefix — the
+    /// k-average gather step.
+    pub fn accumulate(acc: &mut [f64], xs: &[f64]) {
+        for (a, &x) in acc.iter_mut().zip(xs) {
+            *a += x;
+        }
+    }
+
+    /// Element-wise scale `accᵢ *= factor` — the k-average divide step.
+    pub fn scale(acc: &mut [f64], factor: f64) {
+        for a in acc {
+            *a *= factor;
+        }
+    }
+}
+
+/// Explicit-width implementation of the same kernels.
+///
+/// Operations go through [`F64xL`], an 8-lane value type whose arithmetic
+/// is element-wise f64 — lane `j` of every operation performs exactly the
+/// addition/multiplication that lane `j` of the [`scalar`] implementation
+/// performs, in the same order, so the two backends are bit-identical by
+/// construction (pinned by the property suite).
+pub mod wide {
+    use super::{combine, fold_remainder, LANES, TILE};
+
+    /// An 8-lane f64 value; arithmetic is element-wise.
+    #[derive(Clone, Copy)]
+    struct F64xL([f64; LANES]);
+
+    impl F64xL {
+        const ZERO: Self = Self([0.0; LANES]);
+
+        #[inline]
+        fn load(chunk: &[f64]) -> Self {
+            let mut v = [0.0; LANES];
+            v.copy_from_slice(&chunk[..LANES]);
+            Self(v)
+        }
+
+        #[inline]
+        fn splat(x: f64) -> Self {
+            Self([x; LANES])
+        }
+
+        #[inline]
+        fn add(self, o: Self) -> Self {
+            let mut v = self.0;
+            for (a, b) in v.iter_mut().zip(o.0) {
+                *a += b;
+            }
+            Self(v)
+        }
+
+        #[inline]
+        fn sub(self, o: Self) -> Self {
+            let mut v = self.0;
+            for (a, b) in v.iter_mut().zip(o.0) {
+                *a -= b;
+            }
+            Self(v)
+        }
+
+        #[inline]
+        fn mul(self, o: Self) -> Self {
+            let mut v = self.0;
+            for (a, b) in v.iter_mut().zip(o.0) {
+                *a *= b;
+            }
+            Self(v)
+        }
+    }
+
+    /// Blocked sum; bit-identical to [`super::scalar::sum`].
+    #[must_use]
+    pub fn sum(xs: &[f64]) -> f64 {
+        let mut acc = F64xL::ZERO;
+        let mut chunks = xs.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            acc = acc.add(F64xL::load(chunk));
+        }
+        let mut lanes = acc.0;
+        fold_remainder(&mut lanes, chunks.remainder());
+        combine(lanes)
+    }
+
+    /// Four blocked sums in one tiled sweep; bit-identical to
+    /// [`super::scalar::sum_x4`].
+    #[must_use]
+    pub fn sum_x4(ys: [&[f64]; 4]) -> [f64; 4] {
+        let n = ys.iter().fold(ys[0].len(), |n, y| n.min(y.len()));
+        let mut acc = [F64xL::ZERO; 4];
+        let full = n - n % LANES;
+        let mut base = 0;
+        while base < full {
+            let end = (base + TILE).min(full);
+            for (a, y) in acc.iter_mut().zip(ys) {
+                let mut v = *a;
+                for chunk in y[base..end].chunks_exact(LANES) {
+                    v = v.add(F64xL::load(chunk));
+                }
+                *a = v;
+            }
+            base = end;
+        }
+        let mut out = [0.0; 4];
+        for ((o, a), y) in out.iter_mut().zip(acc).zip(ys) {
+            let mut lanes = a.0;
+            fold_remainder(&mut lanes, &y[full..n]);
+            *o = combine(lanes);
+        }
+        out
+    }
+
+    /// Blocked dot product; bit-identical to [`super::scalar::dot`].
+    #[must_use]
+    pub fn dot(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let mut acc = F64xL::ZERO;
+        let mut xc = xs.chunks_exact(LANES);
+        let mut yc = ys.chunks_exact(LANES);
+        for (cx, cy) in xc.by_ref().zip(yc.by_ref()) {
+            acc = acc.add(F64xL::load(cx).mul(F64xL::load(cy)));
+        }
+        let mut lanes = acc.0;
+        for (lane, (&x, &y)) in lanes
+            .iter_mut()
+            .zip(xc.remainder().iter().zip(yc.remainder()))
+        {
+            *lane += x * y;
+        }
+        combine(lanes)
+    }
+
+    /// Blocked centered sum of squares; bit-identical to
+    /// [`super::scalar::centered_sum_sq`].
+    #[must_use]
+    pub fn centered_sum_sq(xs: &[f64], mean: f64) -> f64 {
+        let m = F64xL::splat(mean);
+        let mut acc = F64xL::ZERO;
+        let mut chunks = xs.chunks_exact(LANES);
+        for chunk in chunks.by_ref() {
+            let d = F64xL::load(chunk).sub(m);
+            acc = acc.add(d.mul(d));
+        }
+        let mut lanes = acc.0;
+        for (lane, &x) in lanes.iter_mut().zip(chunks.remainder()) {
+            let d = x - mean;
+            *lane += d * d;
+        }
+        combine(lanes)
+    }
+
+    /// Fused blocked `(sxy, syy)`; bit-identical to
+    /// [`super::scalar::sxy_syy`].
+    #[must_use]
+    pub fn sxy_syy(centered: &[f64], y: &[f64], my: f64) -> (f64, f64) {
+        let n = centered.len().min(y.len());
+        let (centered, y) = (&centered[..n], &y[..n]);
+        let m = F64xL::splat(my);
+        let mut sxy = F64xL::ZERO;
+        let mut syy = F64xL::ZERO;
+        let mut cc = centered.chunks_exact(LANES);
+        let mut yc = y.chunks_exact(LANES);
+        for (cx, cy) in cc.by_ref().zip(yc.by_ref()) {
+            let dy = F64xL::load(cy).sub(m);
+            sxy = sxy.add(F64xL::load(cx).mul(dy));
+            syy = syy.add(dy.mul(dy));
+        }
+        let (mut sxy, mut syy) = (sxy.0, syy.0);
+        for (j, (&x, &b)) in cc.remainder().iter().zip(yc.remainder()).enumerate() {
+            let dy = b - my;
+            sxy[j] += x * dy;
+            syy[j] += dy * dy;
+        }
+        (combine(sxy), combine(syy))
+    }
+
+    /// Four fused `(sxy, syy)` reductions in one tiled sweep; bit-identical
+    /// to [`super::scalar::sxy_syy_x4`].
+    #[must_use]
+    pub fn sxy_syy_x4(centered: &[f64], ys: [&[f64]; 4], mys: [f64; 4]) -> [(f64, f64); 4] {
+        let n = ys.iter().fold(centered.len(), |n, y| n.min(y.len()));
+        let centered = &centered[..n];
+        let m = [
+            F64xL::splat(mys[0]),
+            F64xL::splat(mys[1]),
+            F64xL::splat(mys[2]),
+            F64xL::splat(mys[3]),
+        ];
+        let mut sxy = [F64xL::ZERO; 4];
+        let mut syy = [F64xL::ZERO; 4];
+        let full = n - n % LANES;
+        let mut base = 0;
+        while base < full {
+            let end = (base + TILE).min(full);
+            for r in 0..4 {
+                let mr = m[r];
+                let mut lx = sxy[r];
+                let mut ly = syy[r];
+                let ctile = centered[base..end].chunks_exact(LANES);
+                let ytile = ys[r][base..end].chunks_exact(LANES);
+                for (cx, cy) in ctile.zip(ytile) {
+                    let dy = F64xL::load(cy).sub(mr);
+                    lx = lx.add(F64xL::load(cx).mul(dy));
+                    ly = ly.add(dy.mul(dy));
+                }
+                sxy[r] = lx;
+                syy[r] = ly;
+            }
+            base = end;
+        }
+        let cx = &centered[full..n];
+        let mut out = [(0.0, 0.0); 4];
+        for r in 0..4 {
+            let (mut lx, mut ly) = (sxy[r].0, syy[r].0);
+            let cy = &ys[r][full..n];
+            for j in 0..cx.len() {
+                let dy = cy[j] - mys[r];
+                lx[j] += cx[j] * dy;
+                ly[j] += dy * dy;
+            }
+            out[r] = (combine(lx), combine(ly));
+        }
+        out
+    }
+
+    /// Element-wise accumulate; bit-identical to
+    /// [`super::scalar::accumulate`] (element-wise operations are
+    /// independent of blocking).
+    pub fn accumulate(acc: &mut [f64], xs: &[f64]) {
+        let n = acc.len().min(xs.len());
+        let (acc, xs) = (&mut acc[..n], &xs[..n]);
+        let mut ac = acc.chunks_exact_mut(LANES);
+        let mut xc = xs.chunks_exact(LANES);
+        for (ca, cx) in ac.by_ref().zip(xc.by_ref()) {
+            let v = F64xL::load(ca).add(F64xL::load(cx));
+            ca.copy_from_slice(&v.0);
+        }
+        for (a, &x) in ac.into_remainder().iter_mut().zip(xc.remainder()) {
+            *a += x;
+        }
+    }
+
+    /// Element-wise scale; bit-identical to [`super::scalar::scale`].
+    pub fn scale(acc: &mut [f64], factor: f64) {
+        let f = F64xL::splat(factor);
+        let mut ac = acc.chunks_exact_mut(LANES);
+        for ca in ac.by_ref() {
+            let v = F64xL::load(ca).mul(f);
+            ca.copy_from_slice(&v.0);
+        }
+        for a in ac.into_remainder() {
+            *a *= factor;
+        }
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+use scalar as active;
+#[cfg(feature = "simd")]
+use wide as active;
+
+/// Blocked sum of a series in the canonical lane order.
+#[must_use]
+pub fn sum(xs: &[f64]) -> f64 {
+    active::sum(xs)
+}
+
+/// Blocked sums of four equal-length series in one sweep; each result is
+/// bit-identical to [`sum`] over that row alone.
+#[must_use]
+pub fn sum_x4(ys: [&[f64]; 4]) -> [f64; 4] {
+    active::sum_x4(ys)
+}
+
+/// Blocked dot product over the common prefix of the two series.
+#[must_use]
+pub fn dot(xs: &[f64], ys: &[f64]) -> f64 {
+    active::dot(xs, ys)
+}
+
+/// Blocked `Σ (xᵢ − mean)²` in the canonical lane order.
+#[must_use]
+pub fn centered_sum_sq(xs: &[f64], mean: f64) -> f64 {
+    active::centered_sum_sq(xs, mean)
+}
+
+/// Fused blocked Pearson `(sxy, syy)` pair against a pre-centered
+/// reference.
+#[must_use]
+pub fn sxy_syy(centered: &[f64], y: &[f64], my: f64) -> (f64, f64) {
+    active::sxy_syy(centered, y, my)
+}
+
+/// Four fused `(sxy, syy)` reductions in one register-blocked sweep; each
+/// pair is bit-identical to [`sxy_syy`] over that row alone.
+#[must_use]
+pub fn sxy_syy_x4(centered: &[f64], ys: [&[f64]; 4], mys: [f64; 4]) -> [(f64, f64); 4] {
+    active::sxy_syy_x4(centered, ys, mys)
+}
+
+/// Element-wise accumulate `accᵢ += xsᵢ` over the common prefix.
+pub fn accumulate(acc: &mut [f64], xs: &[f64]) {
+    active::accumulate(acc, xs);
+}
+
+/// Element-wise scale `accᵢ *= factor`.
+pub fn scale(acc: &mut [f64], factor: f64) {
+    active::scale(acc, factor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, salt: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (((i as u64)
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(salt)
+                    >> 33) as f64
+                    / 2.0_f64.powi(30))
+                .sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_and_wide_sum_are_bit_identical() {
+        for n in [0, 1, 7, 8, 9, 16, 100, 1023] {
+            let xs = series(n, 1);
+            assert_eq!(
+                scalar::sum(&xs).to_bits(),
+                wide::sum(&xs).to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_matches_naive_within_tolerance() {
+        let xs = series(1000, 2);
+        let naive: f64 = xs.iter().sum();
+        let blocked = sum(&xs);
+        assert!((naive - blocked).abs() <= 1e-12 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn sum_x4_rows_match_single_row_sum() {
+        for n in [0, 5, 8, 64, 257] {
+            let rows: Vec<Vec<f64>> = (0..4).map(|r| series(n, 10 + r)).collect();
+            let batched = sum_x4([&rows[0], &rows[1], &rows[2], &rows[3]]);
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(batched[r].to_bits(), sum(row).to_bits(), "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_centered_sum_sq_match_across_backends() {
+        for n in [0, 3, 8, 65, 512] {
+            let xs = series(n, 3);
+            let ys = series(n, 4);
+            assert_eq!(
+                scalar::dot(&xs, &ys).to_bits(),
+                wide::dot(&xs, &ys).to_bits()
+            );
+            assert_eq!(
+                scalar::centered_sum_sq(&xs, 0.25).to_bits(),
+                wide::centered_sum_sq(&xs, 0.25).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sxy_syy_x4_rows_match_single_row_kernel() {
+        for n in [2, 8, 31, 200] {
+            let centered = series(n, 5);
+            let rows: Vec<Vec<f64>> = (0..4).map(|r| series(n, 20 + r)).collect();
+            let mys = [0.1, -0.3, 0.0, 0.7];
+            let batched = sxy_syy_x4(&centered, [&rows[0], &rows[1], &rows[2], &rows[3]], mys);
+            for (r, row) in rows.iter().enumerate() {
+                let single = sxy_syy(&centered, row, mys[r]);
+                assert_eq!(
+                    batched[r].0.to_bits(),
+                    single.0.to_bits(),
+                    "sxy n={n} r={r}"
+                );
+                assert_eq!(
+                    batched[r].1.to_bits(),
+                    single.1.to_bits(),
+                    "syy n={n} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_and_scale_match_plain_elementwise() {
+        for n in [0, 1, 8, 77] {
+            let xs = series(n, 6);
+            let mut blocked = series(n, 7);
+            let mut plain = blocked.clone();
+            accumulate(&mut blocked, &xs);
+            for (a, &x) in plain.iter_mut().zip(&xs) {
+                *a += x;
+            }
+            assert_eq!(blocked, plain, "accumulate n={n}");
+            let mut plain2 = blocked.clone();
+            scale(&mut blocked, 1.0 / 3.0);
+            for a in &mut plain2 {
+                *a *= 1.0 / 3.0;
+            }
+            assert_eq!(blocked, plain2, "scale n={n}");
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod average;
 pub mod block;
 pub mod error;
 pub mod io;
+pub mod kernels;
 pub mod preprocess;
 pub mod select;
 pub mod stats;

@@ -4,10 +4,17 @@
 //! to a set of Pearson coefficients and then distinguishes on the *mean* and
 //! *variance* of that set, so these primitives are the numerical core of the
 //! whole library. Variance uses Welford's algorithm for numerical stability.
+//!
+//! All plain sums (means, the Pearson `sxx`/`sxy`/`syy` reductions) run in
+//! the canonical fixed-lane blocked order of [`crate::kernels`] — see
+//! DESIGN.md §11 for why that order is deterministic everywhere.
 
+use crate::block::TraceBlock;
 use crate::error::StatsError;
+use crate::kernels;
 
-/// Arithmetic mean of a series.
+/// Arithmetic mean of a series, summed in the canonical blocked order of
+/// [`crate::kernels::sum`].
 ///
 /// # Errors
 ///
@@ -19,7 +26,7 @@ pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
             required: 1,
         });
     }
-    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+    Ok(kernels::sum(xs) / xs.len() as f64)
 }
 
 /// Population variance (divide by `n`) of a series.
@@ -144,10 +151,11 @@ impl RunningStats {
 /// This is what lets a streaming verification session evaluate the
 /// distinguisher statistics after every newly completed coefficient without
 /// re-scanning the prefix — and still produce the exact bits the batch path
-/// would: the mean is a plain left-to-right running sum divided by the
-/// count (the same operation sequence as `xs.iter().sum::<f64>() / n`),
-/// and the variance delegates to the same [`RunningStats`] Welford updates
-/// that [`variance_population`] performs.
+/// would: the mean maintains the [`crate::kernels`] lane accumulators
+/// incrementally (element `i` lands in lane `i % LANES`, exactly as
+/// [`crate::kernels::sum`] assigns it, and the lanes combine in the same
+/// fixed tree), and the variance delegates to the same [`RunningStats`]
+/// Welford updates that [`variance_population`] performs.
 ///
 /// # Examples
 ///
@@ -165,7 +173,9 @@ impl RunningStats {
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PrefixStats {
-    sum: f64,
+    /// Incremental [`kernels`] lane accumulators: element `i` is added to
+    /// lane `i % LANES`, matching [`kernels::sum`]'s assignment exactly.
+    lanes: [f64; kernels::LANES],
     welford: RunningStats,
 }
 
@@ -177,7 +187,7 @@ impl PrefixStats {
 
     /// Appends the next element of the prefix.
     pub fn push(&mut self, x: f64) {
-        self.sum += x;
+        self.lanes[self.welford.count() as usize % kernels::LANES] += x;
         self.welford.push(x);
     }
 
@@ -189,7 +199,7 @@ impl PrefixStats {
     /// Mean of the prefix, bit-identical to [`mean`] over the same values;
     /// NaN before the first push (an empty prefix has no mean).
     pub fn mean(&self) -> f64 {
-        self.sum / self.welford.count() as f64
+        kernels::combine(self.lanes) / self.welford.count() as f64
     }
 
     /// Population variance of the prefix, bit-identical to
@@ -232,29 +242,10 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
             right: y.len(),
         });
     }
-    if x.len() < 2 {
-        return Err(StatsError::TooShort {
-            provided: x.len(),
-            required: 2,
-        });
-    }
-    let n = x.len() as f64;
-    let mx = x.iter().sum::<f64>() / n;
-    let my = y.iter().sum::<f64>() / n;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
-        let dx = a - mx;
-        let dy = b - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
-    }
-    if sxx == 0.0 || syy == 0.0 {
-        return Err(StatsError::ZeroVariance);
-    }
-    Ok(sxy / (sxx * syy).sqrt())
+    // Delegating to the fused kernel keeps exactly one Pearson operation
+    // sequence in the workspace: every path — one-shot, reference-hoisted,
+    // batched — reduces in the canonical blocked order of `kernels`.
+    PearsonRef::new(x)?.correlate(y)
 }
 
 /// A Pearson kernel with the reference series pre-processed once.
@@ -309,12 +300,9 @@ impl PearsonRef {
                 required: 2,
             });
         }
-        let mx = x.iter().sum::<f64>() / x.len() as f64;
+        let mx = kernels::sum(x) / x.len() as f64;
         let centered: Vec<f64> = x.iter().map(|&a| a - mx).collect();
-        let mut sxx = 0.0;
-        for &dx in &centered {
-            sxx += dx * dx;
-        }
+        let sxx = kernels::dot(&centered, &centered);
         if sxx == 0.0 {
             return Err(StatsError::ZeroVariance);
         }
@@ -346,19 +334,77 @@ impl PearsonRef {
                 right: y.len(),
             });
         }
-        let n = y.len() as f64;
-        let my = y.iter().sum::<f64>() / n;
-        let mut sxy = 0.0;
-        let mut syy = 0.0;
-        for (&dx, &b) in self.centered.iter().zip(y) {
-            let dy = b - my;
-            sxy += dx * dy;
-            syy += dy * dy;
-        }
+        let my = kernels::sum(y) / y.len() as f64;
+        let (sxy, syy) = kernels::sxy_syy(&self.centered, y, my);
+        self.finish(sxy, syy)
+    }
+
+    /// Shared tail of every correlate path: reject a constant DUT, else
+    /// form the coefficient.
+    fn finish(&self, sxy: f64, syy: f64) -> Result<f64, StatsError> {
         if syy == 0.0 {
             return Err(StatsError::ZeroVariance);
         }
         Ok(sxy / (self.sxx * syy).sqrt())
+    }
+
+    /// Correlates the reference against many rows in one batched sweep.
+    ///
+    /// Valid-length rows are processed four at a time: their means come
+    /// from one [`kernels::sum_x4`] pass and their `(sxy, syy)` pairs from
+    /// one [`kernels::sxy_syy_x4`] pass, which keeps the centered
+    /// reference cache-resident across the group and fills the FP pipeline
+    /// with independent accumulator chains. Every coefficient is
+    /// **bit-identical** to a standalone [`PearsonRef::correlate`] call on
+    /// that row — the group kernels reproduce the single-row per-lane
+    /// operation order exactly.
+    ///
+    /// Each row yields its own `Result`, in input order: rows whose length
+    /// differs from the reference report [`StatsError::LengthMismatch`],
+    /// constant rows report [`StatsError::ZeroVariance`], and neither
+    /// disturbs neighboring rows.
+    pub fn correlate_many<'a, I>(&self, rows: I) -> Vec<Result<f64, StatsError>>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let rows: Vec<&[f64]> = rows.into_iter().collect();
+        let n = self.centered.len();
+        let mut out: Vec<Result<f64, StatsError>> = rows
+            .iter()
+            .map(|y| {
+                if y.len() == n {
+                    Ok(f64::NAN) // placeholder, overwritten below
+                } else {
+                    Err(StatsError::LengthMismatch {
+                        left: n,
+                        right: y.len(),
+                    })
+                }
+            })
+            .collect();
+        let valid: Vec<usize> = (0..rows.len()).filter(|&i| out[i].is_ok()).collect();
+        let nf = n as f64;
+        let mut groups = valid.chunks_exact(4);
+        for g in groups.by_ref() {
+            let ys = [rows[g[0]], rows[g[1]], rows[g[2]], rows[g[3]]];
+            let sums = kernels::sum_x4(ys);
+            let mys = [sums[0] / nf, sums[1] / nf, sums[2] / nf, sums[3] / nf];
+            let pairs = kernels::sxy_syy_x4(&self.centered, ys, mys);
+            for (&slot, &(sxy, syy)) in g.iter().zip(pairs.iter()) {
+                out[slot] = self.finish(sxy, syy);
+            }
+        }
+        for &i in groups.remainder() {
+            out[i] = self.correlate(rows[i]);
+        }
+        out
+    }
+
+    /// Correlates the reference against every row of a [`TraceBlock`] in
+    /// one batched sweep — see [`PearsonRef::correlate_many`] for the
+    /// blocking scheme and the per-row bit-identity guarantee.
+    pub fn correlate_rows(&self, block: &TraceBlock) -> Vec<Result<f64, StatsError>> {
+        self.correlate_many(block.rows().map(|row| row.samples()))
     }
 }
 

@@ -71,17 +71,13 @@ impl Trace {
                 provided: other.len(),
             });
         }
-        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
-            *a += b;
-        }
+        crate::kernels::accumulate(&mut self.samples, &other.samples);
         Ok(())
     }
 
     /// Multiplies every sample by `factor`.
     pub fn scale(&mut self, factor: f64) {
-        for s in &mut self.samples {
-            *s *= factor;
-        }
+        crate::kernels::scale(&mut self.samples, factor);
     }
 }
 
@@ -259,9 +255,7 @@ impl TraceSource for TraceSet {
                 provided: acc.len(),
             });
         }
-        for (a, s) in acc.iter_mut().zip(t.samples()) {
-            *a += s;
-        }
+        crate::kernels::accumulate(acc, t.samples());
         Ok(())
     }
 }

@@ -276,3 +276,106 @@ proptest! {
         prop_assert!(io::read_block("d", hostile.as_slice()).is_err());
     }
 }
+
+// --- Blocked reduction kernels (DESIGN.md §11) ----------------------------
+//
+// The two backends (auto-vectorized scalar, explicit-width `wide`) must be
+// bit-identical on *arbitrary* inputs — not just the structured series the
+// unit tests use — and the blocked order must stay numerically close to the
+// naive left-to-right sum it replaced.
+
+use ipmark_traces::kernels;
+
+fn kernel_series() -> impl Strategy<Value = Vec<f64>> {
+    // Spans several magnitudes and includes negatives so lane combination
+    // order actually matters in the low bits.
+    prop::collection::vec(-1e9f64..1e9, 0..200)
+}
+
+proptest! {
+    #[test]
+    fn scalar_and_wide_backends_are_bit_identical(
+        x in kernel_series(),
+        y in kernel_series(),
+        m in -1e3f64..1e3,
+        f in -1e3f64..1e3,
+    ) {
+        prop_assert_eq!(
+            kernels::scalar::sum(&x).to_bits(),
+            kernels::wide::sum(&x).to_bits()
+        );
+        prop_assert_eq!(
+            kernels::scalar::dot(&x, &y).to_bits(),
+            kernels::wide::dot(&x, &y).to_bits()
+        );
+        prop_assert_eq!(
+            kernels::scalar::centered_sum_sq(&x, m).to_bits(),
+            kernels::wide::centered_sum_sq(&x, m).to_bits()
+        );
+        let n = x.len().min(y.len());
+        let (sxy_s, syy_s) = kernels::scalar::sxy_syy(&x[..n], &y[..n], m);
+        let (sxy_w, syy_w) = kernels::wide::sxy_syy(&x[..n], &y[..n], m);
+        prop_assert_eq!(sxy_s.to_bits(), sxy_w.to_bits());
+        prop_assert_eq!(syy_s.to_bits(), syy_w.to_bits());
+        let mut acc_s = x.clone();
+        let mut acc_w = x.clone();
+        kernels::scalar::accumulate(&mut acc_s[..n], &y[..n]);
+        kernels::wide::accumulate(&mut acc_w[..n], &y[..n]);
+        kernels::scalar::scale(&mut acc_s, f);
+        kernels::wide::scale(&mut acc_w, f);
+        for (a, b) in acc_s.iter().zip(&acc_w) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_sum_matches_naive_within_tolerance(x in kernel_series()) {
+        let naive: f64 = x.iter().fold(0.0, |acc, v| acc + v);
+        let blocked = kernels::sum(&x);
+        // Relative to the magnitude of the terms, not the (possibly
+        // cancelling) result.
+        let scale: f64 = x.iter().fold(0.0, |acc, v| acc + v.abs()).max(1.0);
+        prop_assert!(
+            (blocked - naive).abs() <= 1e-12 * scale,
+            "blocked {} vs naive {} (scale {})",
+            blocked,
+            naive,
+            scale
+        );
+    }
+
+    #[test]
+    fn group_kernels_match_their_single_row_forms(
+        rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 16), 4),
+        reference in prop::collection::vec(-1e6f64..1e6, 16),
+        mys in prop::collection::vec(-1e3f64..1e3, 4),
+    ) {
+        let refs: [&[f64]; 4] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        let mys4 = [mys[0], mys[1], mys[2], mys[3]];
+        let grouped_sums = kernels::sum_x4(refs);
+        let grouped_sxy = kernels::sxy_syy_x4(&reference, refs, mys4);
+        for i in 0..4 {
+            prop_assert_eq!(grouped_sums[i].to_bits(), kernels::sum(&rows[i]).to_bits());
+            let (sxy, syy) = kernels::sxy_syy(&reference, &rows[i], mys4[i]);
+            prop_assert_eq!(grouped_sxy[i].0.to_bits(), sxy.to_bits());
+            prop_assert_eq!(grouped_sxy[i].1.to_bits(), syy.to_bits());
+        }
+    }
+
+    #[test]
+    fn correlate_many_is_bit_identical_to_per_row_correlate(
+        reference in prop::collection::vec(-1e6f64..1e6, 8),
+        rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 8), 0..11),
+    ) {
+        let kernel = PearsonRef::new(&reference).unwrap();
+        let batched = kernel.correlate_many(rows.iter().map(Vec::as_slice));
+        prop_assert_eq!(batched.len(), rows.len());
+        for (row, got) in rows.iter().zip(&batched) {
+            match (kernel.correlate(row), got) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+                (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+                (a, b) => prop_assert!(false, "per-row {:?} vs batched {:?}", a, b),
+            }
+        }
+    }
+}

@@ -109,7 +109,18 @@ pub const RULES: &[RuleInfo] = &[
         summary: "per-trace heap copy (`samples().to_vec()` / `Trace::clone`) in library code; \
                   borrow a `TraceView` or accumulate into the preallocated arena instead",
     },
+    RuleInfo {
+        id: "NS004",
+        scope: "library",
+        summary: "hand-rolled `.zip(..)` accumulate loop in library code; route the reduction \
+                  through the blocked `ipmark_traces::kernels` primitives",
+    },
 ];
+
+/// How many tokens past a `.zip(..)` call NS004 scans for a `+=` update.
+/// Large enough to cover a `for`-loop header or closure destructuring, small
+/// enough not to bridge into unrelated statements.
+const NS004_WINDOW: usize = 40;
 
 const DT002_IDENTS: &[&str] = &["Instant", "SystemTime", "ThreadId"];
 const DT003_IDENTS: &[&str] = &[
@@ -242,6 +253,25 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
                         .to_owned(),
                 );
             }
+            // NS004: `.zip(..)` whose consuming loop/closure performs a `+=`
+            // accumulation — a hand-rolled reduction that bypasses the
+            // canonical blocked kernels.
+            if i >= 1
+                && toks[i - 1].is_punct('.')
+                && t.is_ident("zip")
+                && next_is_punct(&toks, i + 1, '(')
+                && zip_body_accumulates(&toks, i + 1)
+            {
+                push(
+                    &mut out,
+                    "NS004",
+                    t.line,
+                    "hand-rolled `.zip(..)` accumulate loop; use the blocked \
+                     `ipmark_traces::kernels` reductions (sum/dot/accumulate) \
+                     so the summation order stays canonical"
+                        .to_owned(),
+                );
+            }
         }
 
         if class.numeric {
@@ -334,6 +364,44 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
 
 fn next_is_punct(toks: &[Tok], idx: usize, c: char) -> bool {
     toks.get(idx).is_some_and(|t| t.is_punct(c))
+}
+
+/// NS004 helper: `open_idx` points at the `(` of a `.zip(` call. Skips the
+/// (possibly nested) argument list, then scans the tokens that consume the
+/// zip — the `for`-loop body or the closure chained onto it — for a compound
+/// `+=` assignment, which marks the loop as a hand-rolled accumulation. The
+/// scan stops at the statement boundary (the matching `}` of the first block,
+/// or a `;` outside any block) so a `+=` in the *next* statement cannot
+/// trigger a finding; the token window caps malformed input.
+fn zip_body_accumulates(toks: &[Tok], open_idx: usize) -> bool {
+    let mut j = open_idx + 1;
+    let mut depth = 1usize;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    let end = (j + NS004_WINDOW).min(toks.len().saturating_sub(1));
+    let mut braces = 0usize;
+    for k in j..end {
+        if toks[k].is_punct('+') && toks[k + 1].is_punct('=') {
+            return true;
+        }
+        if toks[k].is_punct('{') {
+            braces += 1;
+        } else if toks[k].is_punct('}') {
+            if braces <= 1 {
+                break;
+            }
+            braces -= 1;
+        } else if toks[k].is_punct(';') && braces == 0 {
+            break;
+        }
+    }
+    false
 }
 
 /// Token-index ranges `[start, end)` that belong to `#[cfg(test)]` (or
@@ -483,5 +551,51 @@ mod tests {
         assert!(rules_of("let v = names.to_vec();", LIB).is_empty());
         // `samples(x).to_vec()` (with arguments) is some other function.
         assert!(rules_of("samples(x).to_vec()", LIB).is_empty());
+    }
+
+    #[test]
+    fn zip_accumulate_loops_fire_in_library_code() {
+        // `for`-loop accumulation over a zip.
+        assert_eq!(
+            rules_of("for (a, b) in acc.iter_mut().zip(xs) { *a += b; }", LIB),
+            vec!["NS004"]
+        );
+        // Closure-style accumulation chained onto the zip.
+        assert_eq!(
+            rules_of("acc.iter_mut().zip(xs).for_each(|(a, b)| *a += b);", LIB),
+            vec!["NS004"]
+        );
+        // Nested parens inside the zip argument are skipped correctly.
+        assert_eq!(
+            rules_of(
+                "for (a, b) in acc.iter_mut().zip(xs.iter().rev()) { *a += b; }",
+                LIB
+            ),
+            vec!["NS004"]
+        );
+    }
+
+    #[test]
+    fn non_accumulating_zips_are_fine() {
+        // Pairing without a compound assignment is not a reduction.
+        assert!(rules_of("let pairs: Vec<_> = xs.iter().zip(ys).collect();", LIB).is_empty());
+        assert!(rules_of("for (a, b) in xs.iter().zip(ys) { check(a, b); }", LIB).is_empty());
+        // A free function named `zip` is not the iterator adapter.
+        assert!(rules_of("let z = zip(xs, ys); *a += b;", LIB).is_empty());
+        // An accumulation far past the zip statement is out of the window.
+        let far = format!(
+            "let p = xs.iter().zip(ys).count();{}\ntotal += 1;",
+            "f();".repeat(30)
+        );
+        assert!(rules_of(&far, LIB).is_empty());
+        // A `+=` in the statement *after* the zip loop's block must not leak
+        // into the finding (statement-boundary stop).
+        assert!(rules_of(
+            "for (p, v) in prev.iter_mut().zip(vals.iter_mut()) { *p = v.take(); }\n\
+             self.cycle += 1;",
+            LIB
+        )
+        .is_empty());
+        assert!(rules_of("let n = xs.iter().zip(ys).count();\ntotal += n;", LIB).is_empty());
     }
 }

@@ -20,3 +20,14 @@ fn ns003_copy(trace: &Trace) -> Vec<f64> {
 fn ns003_clone(traces: &[Trace]) -> Vec<Trace> {
     traces.iter().map(Trace::clone).collect() // line 21: NS003
 }
+
+fn ns004_for_loop(acc: &mut [f64], xs: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(xs) {
+        // line 25: NS004
+        *a += b;
+    }
+}
+
+fn ns004_closure(acc: &mut [f64], xs: &[f64]) {
+    acc.iter_mut().zip(xs).for_each(|(a, b)| *a += b); // line 32: NS004
+}

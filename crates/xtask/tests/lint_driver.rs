@@ -74,7 +74,9 @@ fn numeric_fixture_detects_each_rule_with_line() {
             ("NS002", 9),
             ("NS002", 13),
             ("NS003", 17),
-            ("NS003", 21)
+            ("NS003", 21),
+            ("NS004", 25),
+            ("NS004", 32)
         ]
     );
 }

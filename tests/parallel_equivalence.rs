@@ -148,3 +148,52 @@ fn screen_panel_equals_standalone_screens() {
         assert_eq!(panel[j], lone, "panel index {j}");
     }
 }
+
+/// The batched arena sweep (`PearsonRef::correlate_rows`) must be
+/// bit-identical to m independent per-row `correlate` calls, for every
+/// worker count — the 4-row register blocking may change scheduling but
+/// never the per-row operation sequence.
+#[test]
+fn correlate_rows_equals_per_row_correlate() {
+    use ipmark::traces::stats::PearsonRef;
+    use ipmark::traces::TraceBlock;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let trace_len = 257; // odd, so both the x4 groups and the remainder run
+    let reference: Vec<f64> = (0..trace_len)
+        .map(|i| (i as f64 * 0.17).sin() + ipmark::power::device::gaussian(&mut rng, 0.0, 0.2))
+        .collect();
+    let mut block = TraceBlock::zeros("dut", 11, trace_len).expect("block");
+    for mut row in block.rows_mut() {
+        for s in row.samples_mut() {
+            *s = ipmark::power::device::gaussian(&mut rng, 0.0, 1.0);
+        }
+    }
+
+    let kernel = PearsonRef::new(&reference).expect("non-degenerate reference");
+    let batched = kernel.correlate_rows(&block);
+    assert_eq!(batched.len(), block.len());
+    for (row, got) in block.rows().zip(&batched) {
+        let lone = kernel.correlate(row.samples()).expect("per-row");
+        let got = *got.as_ref().expect("batched row");
+        assert_eq!(lone.to_bits(), got.to_bits());
+    }
+
+    // The single-sweep batch must also match an index-ordered parallel
+    // per-row pass, for every worker count.
+    #[cfg(feature = "parallel")]
+    {
+        use ipmark::parallel::Pool;
+        for threads in [1, 2, 8] {
+            let pool = Pool::with_threads(threads);
+            let per_row = pool.map_indexed(block.len(), |i| {
+                let row = block.row(i).expect("in range");
+                kernel.correlate(row.samples()).expect("per-row")
+            });
+            for (lone, got) in per_row.iter().zip(&batched) {
+                let got = *got.as_ref().expect("batched row");
+                assert_eq!(lone.to_bits(), got.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+}
