@@ -13,11 +13,14 @@
 //!   decision (extension X3, the paper's second verification objective);
 //! * [`collision`] — exhaustive key-collision analysis quantifying the
 //!   paper's claim that `Kw` prevents collisions between IPs with the same
-//!   FSM.
+//!   FSM;
+//! * [`adversary`] — evasive DUT threat models (guessed keys, masked
+//!   leakage) feeding the scenario campaigns of extension X10.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod collision;
 pub mod cpa;
 pub mod error;
@@ -27,6 +30,7 @@ pub mod roc;
 pub mod template;
 pub mod ttest;
 
+pub use adversary::{forged_key, AdversaryModel, DutBuild, KEY_BITS};
 pub use collision::{analyze_collisions, CollisionAnalysis};
 pub use cpa::{recover_key, recover_key_phase_robust, CpaResult};
 pub use error::AttackError;

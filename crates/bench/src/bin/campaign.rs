@@ -1,0 +1,188 @@
+//! Extension **X10**: the fleet-scale campaign engine.
+//!
+//! Expands the scenario grid (process corner × noise σ × thermal drift ×
+//! trigger jitter × adversary), shards the cells over the worker pool, and
+//! prints the per-adversary ROC table for both distinguishers.
+//!
+//! Modes:
+//!
+//! * `--reduced` (or `IPMARK_QUICK=1`): the 8-cell golden-fixture grid,
+//!   plus a thread-invariance self-check (1 worker vs the pool must be
+//!   bit-identical);
+//! * default: the full 4320-cell grid with the regression gates — honest
+//!   AUC ≥ 0.99 at the paper's noise on the clean bench, and AUC along the
+//!   `bits_known` / `suppression` axes must not *increase* (within
+//!   tolerance) as the adversary gets stronger.
+//!
+//! The gates score the **mean** distinguisher: the correlation mean is a
+//! bounded statistic comparable across process corners, so its ROC over
+//! the pooled corner fleet is stable. The variance statistic's scale is
+//! die- and corner-dependent (pooling corners scrambles its ordering), so
+//! its AUC is printed for the record but not gated.
+
+use ipmark_bench::campaign::{Campaign, CampaignReport, Pool};
+use ipmark_bench::quick_mode;
+use ipmark_core::DistinguisherKind;
+
+/// AUC slack allowed against strict monotone degradation (adjacent grid
+/// points of the full campaign are one die fleet apart, so a little
+/// sampling noise is expected).
+const MONOTONE_TOLERANCE: f64 = 0.05;
+
+fn print_report(report: &CampaignReport) {
+    println!(
+        "{:<16}{:>12}{:>14}",
+        "adversary", "AUC(mean)", "AUC(variance)"
+    );
+    for (label, mean_roc, var_roc) in report.adversary_rocs().expect("roc aggregation") {
+        println!("{label:<16}{:>12.3}{:>14.3}", mean_roc.auc(), var_roc.auc());
+    }
+}
+
+fn run_reduced() {
+    let campaign = Campaign::reduced();
+    let pooled = campaign.run(&Pool::from_env()).expect("reduced campaign");
+    let serial = campaign
+        .run(&Pool::with_threads(1))
+        .expect("reduced campaign");
+    assert_eq!(
+        pooled, serial,
+        "thread-invariance violated: pooled and single-worker campaigns diverged"
+    );
+
+    println!(
+        "# X10 (reduced): {} cells, master seed {}",
+        campaign.grid().len(),
+        campaign.config().master_seed
+    );
+    println!(
+        "{:<6}{:>10}{:>8}{:<4}{:>16}{:>14}{:>14}{:>14}{:>14}",
+        "cell", "corner", "noise", "", "adversary", "pos.mean", "pos.var", "neg.mean", "neg.var"
+    );
+    for outcome in pooled.outcomes() {
+        let c = outcome.coord;
+        println!(
+            "{:<6}{:>10}{:>8.1}{:<4}{:>16}{:>14.6}{:>14.3e}{:>14.6}{:>14.3e}",
+            c.index,
+            c.corner,
+            pooled.noise_sigmas()[c.noise],
+            "",
+            pooled.adversary_labels()[c.adversary],
+            outcome.positive_mean,
+            outcome.positive_variance,
+            outcome.negative_mean,
+            outcome.negative_variance
+        );
+    }
+    println!();
+    print_report(&pooled);
+}
+
+/// AUC of one adversary on the clean bench (zero drift, zero jitter) at
+/// the paper's noise level (`noise == 1` in the full grid).
+fn clean_bench_auc(report: &CampaignReport, adversary: usize, kind: DistinguisherKind) -> f64 {
+    report
+        .roc_where(kind, |c| {
+            c.adversary == adversary && c.noise == 1 && c.drift == 0 && c.jitter == 0
+        })
+        .expect("clean-bench roc")
+        .auc()
+}
+
+/// Checks that the clean-bench AUC does not climb as the adversary
+/// strengthens along one label axis; returns the failures.
+fn monotone_failures(
+    report: &CampaignReport,
+    axis: &[(usize, String)],
+    kind: DistinguisherKind,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut prev: Option<(f64, String)> = None;
+    for (index, label) in axis {
+        let auc = clean_bench_auc(report, *index, kind);
+        if let Some((prev_auc, prev_label)) = prev {
+            if auc > prev_auc + MONOTONE_TOLERANCE {
+                failures.push(format!(
+                    "AUC({kind:?}) rose from {prev_auc:.3} at {prev_label} to {auc:.3} at {label}"
+                ));
+            }
+        }
+        prev = Some((auc, label.clone()));
+    }
+    failures
+}
+
+fn run_full() {
+    let campaign = Campaign::full();
+    println!(
+        "# X10: {} cells, master seed {}",
+        campaign.grid().len(),
+        campaign.config().master_seed
+    );
+    let report = campaign.run(&Pool::from_env()).expect("full campaign");
+    println!("## all cells pooled (every corner, σ, drift, jitter)");
+    print_report(&report);
+
+    // The gates score each adversary on the clean (zero-drift,
+    // zero-jitter) bench at the paper's noise σ, where the distinguishers
+    // are meant to operate — pooling heterogeneous noise levels scrambles
+    // the variance statistic's scale and would make the gates vacuous.
+    println!();
+    println!(
+        "## clean bench at σ = {} (gate slice)",
+        report.noise_sigmas()[1]
+    );
+    println!(
+        "{:<16}{:>12}{:>14}",
+        "adversary", "AUC(mean)", "AUC(variance)"
+    );
+    for (i, label) in report.adversary_labels().iter().enumerate() {
+        println!(
+            "{label:<16}{:>12.3}{:>14.3}",
+            clean_bench_auc(&report, i, DistinguisherKind::Mean),
+            clean_bench_auc(&report, i, DistinguisherKind::Variance)
+        );
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Gate 1: the honest baseline must be near-perfect at the paper's
+    // noise level on the clean bench.
+    let honest = clean_bench_auc(&report, 0, DistinguisherKind::Mean);
+    println!();
+    if honest < 0.99 {
+        failures.push(format!("honest mean AUC {honest:.3} below the 0.99 gate"));
+    }
+
+    // Gate 2: stronger adversaries must not look *easier*. Axis indices
+    // follow the Campaign::full grid layout.
+    let labels = report.adversary_labels();
+    let guessed: Vec<(usize, String)> = (1..=5).map(|i| (i, labels[i].clone())).collect();
+    let masked: Vec<(usize, String)> = std::iter::once((0, labels[0].clone()))
+        .chain((6..=9).map(|i| (i, labels[i].clone())))
+        .collect();
+    failures.extend(monotone_failures(
+        &report,
+        &guessed,
+        DistinguisherKind::Mean,
+    ));
+    failures.extend(monotone_failures(&report, &masked, DistinguisherKind::Mean));
+
+    if failures.is_empty() {
+        println!("all regression gates passed");
+    } else {
+        for f in &failures {
+            eprintln!("gate failure: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let reduced = quick_mode() || std::env::args().any(|a| a == "--reduced");
+    if reduced {
+        run_reduced();
+    } else {
+        run_full();
+    }
+}

@@ -15,12 +15,15 @@
 //! | X2: noise & variation sensitivity | `--bin sensitivity` |
 //! | X3: counterfeit ROC | `--bin roc` |
 //! | X4: CPA + S-Box ablation | `--bin cpa_ablation` |
+//! | X10: fleet campaign + adversarial ROC gates | `--bin campaign` |
 //!
 //! Set `IPMARK_QUICK=1` to run every binary on reduced campaigns (useful
 //! in CI); the printed tables keep the same format.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod campaign;
 
 use ipmark_core::matrix::{ExperimentConfig, IdentificationMatrix};
 use ipmark_core::verify::CorrelationParams;

@@ -63,6 +63,10 @@ COMMANDS
              --refd FILE --dut FILE (--threshold X | --genuine FILE...
              [--margin F=2.5]) [--k N=50] [--m N=20] [--n1 N] [--n2 N]
              [--seed N=0]
+  campaign   Fleet-scale scenario campaign with adversarial DUTs: expand
+             the corner x noise x drift x jitter x adversary grid, score
+             every cell, report per-adversary ROC/AUC.
+             [--full] [--threads N] [--cells]
   help       Show this text.
 
 Trace files: `.csv` for one-trace-per-line CSV, anything else for the
@@ -88,6 +92,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "cpa" => cpa(args),
         "collision" => collision(args),
         "screen" => screen(args),
+        "campaign" => campaign(args),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; try `ipmark help`"
         ))),
@@ -585,6 +590,79 @@ fn screen(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Fleet-scale scenario campaign (extension X10): the reduced 8-cell grid
+/// by default, the full 4000+-cell grid with `--full`.
+fn campaign(args: &Args) -> Result<String, CliError> {
+    use ipmark_bench::campaign::{Campaign, Pool};
+    use std::fmt::Write as _;
+
+    let campaign = if args.has("full") {
+        Campaign::full()
+    } else {
+        Campaign::reduced()
+    };
+    let pool = match args.get("threads")? {
+        Some(t) => {
+            let threads: usize = t
+                .parse()
+                .map_err(|_| CliError::Usage(format!("cannot parse --threads `{t}`")))?;
+            Pool::with_threads(threads)
+        }
+        None => Pool::from_env(),
+    };
+    let report = campaign
+        .run(&pool)
+        .map_err(|e| CliError::Library(Box::new(e)))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign: {} cells over {} (master seed {})",
+        campaign.grid().len(),
+        campaign.ip().name(),
+        campaign.config().master_seed
+    );
+    if args.has("cells") {
+        let _ = writeln!(
+            out,
+            "{:<6}{:>7}{:>8}  {:<16}{:>12}{:>12}{:>12}{:>12}",
+            "cell", "corner", "noise", "adversary", "pos.mean", "pos.var", "neg.mean", "neg.var"
+        );
+        for o in report.outcomes() {
+            let c = o.coord;
+            let _ = writeln!(
+                out,
+                "{:<6}{:>7}{:>8.1}  {:<16}{:>12.6}{:>12.3e}{:>12.6}{:>12.3e}",
+                c.index,
+                c.corner,
+                report.noise_sigmas()[c.noise],
+                report.adversary_labels()[c.adversary],
+                o.positive_mean,
+                o.positive_variance,
+                o.negative_mean,
+                o.negative_variance
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<16}{:>12}{:>14}",
+        "adversary", "AUC(mean)", "AUC(variance)"
+    );
+    let rocs = report
+        .adversary_rocs()
+        .map_err(|e| CliError::Library(Box::new(e)))?;
+    for (label, mean_roc, var_roc) in rocs {
+        let _ = writeln!(
+            out,
+            "{label:<16}{:>12.3}{:>14.3}",
+            mean_roc.auc(),
+            var_roc.auc()
+        );
+    }
+    Ok(out.trim_end().to_owned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1015,6 +1093,19 @@ mod tests {
         assert!(bad.contains("COUNTERFEIT"), "output:\n{bad}");
         assert!(matches!(
             run(&["screen", "--refd", &refd, "--dut", &fake]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn campaign_command_reports_aucs() {
+        let out = run(&["campaign", "--threads", "2", "--cells"]).unwrap();
+        assert!(out.contains("8 cells"), "output:\n{out}");
+        assert!(out.contains("honest"), "output:\n{out}");
+        assert!(out.contains("guessed-key/4"), "output:\n{out}");
+        assert!(out.contains("AUC"), "output:\n{out}");
+        assert!(matches!(
+            run(&["campaign", "--threads", "zero"]),
             Err(CliError::Usage(_))
         ));
     }

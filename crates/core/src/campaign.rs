@@ -1,0 +1,507 @@
+//! Campaign-level configuration, scenario grids and per-cell seed
+//! derivation for the fleet-scale verification campaigns (extension X10).
+//!
+//! A *campaign* expands a [`ScenarioGrid`] — process corner × noise σ ×
+//! temperature-drift slope × misalignment jitter × adversary × replica —
+//! into independent *cells*, runs the correlation process in every cell,
+//! and aggregates the per-cell verdicts into ROC curves. This module holds
+//! the campaign types that are independent of the adversary machinery (the
+//! grid is generic over the adversary payload, so `ipmark-core` stays below
+//! `ipmark-attacks` in the dependency stack); the driver lives in
+//! `ipmark-bench::campaign`.
+//!
+//! ## The seeding contract (DESIGN.md §12)
+//!
+//! Every cell derives its RNG streams from the campaign master seed by
+//! **clone-and-offset**:
+//!
+//! 1. `cell_seed(master, index) =
+//!    splitmix64(splitmix64(master ^ SALT) + index)` — injective in the
+//!    cell index because the SplitMix64 finalizer is a `u64` bijection;
+//! 2. each named role stream (reference die, DUT dies, campaign noise,
+//!    selection RNGs, jitter) is `splitmix64(cell_seed ^ ROLE_SALT)` with a
+//!    fixed per-role salt.
+//!
+//! A cell's streams therefore depend only on `(master seed, cell index)` —
+//! never on thread count, shard order, or which other cells exist — so
+//! campaign results are bit-stable under any scheduling.
+
+use serde::{Deserialize, Serialize};
+
+use ipmark_power::device::{splitmix64, ProcessVariation};
+
+use crate::error::CoreError;
+use crate::verify::CorrelationParams;
+
+/// Salt folded into the master seed before cell expansion, so campaign
+/// streams never collide with the die/acquisition streams derived
+/// elsewhere from the same user-facing seed.
+pub const CELL_SEED_SALT: u64 = 0x6970_6d61_726b_3130;
+
+/// The seed of cell `cell_index` in a campaign with the given master seed.
+///
+/// Injective in `cell_index` for a fixed master seed: the SplitMix64
+/// finalizer is a bijection on `u64` and the offset is a plain wrapping
+/// add, so two distinct indices can never produce the same cell seed.
+pub fn cell_seed(master_seed: u64, cell_index: u64) -> u64 {
+    splitmix64(splitmix64(master_seed ^ CELL_SEED_SALT).wrapping_add(cell_index))
+}
+
+mod role {
+    //! Per-role salts for the named streams of one cell. Values are
+    //! arbitrary but fixed — changing any of them re-seeds every campaign.
+    pub const REFD_DIE: u64 = 0x7265_6664_2d64_6965;
+    pub const POSITIVE_DIE: u64 = 0x706f_732d_6469_6500;
+    pub const NEGATIVE_DIE: u64 = 0x6e65_672d_6469_6500;
+    pub const REFD_CAMPAIGN: u64 = 0x7265_6664_2d61_6371;
+    pub const POSITIVE_CAMPAIGN: u64 = 0x706f_732d_6163_7100;
+    pub const NEGATIVE_CAMPAIGN: u64 = 0x6e65_672d_6163_7100;
+    pub const POSITIVE_SELECTION: u64 = 0x706f_732d_7365_6c00;
+    pub const NEGATIVE_SELECTION: u64 = 0x6e65_672d_7365_6c00;
+    pub const POSITIVE_JITTER: u64 = 0x706f_732d_6a69_7400;
+    pub const NEGATIVE_JITTER: u64 = 0x6e65_672d_6a69_7400;
+}
+
+/// The named RNG streams of one campaign cell, all derived from
+/// `(master seed, cell index)` via [`cell_seed`] plus fixed per-role salts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSeeds {
+    /// Die seed of the reference device.
+    pub refd_die: u64,
+    /// Die seed of the positive-class DUT.
+    pub positive_die: u64,
+    /// Die seed of the negative-class DUT.
+    pub negative_die: u64,
+    /// Acquisition (measurement-noise) seed of the reference campaign.
+    pub refd_campaign: u64,
+    /// Acquisition seed of the positive-class DUT campaign.
+    pub positive_campaign: u64,
+    /// Acquisition seed of the negative-class DUT campaign.
+    pub negative_campaign: u64,
+    /// Trace-selection RNG seed for the positive correlation process.
+    pub positive_selection: u64,
+    /// Trace-selection RNG seed for the negative correlation process.
+    pub negative_selection: u64,
+    /// Misalignment-jitter stream seed of the positive-class DUT.
+    pub positive_jitter: u64,
+    /// Misalignment-jitter stream seed of the negative-class DUT.
+    pub negative_jitter: u64,
+}
+
+impl CellSeeds {
+    /// Derives the full stream set of one cell.
+    pub fn derive(master_seed: u64, cell_index: u64) -> Self {
+        let cell = cell_seed(master_seed, cell_index);
+        let stream = |salt: u64| splitmix64(cell ^ salt);
+        Self {
+            refd_die: stream(role::REFD_DIE),
+            positive_die: stream(role::POSITIVE_DIE),
+            negative_die: stream(role::NEGATIVE_DIE),
+            refd_campaign: stream(role::REFD_CAMPAIGN),
+            positive_campaign: stream(role::POSITIVE_CAMPAIGN),
+            negative_campaign: stream(role::NEGATIVE_CAMPAIGN),
+            positive_selection: stream(role::POSITIVE_SELECTION),
+            negative_selection: stream(role::NEGATIVE_SELECTION),
+            positive_jitter: stream(role::POSITIVE_JITTER),
+            negative_jitter: stream(role::NEGATIVE_JITTER),
+        }
+    }
+
+    /// The streams as a fixed-order array (for distinctness checks).
+    pub fn as_array(&self) -> [u64; 10] {
+        [
+            self.refd_die,
+            self.positive_die,
+            self.negative_die,
+            self.refd_campaign,
+            self.positive_campaign,
+            self.negative_campaign,
+            self.positive_selection,
+            self.negative_selection,
+            self.positive_jitter,
+            self.negative_jitter,
+        ]
+    }
+}
+
+/// The coordinates of one cell inside a [`ScenarioGrid`], as indices into
+/// the grid's axes, plus the cell's linear index.
+///
+/// The linear order is row-major with the axes nested
+/// corner → noise → drift → jitter → adversary → replica (replica fastest);
+/// [`ScenarioGrid::coord`] and [`ScenarioGrid::cells`] are the two
+/// directions of that bijection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellCoord {
+    /// Linear cell index in `0..grid.len()` — the seed-derivation input.
+    pub index: u64,
+    /// Index into [`ScenarioGrid::corners`].
+    pub corner: usize,
+    /// Index into [`ScenarioGrid::noise_sigmas`].
+    pub noise: usize,
+    /// Index into [`ScenarioGrid::drift_slopes`].
+    pub drift: usize,
+    /// Index into [`ScenarioGrid::jitters`].
+    pub jitter: usize,
+    /// Index into [`ScenarioGrid::adversaries`].
+    pub adversary: usize,
+    /// Replica number in `0..grid.replicas`.
+    pub replica: usize,
+}
+
+/// A declarative scenario grid: the cartesian product of the swept axes,
+/// times `replicas` independent die draws per scenario point.
+///
+/// Generic over the adversary payload `A` so this crate does not depend on
+/// the adversary machinery (`ipmark-attacks` instantiates
+/// `ScenarioGrid<AdversaryModel>`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid<A> {
+    /// Process-variation corners.
+    pub corners: Vec<ProcessVariation>,
+    /// Per-sample measurement-noise σ values.
+    pub noise_sigmas: Vec<f64>,
+    /// Temperature-drift slopes (relative end-of-trace gain change).
+    pub drift_slopes: Vec<f64>,
+    /// Maximum trigger-jitter shifts, in samples (`0` = aligned).
+    pub jitters: Vec<usize>,
+    /// Adversary models (opaque to this crate).
+    pub adversaries: Vec<A>,
+    /// Independent die draws per scenario point (≥ 1).
+    pub replicas: usize,
+}
+
+impl<A> ScenarioGrid<A> {
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.corners
+            .len()
+            .saturating_mul(self.noise_sigmas.len())
+            .saturating_mul(self.drift_slopes.len())
+            .saturating_mul(self.jitters.len())
+            .saturating_mul(self.adversaries.len())
+            .saturating_mul(self.replicas)
+    }
+
+    /// Whether the grid expands to no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks that every axis is non-empty and every swept value is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for an empty axis, zero
+    /// replicas, a non-finite or negative noise σ, a drift slope at or
+    /// below `-1`, or a non-finite corner.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (axis, len) in [
+            ("corners", self.corners.len()),
+            ("noise_sigmas", self.noise_sigmas.len()),
+            ("drift_slopes", self.drift_slopes.len()),
+            ("jitters", self.jitters.len()),
+            ("adversaries", self.adversaries.len()),
+            ("replicas", self.replicas),
+        ] {
+            if len == 0 {
+                return Err(CoreError::InvalidParams {
+                    reason: format!(
+                        "scenario grid axis `{axis}` is empty: the grid expands to no cells"
+                    ),
+                });
+            }
+        }
+        for corner in &self.corners {
+            corner.validate().map_err(CoreError::Power)?;
+        }
+        for &sigma in &self.noise_sigmas {
+            if !sigma.is_finite() || sigma < 0.0 {
+                return Err(CoreError::InvalidParams {
+                    reason: format!("noise σ must be finite and non-negative, got {sigma}"),
+                });
+            }
+        }
+        for &slope in &self.drift_slopes {
+            if !slope.is_finite() || slope <= -1.0 {
+                return Err(CoreError::InvalidParams {
+                    reason: format!("drift slope must be finite and above -1, got {slope}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The coordinates of linear cell `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] when `index` is outside the
+    /// grid.
+    pub fn coord(&self, index: usize) -> Result<CellCoord, CoreError> {
+        if index >= self.len() {
+            return Err(CoreError::InvalidParams {
+                reason: format!("cell index {index} outside grid of {} cells", self.len()),
+            });
+        }
+        let mut rest = index;
+        let replica = rest % self.replicas;
+        rest /= self.replicas;
+        let adversary = rest % self.adversaries.len();
+        rest /= self.adversaries.len();
+        let jitter = rest % self.jitters.len();
+        rest /= self.jitters.len();
+        let drift = rest % self.drift_slopes.len();
+        rest /= self.drift_slopes.len();
+        let noise = rest % self.noise_sigmas.len();
+        rest /= self.noise_sigmas.len();
+        let corner = rest;
+        Ok(CellCoord {
+            index: index as u64,
+            corner,
+            noise,
+            drift,
+            jitter,
+            adversary,
+            replica,
+        })
+    }
+
+    /// Every cell of the grid in linear order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioGrid::coord`] errors (cannot occur for indices
+    /// produced by the grid itself).
+    pub fn cells(&self) -> Result<Vec<CellCoord>, CoreError> {
+        (0..self.len()).map(|i| self.coord(i)).collect()
+    }
+}
+
+/// Campaign-level verification parameters shared by every cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Correlation-process parameters `(n1, n2, k, m)` used in every cell.
+    pub params: CorrelationParams,
+    /// Simulated clock cycles per trace.
+    pub cycles: usize,
+    /// Master seed; every cell stream derives from it via [`CellSeeds`].
+    pub master_seed: u64,
+}
+
+impl CampaignConfig {
+    /// Checks the §V.B parameter constraints plus the campaign-specific
+    /// requirement `m ≥ 2`: the variance distinguisher of a one-coefficient
+    /// set is identically zero, which would make every cell score
+    /// degenerate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] on any violation.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.params.validate()?;
+        if self.params.m < 2 {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "campaign cells score both distinguishers, which needs m ≥ 2 \
+                     (variance of a single coefficient is identically zero); got m = {}",
+                    self.params.m
+                ),
+            });
+        }
+        if self.cycles == 0 {
+            return Err(CoreError::InvalidParams {
+                reason: "campaign needs at least one simulated cycle per trace".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The verdict statistics of one campaign cell: the mean and population
+/// variance of the correlation set of the positive-class DUT (should be
+/// called genuine/marked) and the negative-class DUT (should be called
+/// counterfeit/unmarked) against the cell's reference device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Where in the grid this cell sits.
+    pub coord: CellCoord,
+    /// Mean of the positive-class correlation set.
+    pub positive_mean: f64,
+    /// Population variance of the positive-class correlation set.
+    pub positive_variance: f64,
+    /// Mean of the negative-class correlation set.
+    pub negative_mean: f64,
+    /// Population variance of the negative-class correlation set.
+    pub negative_variance: f64,
+}
+
+impl CellOutcome {
+    /// The ROC score of one class under one distinguisher, oriented so
+    /// that **higher means more genuine**: the mean statistic is used
+    /// as-is, the variance statistic is negated (the paper's rule picks the
+    /// *lower* variance).
+    pub fn score(&self, kind: crate::distinguisher::DistinguisherKind, positive: bool) -> f64 {
+        use crate::distinguisher::DistinguisherKind;
+        match (kind, positive) {
+            (DistinguisherKind::Mean, true) => self.positive_mean,
+            (DistinguisherKind::Mean, false) => self.negative_mean,
+            (DistinguisherKind::Variance, true) => -self.positive_variance,
+            (DistinguisherKind::Variance, false) => -self.negative_variance,
+        }
+    }
+
+    /// The four statistics in fixed order (positive mean, positive
+    /// variance, negative mean, negative variance) — the shape pinned by
+    /// the golden campaign fixture.
+    pub fn stats(&self) -> [f64; 4] {
+        [
+            self.positive_mean,
+            self.positive_variance,
+            self.negative_mean,
+            self.negative_variance,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinguisher::DistinguisherKind;
+    use std::collections::BTreeSet;
+
+    fn grid(replicas: usize) -> ScenarioGrid<&'static str> {
+        ScenarioGrid {
+            corners: vec![ProcessVariation::none(), ProcessVariation::typical()],
+            noise_sigmas: vec![3.5, 7.0, 14.0],
+            drift_slopes: vec![0.0, 0.1],
+            jitters: vec![0, 2],
+            adversaries: vec!["honest", "forger"],
+            replicas,
+        }
+    }
+
+    #[test]
+    fn cell_seed_is_injective_over_wide_ranges() {
+        let mut seen = BTreeSet::new();
+        for master in [0u64, 2014, u64::MAX] {
+            seen.clear();
+            for index in 0..4096u64 {
+                assert!(
+                    seen.insert(cell_seed(master, index)),
+                    "collision at {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn role_streams_are_distinct_within_and_across_cells() {
+        let a = CellSeeds::derive(2014, 0);
+        let b = CellSeeds::derive(2014, 1);
+        let mut all: Vec<u64> = a.as_array().into_iter().chain(b.as_array()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        // And re-derivation is stable.
+        assert_eq!(a, CellSeeds::derive(2014, 0));
+    }
+
+    #[test]
+    fn grid_len_and_coord_roundtrip() {
+        let g = grid(3);
+        assert_eq!(g.len(), 2 * 3 * 2 * 2 * 2 * 3);
+        assert!(!g.is_empty());
+        g.validate().unwrap();
+        let cells = g.cells().unwrap();
+        assert_eq!(cells.len(), g.len());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index as usize, i);
+            assert_eq!(g.coord(i).unwrap(), *c);
+            assert!(c.corner < 2 && c.noise < 3 && c.drift < 2);
+            assert!(c.jitter < 2 && c.adversary < 2 && c.replica < 3);
+        }
+        // Replica is the fastest axis, corner the slowest.
+        assert_eq!(cells[0].replica, 0);
+        assert_eq!(cells[1].replica, 1);
+        assert_eq!(cells[g.len() - 1].corner, 1);
+        assert!(g.coord(g.len()).is_err());
+    }
+
+    #[test]
+    fn grid_validation_rejects_degenerate_axes() {
+        let mut g = grid(1);
+        g.adversaries.clear();
+        assert!(g.is_empty());
+        assert!(matches!(g.validate(), Err(CoreError::InvalidParams { .. })));
+        let mut g = grid(0);
+        assert!(matches!(g.validate(), Err(CoreError::InvalidParams { .. })));
+        g.replicas = 1;
+        g.noise_sigmas = vec![-1.0];
+        assert!(g.validate().is_err());
+        g.noise_sigmas = vec![f64::NAN];
+        assert!(g.validate().is_err());
+        g.noise_sigmas = vec![7.0];
+        g.drift_slopes = vec![-1.0];
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn config_requires_m_of_two() {
+        let ok = CampaignConfig {
+            params: CorrelationParams {
+                n1: 10,
+                n2: 40,
+                k: 5,
+                m: 2,
+            },
+            cycles: 16,
+            master_seed: 1,
+        };
+        ok.validate().unwrap();
+        let mut bad = ok;
+        bad.params.m = 1;
+        match bad.validate() {
+            Err(CoreError::InvalidParams { reason }) => {
+                assert!(reason.contains("m ≥ 2"), "{reason}");
+            }
+            other => panic!("expected InvalidParams, got {other:?}"),
+        }
+        let mut zero_cycles = ok;
+        zero_cycles.cycles = 0;
+        assert!(zero_cycles.validate().is_err());
+        // §V.B violations still surface through the same validator.
+        let mut bad_n2 = ok;
+        bad_n2.params.n2 = 9;
+        assert!(bad_n2.validate().is_err());
+    }
+
+    #[test]
+    fn outcome_scores_orient_higher_as_genuine() {
+        let outcome = CellOutcome {
+            coord: CellCoord {
+                index: 0,
+                corner: 0,
+                noise: 0,
+                drift: 0,
+                jitter: 0,
+                adversary: 0,
+                replica: 0,
+            },
+            positive_mean: 0.9,
+            positive_variance: 1e-4,
+            negative_mean: 0.4,
+            negative_variance: 3e-2,
+        };
+        assert!(
+            outcome.score(DistinguisherKind::Mean, true)
+                > outcome.score(DistinguisherKind::Mean, false)
+        );
+        assert!(
+            outcome.score(DistinguisherKind::Variance, true)
+                > outcome.score(DistinguisherKind::Variance, false)
+        );
+        assert_eq!(outcome.stats(), [0.9, 1e-4, 0.4, 3e-2]);
+    }
+}

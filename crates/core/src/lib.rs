@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod distinguisher;
 pub mod error;
 pub mod ip;
@@ -58,6 +59,9 @@ pub mod screen;
 pub mod session;
 pub mod verify;
 
+pub use campaign::{
+    cell_seed, CampaignConfig, CellCoord, CellOutcome, CellSeeds, ScenarioGrid, CELL_SEED_SALT,
+};
 pub use distinguisher::{Decision, Distinguisher, DistinguisherKind, HigherMean, LowerVariance};
 pub use error::{CoreError, SessionError};
 pub use ip::{

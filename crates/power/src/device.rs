@@ -79,8 +79,14 @@ impl Default for ProcessVariation {
 }
 
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used to derive
-/// independent seeds.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
+/// independent seeds throughout the workspace.
+///
+/// The finalizer is a **bijection** on `u64` (every step — add, xor-shift
+/// mix, odd-constant multiply — is invertible), which is what makes
+/// clone-and-offset seed derivations such as
+/// `ipmark_core::campaign::cell_seed` injective: distinct inputs can never
+/// collapse onto one seed.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

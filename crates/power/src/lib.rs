@@ -29,6 +29,7 @@ pub mod device;
 pub mod error;
 pub mod leakage;
 pub mod noise;
+pub mod thermal;
 
 pub use acquire::{cycle_powers, pw, SimulatedAcquisition};
 pub use chain::{AdcConfig, MeasurementChain, PulseShape};
@@ -39,3 +40,4 @@ pub use leakage::{
     WeightedComponentModel,
 };
 pub use noise::{NoiseProfile, PinkNoise};
+pub use thermal::ThermalDrift;

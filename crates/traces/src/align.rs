@@ -62,6 +62,64 @@ pub fn shifted(trace: &[f64], shift: isize) -> Vec<f64> {
     out
 }
 
+/// Shifts a trace in place, producing exactly the sample bits of
+/// [`shifted`] without allocating: positive shift advances the content,
+/// negative shift delays it, and the vacated samples are filled with the
+/// edge value.
+///
+/// `shift = 0` returns before touching the buffer, so a zero-jitter
+/// scenario pipeline is bit-identical to one without the shift stage.
+pub fn shift_in_place(samples: &mut [f64], shift: isize) {
+    let n = samples.len();
+    if shift == 0 || n == 0 {
+        return;
+    }
+    if shift > 0 {
+        // out[i] = in[min(i + s, n-1)]: slide the tail forward, then pad
+        // the vacancy with the (moved) last sample.
+        let s = usize::try_from(shift).unwrap_or(usize::MAX).min(n - 1);
+        samples.copy_within(s.., 0);
+        let edge = samples[n - 1 - s];
+        for x in &mut samples[n - s..] {
+            *x = edge;
+        }
+    } else {
+        // out[i] = in[max(i - s, 0)]: slide the head backward, then pad
+        // the vacancy with the first sample (index 0 is not overwritten by
+        // the memmove, so it still holds the edge value).
+        let s = usize::try_from(-shift).unwrap_or(usize::MAX).min(n - 1);
+        samples.copy_within(..n - s, s);
+        let edge = samples[0];
+        for x in &mut samples[..s] {
+            *x = edge;
+        }
+    }
+}
+
+/// The deterministic trigger-jitter offset of trace `index` in a simulated
+/// campaign: a value in `[-max_shift, +max_shift]` derived from
+/// `(stream_seed, index)` with a SplitMix64 mix, so every (seed, index)
+/// pair maps to the same offset on every thread and platform.
+///
+/// `max_shift = 0` always returns `0` — the zero-jitter scenario injects
+/// nothing.
+pub fn jitter_offset(stream_seed: u64, index: u64, max_shift: usize) -> isize {
+    if max_shift == 0 {
+        return 0;
+    }
+    // SplitMix64 finalizer (kept local: this crate sits below ipmark-power
+    // in the dependency stack, which hosts the shared public copy).
+    fn mix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+    let span = 2 * (max_shift as u64) + 1;
+    let draw = mix64(mix64(stream_seed ^ 0x6a69_7474_6572_3031).wrapping_add(index));
+    (draw % span) as isize - max_shift as isize
+}
+
 /// Aligns every trace of `set` to the set's first trace by
 /// cross-correlation within `±max_shift` samples.
 ///
@@ -179,6 +237,64 @@ mod tests {
         assert_eq!(shifted(&t, -1), vec![1.0, 1.0, 2.0, 3.0]);
         assert_eq!(shifted(&t, 0), t);
         assert!(shifted(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn shift_in_place_matches_shifted_bit_exactly() {
+        let t: Vec<f64> = (0..23)
+            .map(|i| (i as f64 * 0.913 - 4.0).sin() * 3.7)
+            .collect();
+        for shift in -30isize..=30 {
+            let want: Vec<u64> = shifted(&t, shift).iter().map(|x| x.to_bits()).collect();
+            let mut buf = t.clone();
+            shift_in_place(&mut buf, shift);
+            let got: Vec<u64> = buf.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, want, "shift {shift}");
+        }
+        // Degenerate buffers must not panic.
+        let mut empty: Vec<f64> = Vec::new();
+        shift_in_place(&mut empty, 5);
+        assert!(empty.is_empty());
+        let mut one = vec![2.5];
+        shift_in_place(&mut one, -3);
+        assert_eq!(one, vec![2.5]);
+    }
+
+    #[test]
+    fn shift_in_place_zero_leaves_bits_untouched() {
+        let original = vec![1.0, f64::MIN_POSITIVE, -0.0, 7.25];
+        let mut buf = original.clone();
+        shift_in_place(&mut buf, 0);
+        let got: Vec<u64> = buf.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u64> = original.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn jitter_offset_is_deterministic_and_bounded() {
+        for max_shift in [1usize, 3, 8] {
+            let bound = max_shift as isize;
+            let mut seen = std::collections::BTreeSet::new();
+            for index in 0..500u64 {
+                let o = jitter_offset(42, index, max_shift);
+                assert_eq!(o, jitter_offset(42, index, max_shift));
+                assert!((-bound..=bound).contains(&o), "offset {o} max {max_shift}");
+                seen.insert(o);
+            }
+            // The stream actually exercises the whole window.
+            assert_eq!(seen.len(), 2 * max_shift + 1, "max {max_shift}");
+        }
+        // Different streams decorrelate.
+        let a: Vec<isize> = (0..64).map(|i| jitter_offset(1, i, 4)).collect();
+        let b: Vec<isize> = (0..64).map(|i| jitter_offset(2, i, 4)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jitter_offset_zero_window_injects_nothing() {
+        for index in 0..32u64 {
+            assert_eq!(jitter_offset(99, index, 0), 0);
+        }
     }
 
     #[test]
