@@ -128,10 +128,11 @@ impl AdcConfig {
                 self.bits
             )));
         }
-        if self.full_scale_max.partial_cmp(&self.full_scale_min)
-            != Some(std::cmp::Ordering::Greater)
-            || !self.full_scale_min.is_finite()
+        // Finiteness first so the comparison below never sees a NaN (a raw
+        // `partial_cmp` here would silently yield `None` — lint CC003).
+        if !self.full_scale_min.is_finite()
             || !self.full_scale_max.is_finite()
+            || self.full_scale_max <= self.full_scale_min
         {
             return Err(PowerError::Config(format!(
                 "ADC full scale [{}, {}] is invalid",

@@ -102,7 +102,16 @@ pub fn read_csv<R: Read>(device: &str, reader: R) -> Result<TraceSet, IoError> {
     let r = BufReader::new(reader);
     let mut set = TraceSet::new(device);
     for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
+        // `lines()` reports non-UTF-8 input as an I/O error; for this
+        // reader that is a malformed *file*, not a failing reader — keep
+        // genuine transport errors in `Io` and reclassify the rest.
+        let line = line.map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                IoError::Format(format!("line {}: {e}", lineno + 1))
+            } else {
+                IoError::Io(e)
+            }
+        })?;
         if line.trim().is_empty() {
             continue;
         }
@@ -322,6 +331,15 @@ mod tests {
         assert_eq!(set.len(), 2);
         let err = read_csv("d", "1.0,zzz\n".as_bytes()).unwrap_err();
         assert!(matches!(err, IoError::Format(_)));
+    }
+
+    #[test]
+    fn csv_rejects_invalid_utf8_as_a_format_error() {
+        // Found by the fuzz smoke: invalid UTF-8 used to surface as
+        // `IoError::Io`, misclassifying a malformed file as a transport
+        // failure.
+        let err = read_csv("d", [0x31u8, 0x2c, 0xff, 0xfe, 0x0a].as_slice()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Bounded, deterministic fuzz smoke for the untrusted-input readers.
+//!
+//! The full coverage-guided harness lives in `fuzz/` (cargo-fuzz layout,
+//! nightly-only, excluded from the workspace). This in-tree twin replays
+//! the same mutation strategies — seeded from the committed `IPMKTRC2`
+//! campaign fixture — with a fixed RNG seed, so every CI run exercises a
+//! reproducible sample of hostile inputs under `overflow-checks = true`.
+//!
+//! The contract under test: [`read_block_any`] / [`read_csv`] on arbitrary
+//! bytes either return a decoded container or a structured [`IoError`] —
+//! never a panic, an abort, or an unbounded allocation.
+
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ipmark_traces::io::{read_block_any, read_csv, write_block, IoError};
+
+/// Iterations per strategy; override with `FUZZ_SMOKE_ITERS` for longer
+/// local soaks. The default keeps the job inside a few hundred ms.
+fn iters() -> usize {
+    std::env::var("FUZZ_SMOKE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// The committed campaign fixture: a real 16x256 `IPMKTRC2` file that the
+/// golden suite pins byte-exactly, reused here as the mutation seed corpus.
+fn fixture_bytes() -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/campaign_b.trc2");
+    std::fs::read(path).expect("committed campaign_b.trc2 fixture")
+}
+
+/// The only acceptable outcomes for hostile input: clean decode or a
+/// structured format/container error. An `Io` error would mean the reader
+/// leaked an underlying-reader failure for in-memory input.
+fn assert_contained<T>(result: Result<T, IoError>, what: &str) {
+    if let Err(e) = result {
+        assert!(
+            matches!(e, IoError::Format(_) | IoError::Trace(_)),
+            "{what}: unexpected error class: {e}"
+        );
+    }
+}
+
+#[test]
+fn mutated_fixture_never_panics_the_block_reader() {
+    let seed = fixture_bytes();
+    let mut rng = SmallRng::seed_from_u64(0x1b07_5eed);
+    for _ in 0..iters() {
+        let mut buf = seed.clone();
+        // A burst of byte-level mutations: flips, splices, truncation.
+        for _ in 0..rng.gen_range(1usize..16) {
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let i = rng.gen_range(0..buf.len());
+                    buf[i] ^= 1 << rng.gen_range(0u32..8);
+                }
+                1 => {
+                    let i = rng.gen_range(0..buf.len());
+                    buf[i] = rng.gen::<u8>();
+                }
+                2 => {
+                    let keep = rng.gen_range(0..buf.len());
+                    buf.truncate(keep);
+                    if buf.is_empty() {
+                        break;
+                    }
+                }
+                _ => {
+                    let extra = rng.gen_range(1usize..64);
+                    buf.extend(std::iter::repeat_with(|| rng.gen::<u8>()).take(extra));
+                }
+            }
+        }
+        assert_contained(read_block_any("fuzz", buf.as_slice()), "mutated fixture");
+    }
+}
+
+#[test]
+fn hostile_headers_fail_fast_without_huge_allocations() {
+    let mut rng = SmallRng::seed_from_u64(0x4ead_0000_5eed);
+    for _ in 0..iters() {
+        // Valid magic (either version), adversarial count/len words chosen
+        // to probe the overflow guard: powers of two, usize::MAX-adjacent
+        // values, and random giants.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(if rng.gen_bool(0.5) {
+            ipmark_traces::io::BINARY_MAGIC
+        } else {
+            ipmark_traces::io::BLOCK_MAGIC
+        });
+        let word = |rng: &mut SmallRng| -> u64 {
+            match rng.gen_range(0u32..4) {
+                0 => 1u64 << rng.gen_range(0u32..64),
+                1 => u64::MAX - u64::from(rng.gen_range(0u32..8)),
+                2 => rng.gen::<u64>(),
+                _ => u64::from(rng.gen_range(0u32..32)),
+            }
+        };
+        buf.extend_from_slice(&word(&mut rng).to_le_bytes());
+        buf.extend_from_slice(&word(&mut rng).to_le_bytes());
+        // A sliver of payload so small declared sizes can also hit the
+        // truncation path rather than succeeding vacuously.
+        let tail = rng.gen_range(0usize..64);
+        buf.extend(std::iter::repeat_with(|| rng.gen::<u8>()).take(tail));
+        assert_contained(read_block_any("fuzz", buf.as_slice()), "hostile header");
+    }
+}
+
+#[test]
+fn random_bytes_never_panic_either_reader() {
+    let mut rng = SmallRng::seed_from_u64(0xfee1_dead_beef);
+    for _ in 0..iters() {
+        let len = rng.gen_range(0usize..512);
+        let buf: Vec<u8> = std::iter::repeat_with(|| rng.gen::<u8>())
+            .take(len)
+            .collect();
+        assert_contained(read_block_any("fuzz", buf.as_slice()), "random bytes");
+        assert_contained(read_csv("fuzz", buf.as_slice()), "random csv bytes");
+    }
+}
+
+#[test]
+fn mutated_csv_text_never_panics_the_csv_reader() {
+    let mut rng = SmallRng::seed_from_u64(0xc5_0b5e55);
+    const PIECES: &[&str] = &[
+        "1.0", "-2.5e3", "nan", "NaN", "inf", "-inf", "0", "", " ", ",", ",,", "1e", "e1", "+",
+        "-", ".", "..", "1.2.3", "0x10", "_", "\u{fffd}", "1_000", "9e999", "-9e999",
+    ];
+    for _ in 0..iters() {
+        let mut text = String::new();
+        for _ in 0..rng.gen_range(0usize..8) {
+            let cols = rng.gen_range(0usize..6);
+            for c in 0..cols {
+                if c > 0 {
+                    text.push(',');
+                }
+                text.push_str(PIECES[rng.gen_range(0..PIECES.len())]);
+            }
+            text.push('\n');
+        }
+        assert_contained(read_csv("fuzz", text.as_bytes()), "mutated csv");
+    }
+}
+
+/// Decodes that survive mutation must still round-trip bit-exactly: the
+/// reader may not "repair" payloads into something the writer would encode
+/// differently.
+#[test]
+fn surviving_decodes_round_trip_bit_exactly() {
+    let seed = fixture_bytes();
+    let mut rng = SmallRng::seed_from_u64(0x0707_0707);
+    let mut survivors = 0usize;
+    for _ in 0..iters() {
+        let mut buf = seed.clone();
+        // Payload-only bit flips: the header stays valid, so most mutants
+        // decode successfully and exercise the round-trip arm.
+        let i = rng.gen_range(24..buf.len());
+        buf[i] ^= 1 << rng.gen_range(0u32..8);
+        if let Ok(block) = read_block_any("fuzz", buf.as_slice()) {
+            survivors += 1;
+            let mut out = Vec::new();
+            write_block(&block, &mut out).expect("in-memory write");
+            // Header: magic upgraded to v2; payload: byte-identical.
+            assert_eq!(
+                &out[8..],
+                &buf[8..],
+                "decode/encode must preserve payload bytes"
+            );
+        }
+    }
+    assert!(survivors > 0, "payload flips should usually decode");
+}

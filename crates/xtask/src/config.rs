@@ -31,11 +31,26 @@ pub struct AllowEntry {
     pub reason: String,
 }
 
+/// Contract-analysis configuration: where reachability starts and which
+/// files hold the canonical (exempt) reduction kernels.
+#[derive(Debug, Clone, Default)]
+pub struct Contract {
+    /// Entry-point patterns, matched against fully-qualified function
+    /// names (exact, or a `::`-aligned suffix such as
+    /// `VerificationSession::ingest_chunk`).
+    pub entry_points: Vec<String>,
+    /// Workspace-relative files exempt from CC001/CC003 — the audited
+    /// kernels every reduction is *supposed* to route through.
+    pub canonical: Vec<String>,
+}
+
 /// The parsed `lint.toml`.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
     /// Rule-family scope.
     pub scope: Scope,
+    /// Contract-analysis configuration.
+    pub contract: Contract,
     /// Vetted exceptions.
     pub allow: Vec<AllowEntry>,
 }
@@ -75,6 +90,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
     enum Section {
         None,
         Scope,
+        Contract,
         Allow(usize),
     }
     let mut cfg = Config::default();
@@ -113,6 +129,10 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             section = Section::Scope;
             continue;
         }
+        if line == "[contract]" {
+            section = Section::Contract;
+            continue;
+        }
         if line.starts_with('[') {
             return Err(err(lineno, format!("unknown section `{line}`")));
         }
@@ -131,6 +151,16 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                     "numeric_crates" => cfg.scope.numeric_crates = list,
                     other => {
                         return Err(err(lineno, format!("unknown [scope] key `{other}`")));
+                    }
+                }
+            }
+            Section::Contract => {
+                let list = parse_string_list(value).map_err(|m| err(lineno, m))?;
+                match key {
+                    "entry_points" => cfg.contract.entry_points = list,
+                    "canonical" => cfg.contract.canonical = list,
+                    other => {
+                        return Err(err(lineno, format!("unknown [contract] key `{other}`")));
                     }
                 }
             }

@@ -177,8 +177,13 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
                     i += 2;
                 } else if (d == '+' || d == '-')
                     && matches!(bytes[i - 1], 'e' | 'E')
-                    && bytes[start] != '0'
+                    && !(bytes[start] == '0'
+                        && i > start + 1
+                        && matches!(bytes[start + 1], 'x' | 'o' | 'b'))
                 {
+                    // A signed exponent (`1e+3`, `0.5e-2`) continues the
+                    // literal — unless the literal is radix-prefixed, where
+                    // `e` is a hex digit and `+` is addition (`0xABe+1`).
                     i += 1;
                 } else {
                     break;
@@ -258,7 +263,15 @@ fn quoted_end(bytes: &[char], start: usize, quote: char) -> (usize, u32) {
     let mut lines = 0u32;
     while j < n {
         match bytes[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // An escape consumes the next char unseen — but if that
+                // char is a newline (string-continuation escape), it still
+                // advances the line counter.
+                if j + 1 < n && bytes[j + 1] == '\n' {
+                    lines += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 lines += 1;
                 j += 1;

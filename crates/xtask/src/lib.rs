@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -141,19 +143,12 @@ pub fn lint_files(
     files: &[PathBuf],
     cfg: &Config,
 ) -> Result<(AllowlistOutcome, RunStats), XtaskError> {
-    let mut findings: Vec<Finding> = Vec::new();
-    for path in files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let class = classify(&rel, &cfg.scope);
-        if !class.library && !class.numeric {
-            continue;
-        }
-        let src = std::fs::read_to_string(path).map_err(|e| XtaskError::Io(path.clone(), e))?;
-        findings.extend(rules::lint_source(&rel, &src, class));
+    let sources = read_sources(root, files)?;
+    let mut findings = local_findings(&sources, cfg);
+    if !cfg.contract.entry_points.is_empty() {
+        let g = graph::SymbolGraph::build(&sources);
+        let flow = flow::analyze(&g, &cfg.contract, &cfg.allow, &findings);
+        findings.extend(flow.findings);
     }
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     let outcome = config::apply_allowlist(findings, &cfg.allow);
@@ -162,6 +157,92 @@ pub fn lint_files(
         suppressed: outcome.suppressed.len(),
     };
     Ok((outcome, stats))
+}
+
+/// Reads every file into `(workspace-relative path, source)` pairs.
+fn read_sources(root: &Path, files: &[PathBuf]) -> Result<Vec<(String, String)>, XtaskError> {
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path).map_err(|e| XtaskError::Io(path.clone(), e))?;
+        sources.push((rel, src));
+    }
+    Ok(sources)
+}
+
+/// Runs the line-local rule families over in-scope files.
+fn local_findings(sources: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, src) in sources {
+        let class = classify(rel, &cfg.scope);
+        if !class.library && !class.numeric {
+            continue;
+        }
+        findings.extend(rules::lint_source(rel, src, class));
+    }
+    findings
+}
+
+/// CI guard for allowlist growth: compares the head `[[allow]]` entries
+/// against a base revision and reports entries that grew the list without
+/// a justification diff.
+///
+/// A new `(rule, path)` entry is legitimate when it arrives with its own
+/// reason — the PR diff then necessarily shows the new justification. It
+/// is flagged when its reason is a verbatim copy of another entry's (the
+/// "widen coverage by copy-paste" hole), and an existing entry is flagged
+/// when its scope key changed while the reason text did not.
+#[must_use]
+pub fn allowlist_growth(base: &[config::AllowEntry], head: &[config::AllowEntry]) -> Vec<String> {
+    let mut flagged = Vec::new();
+    for h in head {
+        let existed = base.iter().any(|b| b.rule == h.rule && b.path == h.path);
+        if existed {
+            continue;
+        }
+        let copied_from = base
+            .iter()
+            .find(|b| b.reason.trim() == h.reason.trim())
+            .or_else(|| {
+                head.iter().find(|other| {
+                    (other.rule != h.rule || other.path != h.path)
+                        && base
+                            .iter()
+                            .any(|b| b.rule == other.rule && b.path == other.path)
+                        && other.reason.trim() == h.reason.trim()
+                })
+            });
+        if let Some(src) = copied_from {
+            flagged.push(format!(
+                "new [[allow]] entry {} in {} copies the reason of {} in {} verbatim; \
+                 write a justification specific to this exception",
+                h.rule, h.path, src.rule, src.path
+            ));
+        }
+    }
+    flagged
+}
+
+/// Builds the call graph and renders the contract-reachable subgraph as
+/// Graphviz DOT (the `--graph dot` debug dump).
+///
+/// # Errors
+///
+/// Returns [`XtaskError`] for I/O or configuration failures.
+pub fn contract_graph_dot(root: &Path) -> Result<String, XtaskError> {
+    let cfg_path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&cfg_path).map_err(|e| XtaskError::Io(cfg_path, e))?;
+    let cfg = config::parse(&text)?;
+    let files = workspace_sources(root)?;
+    let sources = read_sources(root, &files)?;
+    let g = graph::SymbolGraph::build(&sources);
+    let entries = g.entry_indices(&cfg.contract.entry_points);
+    let reachable = g.reachable_from(&entries);
+    Ok(g.to_dot(&reachable, &entries))
 }
 
 /// Full run: load `lint.toml` from `root`, scan the workspace, filter.

@@ -11,6 +11,8 @@ pub enum Format {
     Text,
     /// Single JSON object for CI consumption.
     Json,
+    /// SARIF 2.1.0 for code-scanning annotations.
+    Sarif,
 }
 
 /// Summary counters of one run.
@@ -27,6 +29,7 @@ pub fn render(outcome: &AllowlistOutcome, stats: &RunStats, format: Format) -> S
     match format {
         Format::Text => render_text(outcome, stats),
         Format::Json => render_json(outcome, stats),
+        Format::Sarif => render_sarif(outcome),
     }
 }
 
@@ -89,6 +92,79 @@ fn render_json(outcome: &AllowlistOutcome, stats: &RunStats) -> String {
         stats.files, stats.suppressed
     );
     s.push('\n');
+    s
+}
+
+/// Renders a SARIF 2.1.0 log: one run, the full rule catalogue in the tool
+/// driver, one `result` per kept finding. Stale allowlist entries surface
+/// as tool-level `notifications` so they still annotate the CI run.
+fn render_sarif(outcome: &AllowlistOutcome) -> String {
+    let rules = crate::rules::RULES;
+    let mut s = String::new();
+    s.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    s.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    s.push_str("\"name\":\"ipmark-xtask-lint\",");
+    s.push_str("\"informationUri\":\"https://github.com/ipmark/ipmark/blob/main/DESIGN.md\",");
+    s.push_str("\"rules\":[");
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"defaultConfiguration\":{{\"level\":\"error\"}},\
+             \"properties\":{{\"scope\":{}}}}}",
+            json_str(r.id),
+            json_str(r.summary),
+            json_str(r.scope)
+        );
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, f) in outcome.kept.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rule_index = rules.iter().position(|r| r.id == f.rule);
+        let _ = write!(
+            s,
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},",
+            json_str(f.rule),
+            json_str(&f.message)
+        );
+        if let Some(idx) = rule_index {
+            let _ = write!(s, "\"ruleIndex\":{idx},");
+        }
+        let _ = write!(
+            s,
+            "\"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":{},\"uriBaseId\":\"%SRCROOT%\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_str(&f.path),
+            f.line.max(1)
+        );
+    }
+    s.push_str("],\"invocations\":[{\"executionSuccessful\":");
+    s.push_str(if outcome.kept.is_empty() && outcome.unused.is_empty() {
+        "true"
+    } else {
+        "false"
+    });
+    s.push_str(",\"toolExecutionNotifications\":[");
+    for (i, a) in outcome.unused.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"level\":\"error\",\"message\":{{\"text\":{}}}}}",
+            json_str(&format!(
+                "stale lint.toml [[allow]] entry: {} in {} matched no finding",
+                a.rule, a.path
+            ))
+        );
+    }
+    s.push_str("]}]}]}\n");
     s
 }
 

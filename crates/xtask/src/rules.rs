@@ -115,12 +115,66 @@ pub const RULES: &[RuleInfo] = &[
         summary: "hand-rolled `.zip(..)` accumulate loop in library code; route the reduction \
                   through the blocked `ipmark_traces::kernels` primitives",
     },
+    RuleInfo {
+        id: "PF006",
+        scope: "library",
+        summary: "slice/array indexing with a non-literal index (`v[i]`) in library code; \
+                  panics when out of bounds — use `.get(i)` with a typed error, or justify \
+                  the bound in lint.toml",
+    },
+    RuleInfo {
+        id: "DT005",
+        scope: "numeric",
+        summary: "float sort/extremum via a `partial_cmp` comparator; `partial_cmp` is not a \
+                  total order over NaN — use `f64::total_cmp` after validating finiteness",
+    },
+    RuleInfo {
+        id: "CC001",
+        scope: "contract-reachable",
+        summary: "function reachable from a contract entry point accumulates floats outside \
+                  `ipmark_traces::kernels`; the canonical blocked summation order is part of \
+                  the determinism contract (transitive NS004)",
+    },
+    RuleInfo {
+        id: "CC002",
+        scope: "contract-reachable",
+        summary: "contract-reachable call into an API whose numeric-safety exception is \
+                  justified only for its own file; the cross-file dependency must be fixed \
+                  or justified separately",
+    },
+    RuleInfo {
+        id: "CC003",
+        scope: "contract-reachable",
+        summary: "contract-reachable code branches on `Ordering` from raw `partial_cmp`; NaN \
+                  yields `None` and silently changes the branch — validate finiteness and \
+                  use `total_cmp`",
+    },
 ];
 
 /// How many tokens past a `.zip(..)` call NS004 scans for a `+=` update.
 /// Large enough to cover a `for`-loop header or closure destructuring, small
 /// enough not to bridge into unrelated statements.
 const NS004_WINDOW: usize = 40;
+
+/// Identifiers that are Rust keywords (or keyword-like) and therefore can
+/// never be the base expression of an index — `if x[i]` indexes `x`, not
+/// `if`. Used by PF006 to tell `base[idx]` apart from array types, array
+/// literals, attributes and patterns.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// Float comparator sinks DT005 watches for a raw `partial_cmp` inside.
+const DT005_IDENTS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
 
 const DT002_IDENTS: &[&str] = &["Instant", "SystemTime", "ThreadId"];
 const DT003_IDENTS: &[&str] = &[
@@ -253,6 +307,35 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
                         .to_owned(),
                 );
             }
+            // PF006: `base[expr]` indexing with a non-literal index. The base
+            // must be an expression end (identifier, `)`, `]`), so array
+            // types `[f64; 8]`, literals, attributes and patterns don't
+            // match; a lone integer-literal index is PF005's domain and a
+            // range `[a..b]` is slicing (tracked separately if ever needed).
+            if t.is_punct('[') && i >= 1 {
+                let base_ok = match &toks[i - 1] {
+                    p if p.is_punct(')') || p.is_punct(']') => true,
+                    x if x.kind == TokKind::Ident => !KEYWORDS.contains(&x.text.as_str()),
+                    _ => false,
+                };
+                if base_ok {
+                    if let Some((start, end)) = bracket_group(&toks, i) {
+                        let single_int = end - start == 1 && toks[start].kind == TokKind::Int;
+                        let has_range = (start..end.saturating_sub(1))
+                            .any(|j| toks[j].is_punct('.') && toks[j + 1].is_punct('.'));
+                        if start != end && !single_int && !has_range {
+                            push(
+                                &mut out,
+                                "PF006",
+                                t.line,
+                                "non-literal index can panic out of bounds; bind with \
+                                 `.get(..)` and return a typed error, or justify the bound"
+                                    .to_owned(),
+                            );
+                        }
+                    }
+                }
+            }
             // NS004: `.zip(..)` whose consuming loop/closure performs a `+=`
             // accumulation — a hand-rolled reduction that bypasses the
             // canonical blocked kernels.
@@ -330,6 +413,29 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
                     ),
                 );
             }
+            // DT005: a float sort/extremum whose comparator closure calls
+            // raw `partial_cmp` — not a total order over NaN, and the usual
+            // `.unwrap()`/`unwrap_or` recovery silently reorders.
+            if i >= 1
+                && toks[i - 1].is_punct('.')
+                && DT005_IDENTS.iter().any(|s| t.is_ident(s))
+                && next_is_punct(&toks, i + 1, '(')
+            {
+                if let Some((start, end)) = paren_group(&toks, i + 1) {
+                    if (start..end).any(|j| toks[j].is_ident("partial_cmp")) {
+                        push(
+                            &mut out,
+                            "DT005",
+                            t.line,
+                            format!(
+                                "`.{}(..)` comparator uses raw `partial_cmp`; validate \
+                                 finiteness and compare with `f64::total_cmp`",
+                                t.text
+                            ),
+                        );
+                    }
+                }
+            }
             if t.is_ident("as") && toks.get(i + 1).is_some_and(|x| x.is_ident("f32")) {
                 push(
                     &mut out,
@@ -338,22 +444,13 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
                     "`as f32` narrows trace math below f64".to_owned(),
                 );
             }
-            if t.is_ident("sum")
-                && next_is_punct(&toks, i + 1, ':')
-                && next_is_punct(&toks, i + 2, ':')
-                && next_is_punct(&toks, i + 3, '<')
-                && toks
-                    .get(i + 4)
-                    .is_some_and(|x| x.is_ident("f32") || x.is_ident("f64"))
-                && next_is_punct(&toks, i + 5, '>')
-            {
+            if let Some(ty) = sum_turbofish_at(&toks, i) {
                 push(
                     &mut out,
                     "NS002",
                     t.line,
                     format!(
-                        "naive `sum::<{}>()` loop; prefer the RunningStats/PearsonRef kernels",
-                        toks[i + 4].text
+                        "naive `sum::<{ty}>()` loop; prefer the RunningStats/PearsonRef kernels"
                     ),
                 );
             }
@@ -362,8 +459,61 @@ pub fn lint_source(path: &str, src: &str, class: FileClass) -> Vec<Finding> {
     out
 }
 
-fn next_is_punct(toks: &[Tok], idx: usize, c: char) -> bool {
+pub(crate) fn next_is_punct(toks: &[Tok], idx: usize, c: char) -> bool {
     toks.get(idx).is_some_and(|t| t.is_punct(c))
+}
+
+/// `open_idx` points at a `[`; returns the token range strictly inside the
+/// (balanced) bracket group, or `None` when unterminated.
+fn bracket_group(toks: &[Tok], open_idx: usize) -> Option<(usize, usize)> {
+    balanced_group(toks, open_idx, '[', ']')
+}
+
+/// `open_idx` points at a `(`; returns the token range strictly inside the
+/// (balanced) paren group, or `None` when unterminated.
+pub(crate) fn paren_group(toks: &[Tok], open_idx: usize) -> Option<(usize, usize)> {
+    balanced_group(toks, open_idx, '(', ')')
+}
+
+fn balanced_group(
+    toks: &[Tok],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<(usize, usize)> {
+    let mut depth = 1usize;
+    let mut j = open_idx + 1;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open_idx + 1, j));
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Whether token `i` starts a `sum::<f32|f64>` turbofish; returns the float
+/// type name. Shared by NS002 and the call-graph accumulation facts.
+pub(crate) fn sum_turbofish_at(toks: &[Tok], i: usize) -> Option<&'static str> {
+    if toks[i].is_ident("sum")
+        && next_is_punct(toks, i + 1, ':')
+        && next_is_punct(toks, i + 2, ':')
+        && next_is_punct(toks, i + 3, '<')
+        && next_is_punct(toks, i + 5, '>')
+    {
+        match toks.get(i + 4) {
+            Some(t) if t.is_ident("f64") => Some("f64"),
+            Some(t) if t.is_ident("f32") => Some("f32"),
+            _ => None,
+        }
+    } else {
+        None
+    }
 }
 
 /// NS004 helper: `open_idx` points at the `(` of a `.zip(` call. Skips the
@@ -373,7 +523,7 @@ fn next_is_punct(toks: &[Tok], idx: usize, c: char) -> bool {
 /// scan stops at the statement boundary (the matching `}` of the first block,
 /// or a `;` outside any block) so a `+=` in the *next* statement cannot
 /// trigger a finding; the token window caps malformed input.
-fn zip_body_accumulates(toks: &[Tok], open_idx: usize) -> bool {
+pub(crate) fn zip_body_accumulates(toks: &[Tok], open_idx: usize) -> bool {
     let mut j = open_idx + 1;
     let mut depth = 1usize;
     while j < toks.len() && depth > 0 {
@@ -406,7 +556,7 @@ fn zip_body_accumulates(toks: &[Tok], open_idx: usize) -> bool {
 
 /// Token-index ranges `[start, end)` that belong to `#[cfg(test)]` (or
 /// `#[cfg(any/all(.., test, ..))]`) modules, which every rule exempts.
-fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -527,7 +677,8 @@ mod tests {
     fn call_result_indexing() {
         assert_eq!(rules_of("let x = f()[0];", LIB), vec!["PF005"]);
         assert!(rules_of("let x = arr[0];", LIB).is_empty());
-        assert!(rules_of("let x = f()[i];", LIB).is_empty());
+        // Non-literal indexing of a call result is PF006 territory now.
+        assert_eq!(rules_of("let x = f()[i];", LIB), vec!["PF006"]);
     }
 
     #[test]

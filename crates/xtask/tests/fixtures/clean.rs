@@ -14,7 +14,7 @@ fn negatives(v: &[f64], i: usize) -> f64 {
     let _ = (s, r);
     let _or = Some(1.0f64).unwrap_or(0.0); // unwrap_or is not unwrap
     let _sum: f64 = v.iter().sum(); // untyped sum has no turbofish
-    let _idx = v[i]; // variable index on a binding
+    let _idx = v.get(i).copied(); // guarded variable index
     let first = v.first(); // guarded access
     let _ = first;
     v[0] // literal index on a binding, not a call result
@@ -22,6 +22,19 @@ fn negatives(v: &[f64], i: usize) -> f64 {
 
 fn widening(x: f32) -> f64 {
     f64::from(x) // widening is fine
+}
+
+fn indexing_negatives(v: &[f64], w: &mut [f64]) {
+    let _lit = v[0]; // single literal index is PF005 territory, not PF006
+    let _range = &v[1..3]; // range indexing is a slice, not an element panic
+    let tail = &w[..2]; // open ranges too
+    let _ = tail;
+}
+
+fn ordering_negatives(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp); // the sanctioned total order
+    v.sort_by(|a, b| a.total_cmp(b)); // closure over total_cmp is fine
+    let _max = v.iter().copied().max_by(f64::total_cmp);
 }
 
 #[cfg(test)]

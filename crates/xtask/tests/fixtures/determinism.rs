@@ -22,3 +22,9 @@ fn dt004() {
     let _rng = rand::thread_rng(); // line 22: DT004
     let _other = SomeRng::from_entropy(); // line 23: DT004
 }
+
+fn dt005(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 27: DT005 (and PF001)
+    v.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)); // line 28: DT005
+    let _m = v.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap()); // line 29: DT005 (and PF001)
+}

@@ -1,0 +1,26 @@
+//! Graph fixture: a two-hop helper chain hiding an ad-hoc accumulation.
+
+use ipmark_traces::kernels::blocked_sum;
+
+pub fn stage_one() -> f64 {
+    let _canonical = blocked_sum(&[1.0, 2.0]);
+    stage_two()
+}
+
+fn stage_two() -> f64 {
+    let mut acc = 0.0;
+    for x in [1.0, 2.0, 3.0] {
+        acc += x; // line 13: the planted CC001 site, two hops from the entry
+    }
+    acc
+}
+
+/// Shadows `shadow::helper` by name. `verify.rs` imports the other one
+/// explicitly, so this function must stay unreachable — its accumulation
+/// below doubles as the tripwire (a bogus resolution would surface it as
+/// a second CC001).
+pub fn helper() -> f64 {
+    let mut s = 0.0;
+    s += 9.0;
+    s
+}

@@ -1,0 +1,11 @@
+//! Graph fixture: core crate facade.
+//!
+//! The `stage_one` re-export is load-bearing: `verify.rs` imports it via
+//! the facade, so edge resolution must follow one level of `pub use`.
+
+pub mod helpers;
+pub mod session;
+pub mod shadow;
+pub mod verify;
+
+pub use helpers::stage_one;

@@ -1,0 +1,19 @@
+//! Graph fixture: trait-method dispatch into a `partial_cmp` branch.
+
+pub trait Sink {
+    fn ingest(&self, x: f64);
+}
+
+pub struct VerificationSession {
+    level: f64,
+}
+
+impl Sink for VerificationSession {
+    fn ingest(&self, x: f64) {
+        // line 14: CC003 — reachable only through the `.ingest(..)` call
+        // in verify.rs, i.e. via trait dispatch.
+        if self.level.partial_cmp(&x) == Some(std::cmp::Ordering::Less) {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Graph fixture: the shadowing target `verify.rs` actually imports.
+
+pub fn helper() -> u32 {
+    1
+}

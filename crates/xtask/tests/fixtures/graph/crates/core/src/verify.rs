@@ -1,0 +1,20 @@
+//! Graph fixture: the contract entry point.
+//!
+//! Exercises, in one body: shadowed-name resolution (the explicit
+//! `shadow::helper` import must win over the sibling `helpers::helper`),
+//! a cross-file call into a justified-only API (CC002), trait-method
+//! dispatch (CC003 fires inside the impl), a re-exported import, and the
+//! two-hop chain into the planted CC001 accumulation.
+
+use crate::session::Sink;
+use crate::session::VerificationSession;
+use crate::shadow::helper;
+use crate::stage_one;
+use ipmark_power::conv::standardize;
+
+pub fn correlation_process(session: &VerificationSession, trace: &Trace) -> f64 {
+    let _tag = helper();
+    let scaled = standardize(trace);
+    session.ingest(scaled.len() as f64);
+    stage_one()
+}

@@ -1,0 +1,8 @@
+//! Graph fixture: a justified-only API file. The test installs an NS003
+//! allow entry for this path; the local NS003 finding below anchors
+//! `standardize` as "justified within this file only", so the cross-file
+//! call from `verify.rs` must fire CC002.
+
+pub fn standardize(trace: &Trace) -> Vec<f64> {
+    trace.samples().to_vec()
+}

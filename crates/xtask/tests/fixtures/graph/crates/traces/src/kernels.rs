@@ -1,0 +1,10 @@
+//! Graph fixture: the canonical kernels file — accumulates, but is exempt
+//! from CC001 via the contract's `canonical` list.
+
+pub fn blocked_sum(v: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in v {
+        acc += x;
+    }
+    acc
+}

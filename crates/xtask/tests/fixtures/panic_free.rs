@@ -31,3 +31,15 @@ fn pf001_err() {
     let v: Result<u8, u8> = Ok(1);
     let _ = v.unwrap_err(); // line 32: PF001
 }
+
+fn pf006(v: &[f64], i: usize) -> f64 {
+    v[i] // line 36: PF006
+}
+
+fn pf006_expr(v: &[f64], i: usize) -> f64 {
+    v[i + 1] // line 40: PF006
+}
+
+fn pf006_call(i: usize) -> f64 {
+    make()[i] // line 44: PF006 (and call-result base)
+}

@@ -1,0 +1,130 @@
+//! Property tests for the lint lexer: line accounting stays exact and
+//! literal/comment contents stay invisible under arbitrary interleavings
+//! of the constructs that historically caused false negatives (escaped
+//! newlines in strings, raw strings, nested block comments, lifetimes,
+//! signed float exponents).
+
+use proptest::prelude::*;
+
+use xtask::lexer::{tokenize, TokKind};
+
+/// Noise fragments a marker may be surrounded by. Each is valid Rust
+/// lexically; several span lines or hide rule-trigger words.
+const FRAGMENTS: &[&str] = &[
+    "\"plain unwrap() string\"",
+    "\"escaped \\\" quote panic!()\"",
+    "\"continued \\\nacross lines\"",
+    "\"two \\\n\\\nescaped newlines\"",
+    "\"literal\nnewline unwrap()\"",
+    "/* block todo! comment */",
+    "/* nested /* unwrap() */ block\n across lines */",
+    "// line comment unwrap()\n",
+    "r#\"raw \" string with unwrap() and \\n fake escape\"#",
+    "r\"raw no-hash Instant::now()\"",
+    "b\"byte string panic!()\"",
+    "'c'",
+    "'\\n'",
+    "ident_noise",
+    "+ - * / . :: ; ,",
+    "1_000 0xff 1.5 2e10 0.5e+3 1e-9",
+    "fn f<'a>(x: &'a str)\n",
+];
+
+fn fragment_picks() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..FRAGMENTS.len(), 1..10)
+}
+
+proptest! {
+    #[test]
+    fn marker_lines_are_exact_under_any_noise_interleaving(picks in fragment_picks()) {
+        // Assemble `noise marker0 noise marker1 ...` and record, for each
+        // marker, the line it lands on (1 + newlines before it).
+        let mut src = String::new();
+        let mut expected: Vec<(String, u32)> = Vec::new();
+        for (k, &p) in picks.iter().enumerate() {
+            src.push_str(FRAGMENTS[p]);
+            src.push(' ');
+            let marker = format!("marker{k}");
+            let line = 1 + src.chars().filter(|&c| c == '\n').count() as u32;
+            expected.push((marker.clone(), line));
+            src.push_str(&marker);
+            src.push(' ');
+        }
+        let toks = tokenize(&src);
+        for (marker, line) in &expected {
+            let found: Vec<u32> = toks
+                .iter()
+                .filter(|t| t.is_ident(marker))
+                .map(|t| t.line)
+                .collect();
+            prop_assert_eq!(&found, &vec![*line], "marker {} in:\n{}", marker, src);
+        }
+    }
+
+    #[test]
+    fn literal_and_comment_contents_never_leak_idents(picks in fragment_picks()) {
+        let src: String = picks
+            .iter()
+            .map(|&p| format!("{} ", FRAGMENTS[p]))
+            .collect();
+        let toks = tokenize(&src);
+        // `unwrap`, `panic`, `todo`, `Instant` appear only inside strings,
+        // raw strings and comments above — never as identifier tokens.
+        for bad in ["unwrap", "panic", "todo", "Instant"] {
+            prop_assert!(
+                !toks.iter().any(|t| t.is_ident(bad)),
+                "{} leaked from a literal in:\n{}",
+                bad,
+                src
+            );
+        }
+    }
+
+    #[test]
+    fn signed_exponent_floats_stay_one_token(
+        int_part in 0u32..100,
+        frac in 0u32..100,
+        exp in 0u32..30,
+        neg in 0u8..2,
+    ) {
+        let sign = if neg == 0 { "+" } else { "-" };
+        let lit = format!("{int_part}.{frac}e{sign}{exp}");
+        let toks = tokenize(&format!("f({lit})"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(
+            texts,
+            vec!["f", "(", lit.as_str(), ")"],
+            "float literal split apart"
+        );
+        prop_assert_eq!(toks[2].kind, TokKind::OtherLit);
+    }
+
+    #[test]
+    fn hex_literals_do_not_swallow_additions(hex in 0u32..0xfff, rhs in 0u32..100) {
+        // `0x..e + 1`-shaped expressions: `e` is a hex digit, `+` is
+        // addition. The exponent rule must not glue them together.
+        let src = format!("0x{hex:x}e+{rhs}");
+        let toks = tokenize(&src);
+        let texts: Vec<String> = toks.iter().map(|t| t.text.clone()).collect();
+        prop_assert_eq!(
+            texts,
+            vec![format!("0x{hex:x}e"), "+".to_owned(), format!("{rhs}")],
+            "hex + addition mis-lexed"
+        );
+        prop_assert_eq!(toks[0].kind, TokKind::Int);
+    }
+
+    #[test]
+    fn escaped_newline_strings_do_not_drift_line_numbers(n_escapes in 0usize..6) {
+        // The historical bug: `\` + newline inside a string skipped the
+        // newline without counting it, shifting every later finding up.
+        let mut src = String::from("let s = \"a");
+        for _ in 0..n_escapes {
+            src.push_str("\\\nb");
+        }
+        src.push_str("\"; after");
+        let toks = tokenize(&src);
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after");
+        prop_assert_eq!(after.line, 1 + n_escapes as u32);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fuzzes the dual-magic binary trace reader: arbitrary bytes must decode
+//! cleanly or fail with a structured `Format`/`Trace` error — never panic,
+//! abort, over-allocate, or (for in-memory input) surface an `Io` error.
+//!
+//! Successful decodes are additionally round-tripped: re-encoding must
+//! reproduce the payload bytes exactly (the reader may not "repair" data).
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+use ipmark_traces::io::{read_block_any, write_block, IoError};
+
+fuzz_target!(|data: &[u8]| {
+    match read_block_any("fuzz", data) {
+        Ok(block) => {
+            let mut out = Vec::new();
+            write_block(&block, &mut out).expect("in-memory write cannot fail");
+            assert_eq!(
+                &out[8..],
+                &data[8..8 + (out.len() - 8)],
+                "decode/encode must preserve payload bytes"
+            );
+        }
+        Err(IoError::Format(_) | IoError::Trace(_)) => {}
+        Err(IoError::Io(e)) => panic!("reader leaked a transport error for in-memory input: {e}"),
+    }
+});
