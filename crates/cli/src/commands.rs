@@ -22,7 +22,7 @@ use ipmark_core::{
 };
 use ipmark_netlist::vcd::dump_vcd;
 use ipmark_power::ProcessVariation;
-use ipmark_traces::{io as trace_io, TraceBlock};
+use ipmark_traces::{io as trace_io, AdcDomain, MappedBlock, TraceBlock, TraceSource};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -41,7 +41,11 @@ COMMANDS
              [--cycles N=256] [--vcd out.vcd]
   acquire    Measure a trace campaign on a fabricated die (Pw(device, n)).
              <ip flags as above> [--die-seed N=1] [--traces N=400]
-             [--cycles N=256] [--seed N=0] --out FILE [--format bin|csv]
+             [--cycles N=256] [--seed N=0] --out FILE
+             [--format bin|csv|trc3] [--adc BITS:VMIN:VMAX]
+  convert    Re-encode a trace campaign between wire formats.
+             --in FILE --out FILE [--format bin|csv|trc3]
+             [--adc BITS:VMIN:VMAX] [--mapped]
   verify     Verify which DUT campaign matches a reference campaign.
              --refd FILE --dut FILE [--dut FILE]... [--k N=50] [--m N=20]
              [--n1 N] [--n2 N] [--seed N=0] [--json]
@@ -50,7 +54,8 @@ COMMANDS
              --refd FILE --dut FILE --dut FILE... [--k N=50] [--m N=20]
              [--n1 N] [--n2 N] [--seed N=0] [--chunk N=k]
              [--stability N=3] [--confidence F=50]
-             [--distinguisher mean|variance] [--no-early-stop] [--json]
+             [--distinguisher mean|variance] [--no-early-stop]
+             [--mapped] [--json]
   params     Plan (alpha, m, k, n2) from a reselection-probability target.
              [--alpha X=10] [--band F=0.05] [--k N=50] [--n1 N=400]
   cpa        Recover the watermark key from a trace campaign.
@@ -71,7 +76,11 @@ COMMANDS
 
 Trace files: `.csv` for one-trace-per-line CSV, anything else for the
 compact binary formats. `acquire` writes the contiguous IPMKTRC2 block
-format; readers accept both IPMKTRC1 and IPMKTRC2 transparently."
+format by default (`--format trc3` for the quantized + delta-encoded
+IPMKTRC3 wire format; `--adc BITS:VMIN:VMAX` snaps samples onto an ADC
+code grid first, which is what makes trc3 small). Readers accept
+IPMKTRC1, IPMKTRC2 and IPMKTRC3 transparently; `--mapped` streams
+binary campaigns zero-copy from a memory-mapped file."
         .to_owned()
 }
 
@@ -86,6 +95,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "help" | "--help" | "-h" => Ok(help()),
         "simulate" => simulate(args),
         "acquire" => acquire(args),
+        "convert" => convert(args),
         "verify" => verify(args),
         "session" => session(args),
         "params" => params(args),
@@ -157,12 +167,16 @@ fn parse_ip(args: &Args) -> Result<IpSpec, CliError> {
 /// Loads a campaign as one contiguous [`TraceBlock`] arena. CSV parses
 /// row by row; binary files (IPMKTRC1 or IPMKTRC2 — the payloads are
 /// byte-identical) stream straight into the arena.
-fn load_traces(path: &str) -> Result<TraceBlock, CliError> {
-    let device = Path::new(path)
+fn device_of(path: &str) -> String {
+    Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("device")
-        .to_owned();
+        .to_owned()
+}
+
+fn load_traces(path: &str) -> Result<TraceBlock, CliError> {
+    let device = device_of(path);
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let block = if path.ends_with(".csv") {
@@ -173,15 +187,57 @@ fn load_traces(path: &str) -> Result<TraceBlock, CliError> {
     Ok(block)
 }
 
-fn save_traces(block: &TraceBlock, path: &str, format: &str) -> Result<(), CliError> {
+fn load_mapped(path: &str) -> Result<MappedBlock, CliError> {
+    if path.ends_with(".csv") {
+        return Err(CliError::Usage(
+            "--mapped needs a binary campaign file (CSV has no mappable layout)".into(),
+        ));
+    }
+    Ok(ipmark_traces::read_block_mapped(
+        &device_of(path),
+        Path::new(path),
+    )?)
+}
+
+/// Parses `--adc BITS:VMIN:VMAX` (e.g. `12:0.0:3.3`) into a domain.
+fn parse_adc(spec: &str) -> Result<AdcDomain, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let usage = || {
+        CliError::Usage(format!(
+            "cannot parse ADC domain `{spec}` (expected BITS:VMIN:VMAX, e.g. 12:0.0:3.3)"
+        ))
+    };
+    let [bits, vmin, vmax] = parts.as_slice() else {
+        return Err(usage());
+    };
+    let bits: u32 = bits.parse().map_err(|_| usage())?;
+    let vmin: f64 = vmin.parse().map_err(|_| usage())?;
+    let vmax: f64 = vmax.parse().map_err(|_| usage())?;
+    AdcDomain::from_range(vmin, vmax, bits).map_err(|_| {
+        CliError::Usage(format!(
+            "invalid ADC domain `{spec}`: need 1..=32 bits and a finite vmin < vmax"
+        ))
+    })
+}
+
+fn save_traces(
+    block: &TraceBlock,
+    path: &str,
+    format: &str,
+    domain: Option<&AdcDomain>,
+) -> Result<(), CliError> {
     let file = File::create(path)?;
     let writer = BufWriter::new(file);
     match format {
         "csv" => trace_io::write_block_csv(block, writer)?,
         "bin" | "binary" => trace_io::write_block(block, writer)?,
+        "trc3" => match domain {
+            Some(d) => trace_io::write_block_v3_with_domain(block, d, writer)?,
+            None => trace_io::write_block_v3(block, writer)?,
+        },
         other => {
             return Err(CliError::Usage(format!(
-                "unknown format `{other}` (bin|csv)"
+                "unknown format `{other}` (bin|csv|trc3)"
             )))
         }
     }
@@ -248,20 +304,64 @@ fn acquire(args: &Args) -> Result<String, CliError> {
     // (which dispatches reads by extension) can read the file back.
     let default_format = if out_path.ends_with(".csv") {
         "csv"
+    } else if out_path.ends_with(".trc3") {
+        "trc3"
     } else {
         "bin"
     };
     let format = args.get("format")?.unwrap_or(default_format).to_owned();
+    let domain = args.get("adc")?.map(parse_adc).transpose()?;
 
     let chain = default_chain()?;
     let mut die = FabricatedDevice::fabricate(&spec, &ProcessVariation::typical(), die_seed)?;
     let acq = die.acquisition(&chain, cycles, traces, seed)?;
-    let block = acq.acquire_block()?;
-    save_traces(&block, out_path, &format)?;
+    let mut block = acq.acquire_block()?;
+    if let Some(d) = &domain {
+        d.quantize_block(&mut block);
+    }
+    save_traces(&block, out_path, &format, domain.as_ref())?;
     Ok(format!(
         "acquired {traces} traces x {} samples on {} (die seed {die_seed}) -> {out_path}",
         block.trace_len(),
         die.device().name()
+    ))
+}
+
+fn convert(args: &Args) -> Result<String, CliError> {
+    let in_path = args.require("in")?;
+    let out_path = args.require("out")?;
+    let default_format = if out_path.ends_with(".csv") {
+        "csv"
+    } else if out_path.ends_with(".trc3") {
+        "trc3"
+    } else {
+        "bin"
+    };
+    let format = args.get("format")?.unwrap_or(default_format).to_owned();
+    let domain = args.get("adc")?.map(parse_adc).transpose()?;
+
+    let mut block = if args.has("mapped") {
+        load_mapped(in_path)?.to_block()
+    } else {
+        load_traces(in_path)?
+    };
+    if let Some(d) = &domain {
+        d.quantize_block(&mut block);
+    }
+    save_traces(&block, out_path, &format, domain.as_ref())?;
+
+    let in_bytes = std::fs::metadata(in_path)?.len();
+    let out_bytes = std::fs::metadata(out_path)?.len();
+    let ratio = if out_bytes > 0 {
+        in_bytes as f64 / out_bytes as f64
+    } else {
+        f64::INFINITY
+    };
+    Ok(format!(
+        "converted {} traces x {} samples ({}) -> {out_path}: {in_bytes} -> {out_bytes} bytes ({ratio:.2}x)",
+        block.len(),
+        block.trace_len(),
+        block.device(),
     ))
 }
 
@@ -328,15 +428,34 @@ fn session(args: &Args) -> Result<String, CliError> {
         ));
     }
     let refd = load_traces(refd_path)?;
-    let duts: Vec<TraceBlock> = dut_paths
-        .iter()
-        .map(|p| load_traces(p))
-        .collect::<Result<_, _>>()?;
+    // `--mapped` streams each DUT campaign zero-copy off a memory-mapped
+    // file; otherwise campaigns are decoded into owned arenas. Both feed
+    // the same `ChunkedSource` seam through `&dyn TraceSource`.
+    let mut owned_duts: Vec<TraceBlock> = Vec::new();
+    let mut mapped_duts: Vec<MappedBlock> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    if args.has("mapped") {
+        for p in dut_paths {
+            mapped_duts.push(load_mapped(p)?);
+            names.push(device_of(p));
+        }
+    } else {
+        for p in dut_paths {
+            let block = load_traces(p)?;
+            names.push(block.device().to_owned());
+            owned_duts.push(block);
+        }
+    }
+    let duts: Vec<&dyn TraceSource> = if args.has("mapped") {
+        mapped_duts.iter().map(|d| d as &dyn TraceSource).collect()
+    } else {
+        owned_duts.iter().map(|d| d as &dyn TraceSource).collect()
+    };
 
     let k: usize = args.get_or("k", 50)?;
     let m: usize = args.get_or("m", 20)?;
     let n1: usize = args.get_or("n1", refd.len())?;
-    let n2_default = duts.iter().map(TraceBlock::len).min().unwrap_or(0);
+    let n2_default = duts.iter().map(|d| d.num_traces()).min().unwrap_or(0);
     let n2: usize = args.get_or("n2", n2_default)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let chunk: usize = args.get_or("chunk", k)?;
@@ -364,7 +483,7 @@ fn session(args: &Args) -> Result<String, CliError> {
     let mut session = VerificationSession::new(&refd, duts.len(), options, &mut rng)?;
     let mut streams: Vec<_> = duts
         .iter()
-        .map(|d| ipmark_traces::streaming::ChunkedSource::with_limit(d, chunk, n2))
+        .map(|d| ipmark_traces::streaming::ChunkedSource::with_limit(*d, chunk, n2))
         .collect::<Result<_, _>>()?;
 
     // Interleave candidates wave by wave, the way a verification service
@@ -385,7 +504,6 @@ fn session(args: &Args) -> Result<String, CliError> {
     }
     let verdict = session.finalize()?;
 
-    let names: Vec<String> = duts.iter().map(|d| d.device().to_owned()).collect();
     let ingested: Vec<usize> = (0..duts.len())
         .map(|c| session.traces_ingested(c))
         .collect();
@@ -960,9 +1078,94 @@ mod tests {
         assert_eq!(set.len(), 5);
         assert_eq!(set.trace_len(), 16 * SAMPLES_PER_CYCLE);
         assert!(matches!(
-            save_traces(&set, &tmp("x.bin"), "nope"),
+            save_traces(&set, &tmp("x.bin"), "nope", None),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn convert_quantizes_to_trc3_and_round_trips() {
+        let raw = tmp("conv_raw.bin");
+        run(&[
+            "acquire", "--ip", "b", "--traces", "40", "--cycles", "64", "--seed", "5", "--out",
+            &raw,
+        ])
+        .unwrap();
+
+        // bin -> trc3 with ADC quantization shrinks the file substantially.
+        let packed = tmp("conv_packed.trc3");
+        let out = run(&[
+            "convert", "--in", &raw, "--out", &packed, "--adc", "12:0.0:40.0",
+        ])
+        .unwrap();
+        assert!(out.contains("->"), "output:\n{out}");
+        let raw_bytes = std::fs::metadata(&raw).unwrap().len();
+        let packed_bytes = std::fs::metadata(&packed).unwrap().len();
+        assert!(
+            packed_bytes * 4 <= raw_bytes,
+            "trc3 {packed_bytes} bytes vs bin {raw_bytes}: under 4x"
+        );
+
+        // trc3 -> bin (via --mapped input) reproduces the quantized block
+        // bit-exactly through the generic loader.
+        let back = tmp("conv_back.bin");
+        run(&["convert", "--in", &packed, "--out", &back, "--mapped"]).unwrap();
+        let from_trc3 = load_traces(&packed).unwrap();
+        let from_bin = load_traces(&back).unwrap();
+        assert_eq!(from_trc3.len(), 40);
+        let a: Vec<u64> = from_trc3.samples().iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u64> = from_bin.samples().iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b);
+
+        // Usage errors: missing input, bad ADC spec, mapped CSV.
+        assert!(matches!(
+            run(&["convert", "--out", &back]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["convert", "--in", &raw, "--out", &back, "--adc", "12:3.3"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["convert", "--in", &raw, "--out", &back, "--adc", "0:0.0:1.0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["convert", "--in", "nope.csv", "--out", &back, "--mapped"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn mapped_session_agrees_with_owned_session() {
+        let refd = tmp("map_sess_refd.bin");
+        let dut_good = tmp("map_sess_good.trc3");
+        let dut_bad = tmp("map_sess_bad.bin");
+        for (ip, die, seed, n, path) in [
+            ("b", "1", "1", "60", &refd),
+            ("b", "2", "2", "400", &dut_good),
+            ("c", "3", "3", "400", &dut_bad),
+        ] {
+            run(&[
+                "acquire", "--ip", ip, "--die-seed", die, "--traces", n, "--cycles", "64",
+                "--seed", seed, "--out", path,
+            ])
+            .unwrap();
+        }
+        let common = [
+            "--refd", &refd, "--dut", &dut_good, "--dut", &dut_bad, "--k", "15", "--m", "10",
+            "--seed", "7", "--json",
+        ];
+        let owned = run(&[&["session"], &common[..]].concat()).unwrap();
+        let mapped = run(&[&["session"], &common[..], &["--mapped"]].concat()).unwrap();
+        // Same campaigns, same seed: the session is source-agnostic, so the
+        // two runs must agree verbatim (scores included).
+        assert_eq!(owned, mapped);
+        let value: serde_json::Value = serde_json::from_str(&mapped).unwrap();
+        assert_eq!(
+            value.get("winner").and_then(|v| v.as_str()).unwrap(),
+            "map_sess_good"
+        );
     }
 
     #[test]

@@ -1,0 +1,818 @@
+//! The `IPMKTRC3` quantized + delta-encoded trace codec.
+//!
+//! `IPMKTRC2` ships every sample as a raw 8-byte `f64`, but the samples of
+//! a real campaign originate as ≤ 12-bit ADC codes: the information content
+//! of a row is `offset + code · scale` with a small integer `code`. This
+//! module encodes each row as exactly that — per-row quantization metadata
+//! plus integer codes, delta-encoded sample to sample and bit-packed at the
+//! minimal width — while keeping the one invariant the whole codebase's
+//! golden-vector story rests on: **decoding reconstructs the original
+//! `f64` bits exactly**.
+//!
+//! ## Exactness argument
+//!
+//! The decoder reconstructs sample `j` of a quantized row as
+//!
+//! ```text
+//! f64: offset + (code_j as f64) * scale
+//! ```
+//!
+//! — one fixed f64 expression. The encoder *verifies*, per sample, that
+//! this very expression over the metadata it is about to write reproduces
+//! the source sample's bit pattern (`to_bits` equality). A row where any
+//! sample fails the check — non-finite values, `-0.0`, codes past 2⁵³,
+//! data that never was on an ADC grid — is stored verbatim under a raw-f64
+//! row flag instead. Encoding is therefore *always* lossless; quantization
+//! is an opportunistic wire-size optimization, never a semantic change.
+//!
+//! Because the encoder is a pure function of the row's sample bits plus
+//! the optional [`AdcDomain`] hint (scale detection, code derivation and
+//! the fallback decision use nothing else, in a fixed candidate order),
+//! `encode(decode(encode(B))) == encode(B)` byte for byte under the same
+//! hint — the re-encode stability the tier-2 golden suite pins.
+//!
+//! ## Row layout
+//!
+//! ```text
+//! flag: u8              0 = quantized, 1 = raw f64
+//! raw row:       trace_len × f64 LE
+//! quantized row: scale f64 LE | offset f64 LE | first_code u64 LE |
+//!                width u8 | ceil((trace_len-1)·width / 8) bytes of
+//!                LSB-first zigzag(code_j - code_{j-1}) fields
+//! ```
+//!
+//! For a 12-bit ADC a worst-case delta needs 13 zigzag bits, so a
+//! quantized row costs ~`trace_len · 13 / 8` bytes against `trace_len · 8`
+//! raw — a ≥ 4× reduction before the deltas of a smooth trace shrink the
+//! width further (see `ipmark-bench --bin wire`, BENCH_7.json).
+
+use std::io::{BufRead, Write};
+
+use crate::block::TraceBlock;
+use crate::error::TraceError;
+use crate::io::IoError;
+
+/// Codes are capped below 2⁵³ so `code as f64` is exact and consecutive
+/// deltas fit an `i64`; rows needing larger codes fall back to raw.
+const MAX_CODE: u64 = 1 << 53;
+
+/// Row flag: quantized codes follow.
+const FLAG_QUANTIZED: u8 = 0;
+/// Row flag: raw little-endian f64 samples follow.
+const FLAG_RAW: u8 = 1;
+
+/// The ADC transfer function: the `(scale, offset)` grid that maps integer
+/// sample codes to measured values, `value = offset + code · scale`.
+///
+/// Acquisition in this workspace synthesizes ideal `f64` power values; an
+/// [`AdcDomain`] models the scope front-end that real campaigns pass
+/// through, snapping every sample onto the code grid. Blocks quantized
+/// through a domain are exactly representable in `IPMKTRC3`'s quantized
+/// rows, which is where the wire-size win comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcDomain {
+    scale: f64,
+    offset: f64,
+    levels: u64,
+}
+
+impl AdcDomain {
+    /// A domain spanning `[vmin, vmax]` with a `bits`-wide ADC
+    /// (`2^bits` levels, `scale = (vmax - vmin) / (2^bits - 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EmptySet`] for `bits == 0` or `bits > 32`
+    /// and non-finite or inverted ranges (there is no better-fitting
+    /// variant; the message-bearing validation lives in the CLI).
+    pub fn from_range(vmin: f64, vmax: f64, bits: u32) -> Result<Self, TraceError> {
+        if !(1..=32).contains(&bits) || !vmin.is_finite() || !vmax.is_finite() || vmax <= vmin {
+            return Err(TraceError::EmptySet);
+        }
+        let levels = 1u64 << bits;
+        Ok(Self {
+            scale: (vmax - vmin) / (levels - 1) as f64,
+            offset: vmin,
+            levels,
+        })
+    }
+
+    /// The voltage step between adjacent codes.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The value of code 0.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Number of representable codes (`2^bits`).
+    pub fn levels(&self) -> u64 {
+        self.levels
+    }
+
+    /// Snaps one value onto the code grid: the clamped nearest code,
+    /// mapped back through the decoder's reconstruction expression
+    /// (`offset + code · scale`), so a quantized value re-quantizes to
+    /// itself bit-exactly.
+    pub fn quantize(&self, value: f64) -> f64 {
+        let code = if value.is_finite() {
+            let raw = ((value - self.offset) / self.scale).round();
+            if raw <= 0.0 {
+                0
+            } else if raw >= (self.levels - 1) as f64 {
+                self.levels - 1
+            } else {
+                raw as u64
+            }
+        } else {
+            0
+        };
+        self.offset + (code as f64) * self.scale
+    }
+
+    /// Quantizes every sample of a block in place.
+    pub fn quantize_block(&self, block: &mut TraceBlock) {
+        for s in block.samples_mut() {
+            *s = self.quantize(*s);
+        }
+    }
+}
+
+/// LSB-first bit packer: accumulates fields into a byte stream.
+struct BitPacker {
+    acc: u128,
+    nbits: u32,
+    out: Vec<u8>,
+}
+
+impl BitPacker {
+    /// A packer with `bytes` of output capacity pre-reserved, so hot
+    /// encode loops never reallocate mid-row.
+    fn with_capacity(bytes: usize) -> Self {
+        Self {
+            acc: 0,
+            nbits: 0,
+            out: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Appends the low `width` bits of `value`.
+    fn push(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        self.acc |= u128::from(value) << self.nbits;
+        self.nbits += width;
+        // Flush whole 64-bit words, not bytes: `nbits < 64` on entry and
+        // `width <= 64` keep the accumulator within u128, and the LE byte
+        // stream is identical to a byte-at-a-time flush.
+        if self.nbits >= 64 {
+            self.out.extend_from_slice(&(self.acc as u64).to_le_bytes());
+            self.acc >>= 64;
+            self.nbits -= 64;
+        }
+    }
+
+    /// Flushes the trailing partial byte (zero-padded) and returns the
+    /// packed stream.
+    fn finish(mut self) -> Vec<u8> {
+        while self.nbits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits = self.nbits.saturating_sub(8);
+        }
+        self.out
+    }
+}
+
+/// LSB-first bit unpacker over an in-memory packed stream.
+struct BitUnpacker<'a> {
+    bytes: std::slice::Iter<'a, u8>,
+    acc: u128,
+    nbits: u32,
+}
+
+impl<'a> BitUnpacker<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes: bytes.iter(),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Extracts the next `width`-bit field. The caller sizes the stream
+    /// via the packed-length formula, so exhaustion cannot occur for the
+    /// widths it requests; a zero-padded tail decodes as zeros.
+    fn pull(&mut self, width: u32) -> u64 {
+        debug_assert!(width <= 64);
+        while self.nbits < width {
+            let byte = self.bytes.next().copied().unwrap_or(0);
+            self.acc |= u128::from(byte) << self.nbits;
+            self.nbits += 8;
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let value = (self.acc as u64) & mask;
+        self.acc >>= width;
+        self.nbits -= width;
+        value
+    }
+}
+
+/// Zigzag encoding: maps a signed delta onto an unsigned field so small
+/// magnitudes of either sign pack into few bits.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Bits needed to represent `v` (0 for 0).
+fn bit_width(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// A row's quantized representation, or `None` when the row must be
+/// stored raw.
+struct QuantizedRow {
+    scale: f64,
+    offset: f64,
+    codes: Vec<u64>,
+    /// Minimal bit width of the zigzag-encoded code deltas, computed in
+    /// the same pass that derives the codes.
+    width: u32,
+}
+
+/// Nearest-integer rounding via the 2^52 magic constant: two additions
+/// that auto-vectorize on every target, where `round`/`round_ties_even`
+/// lower to libm calls on baseline x86-64. Any nearest rounding works for
+/// candidate codes — the exactness gate decides, not the tie rule.
+///
+/// Guarantee the code paths below rely on: whenever the result is `>= 0`
+/// it is exactly integral. For `x >= 0` the trick rounds to an integer
+/// outright; for `x` in `(-2^51, 0)` the sum lands where the f64 grid
+/// spacing is 0.5, but every non-integral result there is `<= -0.5` and
+/// the `0.0..` range gate rejects it.
+#[inline]
+fn round_nearest(x: f64) -> f64 {
+    const MAGIC: f64 = 4_503_599_627_370_496.0; // 2^52
+    let t = (x + MAGIC) - MAGIC;
+    if x.abs() < MAGIC {
+        t
+    } else {
+        x
+    }
+}
+
+/// Derives the integer code of one sample on a candidate grid and applies
+/// the exactness gate: the decoder's reconstruction expression must
+/// reproduce the source bits, or there is no code.
+#[inline]
+fn code_for(s: f64, scale: f64, offset: f64) -> Option<u64> {
+    let raw = round_nearest((s - offset) / scale);
+    if !(0.0..(MAX_CODE as f64)).contains(&raw) {
+        return None;
+    }
+    let code = raw as u64;
+    if (offset + (code as f64) * scale).to_bits() == s.to_bits() {
+        Some(code)
+    } else {
+        None
+    }
+}
+
+/// Full-row code derivation for one `(scale, offset)` candidate, with a
+/// cheap strided pre-screen so the many candidates a detection ladder
+/// tries cost O(1) each until one actually fits.
+fn derive_codes(samples: &[f64], scale: f64, offset: f64) -> Option<(Vec<u64>, u32)> {
+    let step = (samples.len() / 16).max(1);
+    if !samples
+        .iter()
+        .step_by(step)
+        .all(|&s| code_for(s, scale, offset).is_some())
+    {
+        return None;
+    }
+    // Fast pass: reciprocal-multiply candidates with a branchless pure-f64
+    // verification sweep, so the loop pipelines (and auto-vectorizes)
+    // instead of stalling on a division + early-exit every sample. `raw`
+    // is integral and in `[0, 2^53)` when the range gate holds, so
+    // `raw == (raw as u64) as f64` and verifying against `raw` IS the
+    // decoder expression on the eventual code. The multiply can land one
+    // code off where the division would not; the exactness gate catches
+    // that, and the exact pass below retries before giving up on the row.
+    let inv = scale.recip();
+    let (&head, tail) = samples.split_first()?;
+    let first = round_nearest((head - offset) * inv);
+    let mut ok = (first >= 0.0)
+        & (first < MAX_CODE as f64)
+        & ((offset + first * scale).to_bits() == head.to_bits());
+    let mut zacc = 0u64; // OR of all zigzag deltas: bit_width(a|b) = max of widths
+    let mut prev = first as i64;
+    let codes: Vec<u64> = std::iter::once(first as u64)
+        .chain(tail.iter().map(|&s| {
+            let raw = round_nearest((s - offset) * inv);
+            // Verify with `raw` itself: when the gates hold, `raw` is
+            // integral and `< 2^53`, so `raw == (raw as u64) as f64` and
+            // this IS the decoder expression over the eventual code.
+            ok &= (raw >= 0.0)
+                & (raw < MAX_CODE as f64)
+                & ((offset + raw * scale).to_bits() == s.to_bits());
+            let code = raw as i64;
+            zacc |= zigzag(code - prev);
+            prev = code;
+            code as u64
+        }))
+        .collect();
+    if ok {
+        return Some((codes, bit_width(zacc)));
+    }
+    let mut codes = Vec::with_capacity(samples.len());
+    let mut width = 0u32;
+    let mut prev = 0i64;
+    for (j, &s) in samples.iter().enumerate() {
+        let code = code_for(s, scale, offset)?;
+        if j > 0 {
+            width = width.max(bit_width(zigzag(code as i64 - prev)));
+        }
+        prev = code as i64;
+        codes.push(code);
+    }
+    Some((codes, width))
+}
+
+/// Moves a positive finite value by `steps` ULPs (identity otherwise).
+fn nudge(x: f64, steps: i64) -> f64 {
+    if !x.is_finite() || x <= 0.0 {
+        return x;
+    }
+    let bits = x.to_bits() as i64 + steps;
+    if bits <= 0 {
+        return x;
+    }
+    f64::from_bits(bits as u64)
+}
+
+/// Detects the code grid of one row and derives exact integer codes.
+///
+/// Detection is a fixed candidate ladder — so the function is pure in the
+/// row's sample bits plus the optional `(scale, offset)` domain hint — and
+/// every candidate must pass the per-sample [`code_for`] exactness gate
+/// before it is accepted:
+///
+/// 1. the caller's ADC domain hint (a pipeline that knows its scope
+///    front-end skips detection entirely);
+/// 2. the constant row (scale 0, every code 0), when the offset
+///    self-reconstructs (`-0.0` does not: `-0.0 + 0.0 == +0.0`);
+/// 3. harvested grids: offsets from `{row minimum, 0.0}`, base spacings
+///    from the smallest positive sample-to-offset delta, divided by small
+///    integers (coarse sub-grids where e.g. only even codes occur) and
+///    probed ±2 ULPs (a base harvested from `fl(k·scale)` for small `k`
+///    sits within a couple of ULPs of the true scale).
+///
+/// Rounding makes `fl(offset + c·scale)` land off the real-number grid,
+/// so no harvesting heuristic can be complete; the gate means a missed
+/// grid only ever costs the raw fallback, never correctness.
+fn quantize_row(samples: &[f64], hint: Option<(f64, f64)>) -> Option<QuantizedRow> {
+    let &head = samples.first()?;
+
+    // The hint is tried before any row scan: its verification sweep
+    // already rejects non-finite samples (NaN/inf never reproduce their
+    // bits through the reconstruction expression), so the happy path of
+    // production encodes does no redundant passes.
+    if let Some((scale, offset)) = hint {
+        if scale.is_finite() && scale > 0.0 && offset.is_finite() {
+            if let Some((codes, width)) = derive_codes(samples, scale, offset) {
+                return Some(QuantizedRow {
+                    scale,
+                    offset,
+                    codes,
+                    width,
+                });
+            }
+        }
+    }
+
+    let mut min = f64::INFINITY;
+    for &s in samples {
+        if !s.is_finite() {
+            return None;
+        }
+        if s < min {
+            min = s;
+        }
+    }
+
+    if samples.iter().all(|s| s.to_bits() == head.to_bits()) {
+        if (head + 0.0).to_bits() == head.to_bits() {
+            return Some(QuantizedRow {
+                scale: 0.0,
+                offset: head,
+                codes: vec![0; samples.len()],
+                width: 0,
+            });
+        }
+        return None;
+    }
+
+    let mut d_min = f64::INFINITY;
+    for &s in samples {
+        let d = s - min;
+        if d > 0.0 && d < d_min {
+            d_min = d;
+        }
+    }
+    // Offset 0.0 is only a distinct candidate for all-positive rows (codes
+    // are unsigned); its base spacing is the smallest sample itself.
+    let candidates = [Some((min, d_min)), (min > 0.0).then_some((0.0, min))];
+    for (offset, base) in candidates.into_iter().flatten() {
+        for k in 1..=8u32 {
+            let coarse = base / f64::from(k);
+            for steps in [0i64, -1, 1, -2, 2] {
+                let scale = nudge(coarse, steps);
+                if !scale.is_finite() || scale <= 0.0 {
+                    continue;
+                }
+                if let Some((codes, width)) = derive_codes(samples, scale, offset) {
+                    return Some(QuantizedRow {
+                        scale,
+                        offset,
+                        codes,
+                        width,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Serializes one block's rows (everything after the 24-byte header) in
+/// the `IPMKTRC3` row layout.
+///
+/// `domain`, when given, is tried as the first quantization candidate for
+/// every row — the fast, robust path for pipelines that know the ADC their
+/// samples came through. Rows the domain does not reproduce bit-exactly
+/// still go through grid detection and, failing that, the raw fallback.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub(crate) fn write_rows<W: Write>(
+    block: &TraceBlock,
+    w: &mut W,
+    domain: Option<&AdcDomain>,
+) -> Result<(), IoError> {
+    let hint = domain.map(|d| (d.scale(), d.offset()));
+    for row in block.rows() {
+        let samples = row.samples();
+        match quantize_row(samples, hint) {
+            Some(q) => {
+                w.write_all(&[FLAG_QUANTIZED])?;
+                w.write_all(&q.scale.to_le_bytes())?;
+                w.write_all(&q.offset.to_le_bytes())?;
+                // Code derivation already computed the minimal delta width
+                // in its own pass; only the packing sweep remains. Codes
+                // are < 2^53 so the i64 deltas are exact.
+                let first = q.codes.first().copied().unwrap_or(0);
+                let width = q.width;
+                let packed_bytes = (q.codes.len().saturating_sub(1) * width as usize).div_ceil(8);
+                let mut packer = BitPacker::with_capacity(packed_bytes);
+                let mut prev = first as i64;
+                for &code in q.codes.iter().skip(1) {
+                    packer.push(zigzag(code as i64 - prev), width);
+                    prev = code as i64;
+                }
+                w.write_all(&first.to_le_bytes())?;
+                w.write_all(&[width as u8])?;
+                w.write_all(&packer.finish())?;
+            }
+            None => {
+                w.write_all(&[FLAG_RAW])?;
+                for s in samples {
+                    w.write_all(&s.to_le_bytes())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads `count` rows of `trace_len` samples in the `IPMKTRC3` row layout
+/// into a fresh arena.
+///
+/// The header is untrusted: every derived size goes through checked
+/// arithmetic, payload bytes stream through bounded buffers, and the arena
+/// grows only as rows actually arrive — a hostile header cannot force a
+/// giant up-front allocation.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for corrupt flags, over-wide fields or
+/// truncation, never a panic or an `Io` misclassification for in-memory
+/// input.
+pub(crate) fn read_rows<R: BufRead>(
+    device: &str,
+    r: &mut R,
+    count: usize,
+    trace_len: usize,
+) -> Result<TraceBlock, IoError> {
+    if count == 0 {
+        return Ok(TraceBlock::new(device));
+    }
+    let mut data: Vec<f64> = Vec::with_capacity(
+        count
+            .saturating_mul(trace_len)
+            .min(1 << 20),
+    );
+    let mut packed: Vec<u8> = Vec::new();
+    for t in 0..count {
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)
+            .map_err(|_| IoError::Format(format!("truncated at trace {t}: missing row flag")))?;
+        match flag[0] {
+            FLAG_RAW => {
+                let mut scratch = [0u8; 8192];
+                let mut remaining = trace_len;
+                while remaining > 0 {
+                    let want = (remaining * 8).min(scratch.len());
+                    r.read_exact(&mut scratch[..want]).map_err(|_| {
+                        IoError::Format(format!(
+                            "truncated at trace {t}, sample {}",
+                            trace_len - remaining
+                        ))
+                    })?;
+                    for chunk in scratch[..want].chunks_exact(8) {
+                        let mut sample = [0u8; 8];
+                        sample.copy_from_slice(chunk);
+                        data.push(f64::from_le_bytes(sample));
+                    }
+                    remaining -= want / 8;
+                }
+            }
+            FLAG_QUANTIZED => {
+                let mut head = [0u8; 25];
+                r.read_exact(&mut head).map_err(|_| {
+                    IoError::Format(format!("truncated at trace {t}: missing row metadata"))
+                })?;
+                let mut f64buf = [0u8; 8];
+                f64buf.copy_from_slice(&head[0..8]);
+                let scale = f64::from_le_bytes(f64buf);
+                f64buf.copy_from_slice(&head[8..16]);
+                let offset = f64::from_le_bytes(f64buf);
+                f64buf.copy_from_slice(&head[16..24]);
+                let first = u64::from_le_bytes(f64buf);
+                let width = u32::from(head[24]);
+                if width > 64 {
+                    return Err(IoError::Format(format!(
+                        "trace {t}: delta width {width} exceeds 64 bits"
+                    )));
+                }
+                let deltas = trace_len - 1;
+                let packed_len = deltas
+                    .checked_mul(width as usize)
+                    .map(|bits| bits.div_ceil(8))
+                    .ok_or_else(|| {
+                        IoError::Format(format!("trace {t}: packed payload size overflows"))
+                    })?;
+                // Stream the packed bytes through a bounded buffer: the
+                // buffer only ever holds bytes that actually arrived.
+                packed.clear();
+                let mut scratch = [0u8; 8192];
+                let mut remaining = packed_len;
+                while remaining > 0 {
+                    let want = remaining.min(scratch.len());
+                    r.read_exact(&mut scratch[..want]).map_err(|_| {
+                        IoError::Format(format!(
+                            "truncated at trace {t}: packed payload cut short"
+                        ))
+                    })?;
+                    packed.extend_from_slice(&scratch[..want]);
+                    remaining -= want;
+                }
+                let mut unpacker = BitUnpacker::new(&packed);
+                // Hostile files may encode arbitrary deltas; reconstruct
+                // with wrapping arithmetic (the sample value is then
+                // whatever the grid maps it to — decoding is total).
+                let mut code = first;
+                data.push(offset + (code as f64) * scale);
+                for _ in 0..deltas {
+                    code = code.wrapping_add(unzigzag(unpacker.pull(width)) as u64);
+                    data.push(offset + (code as f64) * scale);
+                }
+            }
+            other => {
+                return Err(IoError::Format(format!(
+                    "trace {t}: unknown row flag {other} (0 = quantized, 1 = raw)"
+                )));
+            }
+        }
+    }
+    Ok(TraceBlock::from_data(device, trace_len, data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_row(offset: f64, scale: f64, codes: &[u64]) -> Vec<f64> {
+        codes
+            .iter()
+            .map(|&c| offset + (c as f64) * scale)
+            .collect()
+    }
+
+    fn round_trip(block: &TraceBlock) -> TraceBlock {
+        let mut buf = Vec::new();
+        write_rows(block, &mut buf, None).unwrap();
+        read_rows(
+            block.device(),
+            &mut buf.as_slice(),
+            block.len(),
+            block.trace_len(),
+        )
+        .unwrap()
+    }
+
+    fn assert_bits_equal(a: &TraceBlock, b: &TraceBlock) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.trace_len(), b.trace_len());
+        for (i, (x, y)) in a.samples().iter().zip(b.samples()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "sample {i}: {x:e} vs {y:e}");
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn bit_packer_round_trips_mixed_widths() {
+        let mut p = BitPacker::with_capacity(0);
+        let fields: Vec<(u64, u32)> = vec![(5, 3), (0, 1), (1023, 10), (u64::MAX, 64), (1, 13)];
+        for &(v, w) in &fields {
+            p.push(v, w);
+        }
+        let bytes = p.finish();
+        let mut u = BitUnpacker::new(&bytes);
+        for &(v, w) in &fields {
+            assert_eq!(u.pull(w), v);
+        }
+    }
+
+    #[test]
+    fn grid_rows_take_the_quantized_path() {
+        let row = grid_row(0.25, 0.125, &[0, 3, 1, 7, 7, 2]);
+        let q = quantize_row(&row, None).expect("exact grid must quantize");
+        assert_eq!(q.codes, [0, 3, 1, 7, 7, 2]);
+        assert_eq!(q.offset, 0.25);
+        assert_eq!(q.scale, 0.125);
+    }
+
+    #[test]
+    fn coarse_subgrid_rows_still_quantize() {
+        // Only even codes present: the min positive delta is 2·scale, which
+        // is still an exact divisor of every delta — codes simply halve.
+        let row = grid_row(1.0, 0.5, &[0, 4, 2, 8]);
+        let q = quantize_row(&row, None).expect("sub-grid quantizes");
+        assert_eq!(q.codes, [0, 2, 1, 4]);
+    }
+
+    #[test]
+    fn hostile_rows_fall_back_to_raw() {
+        assert!(quantize_row(&[0.0, f64::NAN], None).is_none());
+        assert!(quantize_row(&[f64::INFINITY, 1.0], None).is_none());
+        assert!(quantize_row(&[-0.0, 1.0], None).is_none(), "-0.0 offset is inexact");
+        // Irrational-ish spacing that is no grid at all.
+        assert!(quantize_row(&[0.0, 0.1, 0.25000001, 0.3], None).is_none());
+    }
+
+    #[test]
+    fn constant_rows_cost_only_metadata() {
+        let block = TraceBlock::from_data("d", 4096, vec![1.5; 4096]).unwrap();
+        let mut buf = Vec::new();
+        write_rows(&block, &mut buf, None).unwrap();
+        // flag + scale + offset + first + width, zero packed bytes.
+        assert_eq!(buf.len(), 1 + 8 + 8 + 8 + 1);
+        assert_bits_equal(&round_trip(&block), &block);
+    }
+
+    #[test]
+    fn mixed_quantized_and_raw_rows_round_trip_bit_exactly() {
+        let mut block = TraceBlock::new("d");
+        block
+            .push_row(&grid_row(-0.5, 0.0625, &[4, 0, 4095, 17]))
+            .unwrap();
+        block
+            .push_row(&[f64::NAN, f64::NEG_INFINITY, 1.0e-310, 0.1])
+            .unwrap();
+        block.push_row(&[0.1, 0.2, 0.30000000001, 0.4]).unwrap();
+        let back = round_trip(&block);
+        assert_bits_equal(&back, &block);
+        // NaN bits too.
+        assert_eq!(
+            back.row(1).unwrap().samples()[0].to_bits(),
+            f64::NAN.to_bits()
+        );
+    }
+
+    #[test]
+    fn adc_domain_validates_and_quantizes_idempotently() {
+        assert!(AdcDomain::from_range(0.0, 1.0, 0).is_err());
+        assert!(AdcDomain::from_range(0.0, 1.0, 33).is_err());
+        assert!(AdcDomain::from_range(1.0, 0.0, 12).is_err());
+        assert!(AdcDomain::from_range(f64::NAN, 1.0, 12).is_err());
+        let adc = AdcDomain::from_range(-1.0, 1.0, 12).unwrap();
+        assert_eq!(adc.levels(), 4096);
+        assert_eq!(adc.offset(), -1.0);
+        for v in [-2.0, -1.0, -0.3337, 0.0, 0.5001, 1.0, 2.0, f64::NAN] {
+            let q = adc.quantize(v);
+            assert_eq!(q.to_bits(), adc.quantize(q).to_bits(), "idempotent at {v}");
+            assert!((-1.0..=1.0).contains(&q), "clamped at {v}");
+        }
+    }
+
+    fn adc_block(adc: &AdcDomain, span: f64) -> TraceBlock {
+        let mut block = TraceBlock::zeros("d", 8, 2048).unwrap();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for mut row in block.rows_mut() {
+            for s in row.samples_mut() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *s = adc.quantize(adc.offset() + span * (state >> 11) as f64 / (1u64 << 53) as f64);
+            }
+        }
+        block
+    }
+
+    #[test]
+    fn hinted_blocks_shrink_at_least_four_fold() {
+        // The realistic pipeline: the encoder is told the ADC the samples
+        // came through, so every row takes the quantized path regardless of
+        // which codes happen to be present.
+        let adc = AdcDomain::from_range(1.2, 4.5, 12).unwrap();
+        let block = adc_block(&adc, 3.3);
+        let mut buf = Vec::new();
+        write_rows(&block, &mut buf, Some(&adc)).unwrap();
+        let raw_bytes = block.samples().len() * 8;
+        assert!(
+            buf.len() * 4 <= raw_bytes,
+            "quantized payload {} vs raw {raw_bytes}: under 4x",
+            buf.len()
+        );
+        let back = read_rows("d", &mut buf.as_slice(), block.len(), block.trace_len()).unwrap();
+        assert_bits_equal(&back, &block);
+    }
+
+    #[test]
+    fn zero_offset_grids_are_detected_without_a_hint() {
+        // Hint-free detection: a zero-offset ADC is recoverable because the
+        // smallest code's value is (a small multiple of) the scale itself,
+        // which the ladder's integer-division + ULP probing reaches.
+        let adc = AdcDomain::from_range(0.0, 3.3, 12).unwrap();
+        let block = adc_block(&adc, 3.3);
+        let mut buf = Vec::new();
+        write_rows(&block, &mut buf, None).unwrap();
+        let raw_bytes = block.samples().len() * 8;
+        assert!(
+            buf.len() * 4 <= raw_bytes,
+            "detected payload {} vs raw {raw_bytes}: under 4x",
+            buf.len()
+        );
+        assert_bits_equal(&round_trip(&block), &block);
+    }
+
+    #[test]
+    fn truncations_and_bad_flags_are_format_errors() {
+        let block = TraceBlock::from_data("d", 4, grid_row(0.0, 0.5, &[1, 2, 3, 4])).unwrap();
+        let mut buf = Vec::new();
+        write_rows(&block, &mut buf, None).unwrap();
+        for cut in 0..buf.len() {
+            let err = read_rows("d", &mut &buf[..cut], 1, 4).unwrap_err();
+            assert!(matches!(err, IoError::Format(_)), "cut at {cut}: {err}");
+        }
+        let mut bad_flag = buf.clone();
+        bad_flag[0] = 7;
+        assert!(matches!(
+            read_rows("d", &mut bad_flag.as_slice(), 1, 4).unwrap_err(),
+            IoError::Format(_)
+        ));
+        let mut bad_width = buf;
+        bad_width[25] = 65;
+        assert!(matches!(
+            read_rows("d", &mut bad_width.as_slice(), 1, 4).unwrap_err(),
+            IoError::Format(_)
+        ));
+    }
+}

@@ -1,6 +1,6 @@
 //! Reading and writing trace campaigns.
 //!
-//! Three formats:
+//! Four formats:
 //!
 //! * **CSV** — one trace per line, samples comma-separated; interoperable
 //!   with spreadsheet tools and the plotting scripts of side-channel suites.
@@ -10,12 +10,21 @@
 //!   **byte-identical** to `IPMKTRC1` (writing traces contiguously *is*
 //!   row-major order); only the magic differs. The payload therefore maps
 //!   1:1 onto a [`TraceBlock`]'s sample arena, and [`read_block_any`] loads
-//!   either version straight into one contiguous allocation.
+//!   either version straight into one contiguous allocation. Multi-GB v1/v2
+//!   corpora can additionally be consumed zero-copy through
+//!   [`read_block_mapped`](crate::mmap::read_block_mapped).
+//! * **`IPMKTRC3`** — the quantized wire format ([`crate::codec`]): per-row
+//!   scale/offset metadata plus delta-encoded, bit-packed integer ADC
+//!   codes, with a verbatim raw-f64 fallback for rows off the code grid.
+//!   Decoding is **bit-identical** to the encoded samples — see the
+//!   exactness argument in the module docs — at a ≥ 4× wire-size reduction
+//!   for ADC-domain campaigns.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 use crate::block::TraceBlock;
+use crate::codec::{self, AdcDomain};
 use crate::error::TraceError;
 use crate::trace::{Trace, TraceSet};
 
@@ -24,6 +33,9 @@ pub const BINARY_MAGIC: &[u8; 8] = b"IPMKTRC1";
 
 /// Magic bytes opening the arena-native (v2) binary block format.
 pub const BLOCK_MAGIC: &[u8; 8] = b"IPMKTRC2";
+
+/// Magic bytes opening the quantized + delta-encoded (v3) wire format.
+pub const BLOCK_V3_MAGIC: &[u8; 8] = b"IPMKTRC3";
 
 /// Error raised by trace serialization.
 #[derive(Debug)]
@@ -192,23 +204,131 @@ pub fn read_block<R: Read>(device: &str, reader: R) -> Result<TraceBlock, IoErro
     read_block_magics(device, reader, &[BLOCK_MAGIC])
 }
 
-/// Reads either binary version — `IPMKTRC1` or `IPMKTRC2` — into a
-/// contiguous [`TraceBlock`].
+/// Writes a trace block in the quantized + delta-encoded `IPMKTRC3` wire
+/// format ([`crate::codec`]). A mutable reference may be passed as the
+/// writer.
 ///
-/// The two payloads are byte-identical (v1's trace-by-trace layout *is*
-/// row-major), so a v1 campaign file loads into the arena without any
-/// per-trace allocation or re-ordering.
+/// Rows on an exact ADC code grid are stored as bit-packed integer codes
+/// (~4–8× smaller than raw f64); rows that do not reconstruct bit-exactly
+/// fall back to verbatim f64 storage, so the encoding is always lossless.
+/// The writer is a pure function of the block's sample bits: re-encoding a
+/// decoded file reproduces it byte for byte.
+///
+/// Grid *detection* is heuristic; when the ADC the samples came through is
+/// known, [`write_block_v3_with_domain`] compresses robustly for any code
+/// distribution.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_block_v3<W: Write>(block: &TraceBlock, writer: W) -> Result<(), IoError> {
+    write_v3_inner(block, writer, None)
+}
+
+/// [`write_block_v3`] with an explicit [`AdcDomain`] tried as the first
+/// quantization candidate for every row — the robust path for pipelines
+/// that know their scope front-end. Rows the domain does not reproduce
+/// bit-exactly still fall back (detection, then raw), so the encoding
+/// stays lossless even under a wrong domain; re-encoding is byte-stable
+/// under the same domain.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_block_v3_with_domain<W: Write>(
+    block: &TraceBlock,
+    domain: &AdcDomain,
+    writer: W,
+) -> Result<(), IoError> {
+    write_v3_inner(block, writer, Some(domain))
+}
+
+fn write_v3_inner<W: Write>(
+    block: &TraceBlock,
+    writer: W,
+    domain: Option<&AdcDomain>,
+) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BLOCK_V3_MAGIC)?;
+    w.write_all(&(block.len() as u64).to_le_bytes())?;
+    w.write_all(&(block.trace_len() as u64).to_le_bytes())?;
+    codec::write_rows(block, &mut w, domain)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an `IPMKTRC3` trace block written by [`write_block_v3`]. A
+/// mutable reference may be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for a bad magic (use [`read_block_any`] to
+/// accept every version), hostile header, corrupt row or truncation.
+pub fn read_block_v3<R: Read>(device: &str, reader: R) -> Result<TraceBlock, IoError> {
+    read_block_magics(device, reader, &[BLOCK_V3_MAGIC])
+}
+
+/// Reads any binary version — `IPMKTRC1`, `IPMKTRC2` or `IPMKTRC3` — into
+/// a contiguous [`TraceBlock`].
+///
+/// The v1/v2 payloads are byte-identical (v1's trace-by-trace layout *is*
+/// row-major), so those campaign files load into the arena without any
+/// per-trace allocation or re-ordering; v3 rows are decoded through the
+/// bit-exact quantized codec ([`crate::codec`]).
 ///
 /// # Errors
 ///
 /// Returns [`IoError::Format`] for an unknown magic or truncated payload.
 pub fn read_block_any<R: Read>(device: &str, reader: R) -> Result<TraceBlock, IoError> {
-    read_block_magics(device, reader, &[BINARY_MAGIC, BLOCK_MAGIC])
+    read_block_magics(device, reader, &[BINARY_MAGIC, BLOCK_MAGIC, BLOCK_V3_MAGIC])
 }
 
-/// Shared header + payload reader for both binary versions: validates an
-/// untrusted header, then streams the row-major payload into one flat
-/// arena through a fixed scratch buffer.
+/// Validates an untrusted binary header (magic + dimensions): returns the
+/// accepted magic and the `(count, trace_len)` pair, with the sample count
+/// guaranteed representable in bytes.
+///
+/// Shared by the streaming readers here and the zero-copy mapped reader
+/// ([`crate::mmap`]), so every entry point enforces the identical
+/// overflow/shape guards.
+pub(crate) fn validate_header(
+    magic: &[u8; 8],
+    count_word: u64,
+    len_word: u64,
+    accept: &[&[u8; 8]],
+) -> Result<(usize, usize), IoError> {
+    if !accept.contains(&magic) {
+        return Err(IoError::Format(format!(
+            "bad magic `{}`, expected `{}` — not an ipmark binary trace file",
+            String::from_utf8_lossy(magic).escape_default(),
+            accept
+                .iter()
+                .map(|m| String::from_utf8_lossy(*m).into_owned())
+                .collect::<Vec<_>>()
+                .join("` or `")
+        )));
+    }
+    let count = usize::try_from(count_word)
+        .map_err(|_| IoError::Format(format!("trace count {count_word} not addressable")))?;
+    let len = usize::try_from(len_word)
+        .map_err(|_| IoError::Format(format!("trace length {len_word} not addressable")))?;
+    if count > 0 && len == 0 {
+        return Err(IoError::Format("zero-length traces".to_owned()));
+    }
+    // The header is untrusted: reject sizes whose byte count cannot even
+    // be represented, so no downstream size computation can overflow.
+    count
+        .checked_mul(len)
+        .and_then(|s| s.checked_mul(8))
+        .ok_or_else(|| {
+            IoError::Format(format!("declared size {count} x {len} samples overflows"))
+        })?;
+    Ok((count, len))
+}
+
+/// Shared header + payload reader for every binary version: validates an
+/// untrusted header, then streams the payload into one flat arena — raw
+/// row-major f64s for v1/v2 through a fixed scratch buffer, decoded
+/// quantized rows for v3.
 fn read_block_magics<R: Read>(
     device: &str,
     reader: R,
@@ -218,35 +338,21 @@ fn read_block_magics<R: Read>(
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)
         .map_err(|_| IoError::Format("missing magic".to_owned()))?;
-    if !accept.contains(&&magic) {
-        return Err(IoError::Format(format!(
-            "bad magic `{}`, expected `{}` — not an ipmark binary trace file",
-            String::from_utf8_lossy(&magic).escape_default(),
-            accept
-                .iter()
-                .map(|m| String::from_utf8_lossy(*m).into_owned())
-                .collect::<Vec<_>>()
-                .join("` or `")
-        )));
-    }
+    // Check the magic before touching the dimension words so an
+    // unrecognized file is reported as such, not as a truncated header.
+    validate_header(&magic, 0, 0, accept)?;
     let mut u64buf = [0u8; 8];
     r.read_exact(&mut u64buf)
         .map_err(|_| IoError::Format("missing trace count".to_owned()))?;
-    let count = u64::from_le_bytes(u64buf) as usize;
+    let count_word = u64::from_le_bytes(u64buf);
     r.read_exact(&mut u64buf)
         .map_err(|_| IoError::Format("missing trace length".to_owned()))?;
-    let len = u64::from_le_bytes(u64buf) as usize;
-    if count > 0 && len == 0 {
-        return Err(IoError::Format("zero-length traces".to_owned()));
+    let len_word = u64::from_le_bytes(u64buf);
+    let (count, len) = validate_header(&magic, count_word, len_word, accept)?;
+    if &magic == BLOCK_V3_MAGIC {
+        return codec::read_rows(device, &mut r, count, len);
     }
-    // The header is untrusted: never pre-allocate from it unboundedly, and
-    // reject sizes whose byte count cannot even be represented.
-    let total = count
-        .checked_mul(len)
-        .filter(|s| s.checked_mul(8).is_some())
-        .ok_or_else(|| {
-            IoError::Format(format!("declared size {count} x {len} samples overflows"))
-        })?;
+    let total = count * len; // representable: validate_header checked ×8
     // Bounded pre-allocation: the arena grows towards `total` as payload
     // bytes actually arrive, so a hostile header cannot force a giant
     // up-front allocation.

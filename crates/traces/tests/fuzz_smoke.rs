@@ -15,7 +15,9 @@ use std::path::Path;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use ipmark_traces::io::{read_block_any, read_csv, write_block, IoError};
+use ipmark_traces::io::{
+    read_block, read_block_any, read_block_v3, read_csv, write_block, write_block_v3, IoError,
+};
 
 /// Iterations per strategy; override with `FUZZ_SMOKE_ITERS` for longer
 /// local soaks. The default keeps the job inside a few hundred ms.
@@ -31,6 +33,36 @@ fn iters() -> usize {
 fn fixture_bytes() -> Vec<u8> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/campaign_b.trc2");
     std::fs::read(path).expect("committed campaign_b.trc2 fixture")
+}
+
+/// The committed quantized fixture: the `IPMKTRC3` golden that the tier-2
+/// suite pins byte-exactly, reused as the v3 mutation seed.
+fn fixture_bytes_v3() -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/block.trc3");
+    std::fs::read(path).expect("committed block.trc3 fixture")
+}
+
+/// Byte offset of every row-flag byte in a well-formed v3 file, found by
+/// walking the same layout the reader decodes: targeted corruption needs
+/// to know where the structure-bearing bytes live.
+fn v3_flag_offsets(bytes: &[u8]) -> Vec<usize> {
+    let count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let trace_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let mut offsets = Vec::with_capacity(count);
+    let mut at = 24usize;
+    for _ in 0..count {
+        offsets.push(at);
+        at += match bytes[at] {
+            1 => 1 + trace_len * 8,
+            0 => {
+                let width = usize::from(bytes[at + 25]);
+                1 + 25 + ((trace_len - 1) * width).div_ceil(8)
+            }
+            other => panic!("fixture has unknown row flag {other}"),
+        };
+    }
+    assert_eq!(at, bytes.len(), "fixture walk must consume the whole file");
+    offsets
 }
 
 /// The only acceptable outcomes for hostile input: clean decode or a
@@ -173,4 +205,157 @@ fn surviving_decodes_round_trip_bit_exactly() {
         }
     }
     assert!(survivors > 0, "payload flips should usually decode");
+}
+
+/// The v3 twin of the `IPMKTRC2` mutation strategy: random flips, splices
+/// and truncations over the committed quantized fixture, through both the
+/// strict v3 reader and the lenient any-reader.
+#[test]
+fn mutated_v3_fixture_never_panics_the_reader() {
+    let seed = fixture_bytes_v3();
+    let mut rng = SmallRng::seed_from_u64(0x7ac3_5eed);
+    for _ in 0..iters() {
+        let mut buf = seed.clone();
+        for _ in 0..rng.gen_range(1usize..16) {
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let i = rng.gen_range(0..buf.len());
+                    buf[i] ^= 1 << rng.gen_range(0u32..8);
+                }
+                1 => {
+                    let i = rng.gen_range(0..buf.len());
+                    buf[i] = rng.gen::<u8>();
+                }
+                2 => {
+                    let keep = rng.gen_range(0..buf.len());
+                    buf.truncate(keep);
+                    if buf.is_empty() {
+                        break;
+                    }
+                }
+                _ => {
+                    let extra = rng.gen_range(1usize..64);
+                    buf.extend(std::iter::repeat_with(|| rng.gen::<u8>()).take(extra));
+                }
+            }
+        }
+        assert_contained(read_block_v3("fuzz", buf.as_slice()), "mutated v3 fixture");
+        assert_contained(read_block_any("fuzz", buf.as_slice()), "mutated v3 fixture (any)");
+    }
+}
+
+/// Structure-targeted corruption: unknown row flags and over-wide delta
+/// widths must be *specifically* `Format` — the reader knows these bytes'
+/// meaning and must name the violation, not stumble into a generic error.
+#[test]
+fn v3_row_flag_and_width_corruption_is_a_format_error() {
+    let seed = fixture_bytes_v3();
+    let flags = v3_flag_offsets(&seed);
+    assert!(!flags.is_empty(), "fixture must have rows");
+
+    // Any flag byte outside {0, 1} invalidates that row outright.
+    for &at in &flags {
+        for bad in [2u8, 0x42, 0xff] {
+            let mut buf = seed.clone();
+            buf[at] = bad;
+            match read_block_v3("fuzz", buf.as_slice()) {
+                Err(IoError::Format(msg)) => {
+                    assert!(msg.contains("flag"), "diagnostic should name the flag: {msg}")
+                }
+                other => panic!("unknown flag {bad:#x} at {at}: expected Format, got {other:?}"),
+            }
+        }
+    }
+
+    // A quantized row's width byte > 64 cannot describe u64 deltas.
+    let quantized: Vec<usize> = flags.iter().copied().filter(|&at| seed[at] == 0).collect();
+    assert!(!quantized.is_empty(), "fixture must have quantized rows");
+    for &at in &quantized {
+        for bad in [65u8, 0x80, 0xff] {
+            let mut buf = seed.clone();
+            buf[at + 25] = bad;
+            assert!(
+                matches!(read_block_v3("fuzz", buf.as_slice()), Err(IoError::Format(_))),
+                "width {bad} at row offset {at}: expected Format"
+            );
+        }
+    }
+
+    // Flipping a flag between raw and quantized re-interprets the payload:
+    // either it still parses (and must re-encode cleanly) or it fails with
+    // a structured error — typically truncation, since row sizes shifted.
+    for &at in &flags {
+        let mut buf = seed.clone();
+        buf[at] ^= 1;
+        assert_contained(read_block_v3("fuzz", buf.as_slice()), "flipped row flag");
+    }
+
+    // Truncating inside the bit-packed payload (anywhere past the header)
+    // must surface as `Format`, never a panic or short read.
+    for keep in (25..seed.len()).step_by(7) {
+        let buf = &seed[..keep];
+        assert!(
+            matches!(read_block_v3("fuzz", buf), Err(IoError::Format(_))),
+            "truncation at {keep} bytes: expected Format"
+        );
+    }
+}
+
+/// The streamed `IPMKTRC2` reader's header guard: `count * trace_len * 8`
+/// products engineered to overflow `u64`/`usize` must fail as `Format`
+/// immediately — before any allocation is attempted.
+#[test]
+fn v2_header_dimension_overflow_is_a_format_error() {
+    let giants: &[(u64, u64)] = &[
+        (u64::MAX, u64::MAX),
+        (u64::MAX, 1),
+        (1, u64::MAX),
+        (u64::MAX / 8 + 1, 1),
+        (1u64 << 61, 8),
+        (1u64 << 32, 1u64 << 32),
+        ((1u64 << 32) + 1, (1u64 << 31) + 3),
+        (u64::MAX / 3, 3),
+    ];
+    for &(count, trace_len) in giants {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(ipmark_traces::io::BLOCK_MAGIC);
+        buf.extend_from_slice(&count.to_le_bytes());
+        buf.extend_from_slice(&trace_len.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 32]); // a sliver of "payload"
+        assert!(
+            matches!(read_block("fuzz", buf.as_slice()), Err(IoError::Format(_))),
+            "count={count} trace_len={trace_len}: expected Format from read_block"
+        );
+        assert!(
+            matches!(read_block_any("fuzz", buf.as_slice()), Err(IoError::Format(_))),
+            "count={count} trace_len={trace_len}: expected Format from read_block_any"
+        );
+    }
+}
+
+/// v3 decodes that survive payload mutation must re-encode into a file
+/// that decodes back bit-identically. Byte equality with the mutant is
+/// *not* required (a flipped width byte may be wider than minimal, which
+/// the re-encoder tightens) — but the sample bits are the contract.
+#[test]
+fn surviving_v3_decodes_re_encode_bit_stably() {
+    let seed = fixture_bytes_v3();
+    let mut rng = SmallRng::seed_from_u64(0x003c_0dec);
+    let mut survivors = 0usize;
+    for _ in 0..iters() {
+        let mut buf = seed.clone();
+        let i = rng.gen_range(24..buf.len());
+        buf[i] ^= 1 << rng.gen_range(0u32..8);
+        if let Ok(block) = read_block_v3("fuzz", buf.as_slice()) {
+            survivors += 1;
+            let mut out = Vec::new();
+            write_block_v3(&block, &mut out).expect("in-memory write");
+            let again = read_block_v3("fuzz", out.as_slice()).expect("re-encode must decode");
+            assert_eq!(again.len(), block.len());
+            let a: Vec<u64> = again.samples().iter().map(|s| s.to_bits()).collect();
+            let b: Vec<u64> = block.samples().iter().map(|s| s.to_bits()).collect();
+            assert_eq!(a, b, "re-encode round trip must be bit-exact");
+        }
+    }
+    assert!(survivors > 0, "payload flips should sometimes decode");
 }

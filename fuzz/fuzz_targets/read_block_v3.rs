@@ -1,0 +1,39 @@
+//! Fuzzes the `IPMKTRC3` quantized-block reader: arbitrary bytes must
+//! decode cleanly or fail with a structured `Format`/`Trace` error —
+//! never panic, abort, over-allocate from a hostile header (row payloads
+//! stream through bounded buffers), or (for in-memory input) surface an
+//! `Io` error.
+//!
+//! Successful decodes are additionally re-encoded and decoded again: the
+//! encoder is a pure function of the decoded sample bits, so the second
+//! generation must reproduce the first bit for bit. (Byte equality with
+//! the *input* is deliberately not asserted — a fuzzed file may encode a
+//! quantizable row under a wider-than-minimal delta width, which the
+//! re-encoder is allowed to tighten.)
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+use ipmark_traces::io::{read_block_v3, write_block_v3, IoError};
+
+fuzz_target!(|data: &[u8]| {
+    match read_block_v3("fuzz", data) {
+        Ok(block) => {
+            let mut out = Vec::new();
+            write_block_v3(&block, &mut out).expect("in-memory write cannot fail");
+            let again = read_block_v3("fuzz", out.as_slice()).expect("re-encode must decode");
+            assert_eq!(again.len(), block.len());
+            assert_eq!(again.trace_len(), block.trace_len());
+            for (a, b) in again.samples().iter().zip(block.samples()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "re-encode round trip must be bit-exact"
+                );
+            }
+        }
+        Err(IoError::Format(_) | IoError::Trace(_)) => {}
+        Err(IoError::Io(e)) => panic!("reader leaked a transport error for in-memory input: {e}"),
+    }
+});
