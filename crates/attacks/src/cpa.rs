@@ -14,9 +14,9 @@
 //! the attack collapses — the non-linearity is what keys the signature.
 
 use ipmark_core::ip::{CounterKind, IpSpec, Substitution};
+use ipmark_core::pipeline::{default_backend, CorrelateStage, ExecBackend};
 use ipmark_core::WatermarkKey;
 use ipmark_traces::kernels;
-use ipmark_traces::stats::PearsonRef;
 use ipmark_traces::{StatsError, TraceSource};
 use serde::{Deserialize, Serialize};
 
@@ -132,43 +132,33 @@ pub(crate) fn rank_guesses(
 /// mathematically, because `f64` multiplication commutes — so correlating
 /// the centered *profile* against each *prediction* reproduces the
 /// historical `pearson(prediction, profile)` scores exactly.
-fn center_profile(profile: &[f64]) -> Result<Option<PearsonRef>, AttackError> {
-    match PearsonRef::new(profile) {
-        Ok(r) => Ok(Some(r)),
-        Err(StatsError::ZeroVariance) => Ok(None),
-        Err(e) => Err(e.into()),
-    }
+fn center_profile(profile: &[f64]) -> Result<Option<CorrelateStage>, AttackError> {
+    CorrelateStage::try_center(profile).map_err(AttackError::from)
 }
 
 /// Scores one hypothesis against a centered profile (0 when either side is
 /// constant, as under the identity ablation).
 fn score_hypothesis(
-    reference: Option<&PearsonRef>,
+    reference: Option<&CorrelateStage>,
     prediction: &[f64],
 ) -> Result<f64, AttackError> {
-    match reference.map(|r| r.correlate(prediction)) {
+    match reference.map(|r| r.kernel().correlate(prediction)) {
         None | Some(Err(StatsError::ZeroVariance)) => Ok(0.0),
         Some(Ok(r)) => Ok(r),
         Some(Err(e)) => Err(e.into()),
     }
 }
 
-/// Evaluates a per-guess function over all 256 key guesses, fanning out
-/// across threads with the `parallel` feature. Results come back in guess
-/// order either way, so downstream ranking is thread-count invariant.
+/// Evaluates a per-guess function over all 256 key guesses on the default
+/// [`ExecBackend`] (the env-sized pool with the `parallel` feature, inline
+/// otherwise). Results come back in guess order either way, so downstream
+/// ranking is thread-count invariant.
 fn guess_map<T, F>(per_guess: F) -> Result<Vec<T>, AttackError>
 where
     T: Send,
     F: Fn(u8) -> Result<T, AttackError> + Sync,
 {
-    #[cfg(feature = "parallel")]
-    {
-        ipmark_parallel::par_try_map_indexed(256, |g| per_guess(g as u8))
-    }
-    #[cfg(not(feature = "parallel"))]
-    {
-        (0..=255u8).map(per_guess).collect()
-    }
+    default_backend().try_map_indexed(256, |g| per_guess(g as u8))
 }
 
 /// Runs the CPA key search over all 256 guesses.
@@ -199,22 +189,14 @@ pub fn recover_key<S: TraceSource + ?Sized>(
     // Predictions fan out across threads; the correlation itself runs as
     // one batched sweep with the centered profile cache-resident, scoring
     // four hypotheses per pass. Bit-identical to per-guess
-    // `score_hypothesis` calls (`PearsonRef::correlate_many`), including
+    // `score_hypothesis` calls (the stage wraps `PearsonRef`), including
     // the zero-score convention for constant predictions.
     let reference = center_profile(&profile)?;
     let predictions: Vec<Vec<f64>> =
         guess_map(|g| predicted_leakage(counter, substitution, WatermarkKey::new(g), cycles))?;
     let scores = match reference.as_ref() {
         None => vec![0.0; predictions.len()],
-        Some(r) => r
-            .correlate_many(predictions.iter().map(Vec::as_slice))
-            .into_iter()
-            .map(|res| match res {
-                Ok(rho) => Ok(rho),
-                Err(StatsError::ZeroVariance) => Ok(0.0),
-                Err(e) => Err(AttackError::from(e)),
-            })
-            .collect::<Result<Vec<f64>, AttackError>>()?,
+        Some(r) => r.many_or_zero(predictions.iter().map(Vec::as_slice))?,
     };
 
     let (best_key, margin, true_key_rank) = rank_guesses(&scores, true_key);
@@ -286,7 +268,7 @@ pub fn recover_key_phase_robust<S: TraceSource + ?Sized>(
         .collect();
 
     // One centered reference per phase, shared by all 256 hypotheses.
-    let references: Vec<Option<PearsonRef>> = profiles
+    let references: Vec<Option<CorrelateStage>> = profiles
         .iter()
         .map(|p| center_profile(p))
         .collect::<Result<_, _>>()?;

@@ -109,8 +109,8 @@ fn main() {
             buf.len() as f64
         });
         let (decode_ns, decode_min_ns) = timed_ns(reps, || {
-            let b = io::read_block_v3("bench", std::hint::black_box(v3.as_slice()))
-                .expect("decode");
+            let b =
+                io::read_block_v3("bench", std::hint::black_box(v3.as_slice())).expect("decode");
             b.samples()[0]
         });
         let encode_gibps = gibps(payload_bytes, encode_ns);

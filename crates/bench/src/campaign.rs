@@ -38,7 +38,7 @@ use ipmark_core::ip::{
     ip_b, IpSpec, DEFAULT_BANDWIDTH_ALPHA, DEFAULT_NOISE_SIGMA, SAMPLES_PER_CYCLE,
 };
 use ipmark_core::verify::CorrelationParams;
-use ipmark_core::{correlation_process, CoreError, DistinguisherKind};
+use ipmark_core::{default_backend, CoreError, DistinguisherKind, Plan};
 use ipmark_power::chain::{MeasurementChain, PulseShape};
 use ipmark_power::device::{DeviceModel, ProcessVariation};
 use ipmark_power::{SimulatedAcquisition, ThermalDrift};
@@ -403,10 +403,16 @@ impl Campaign {
             max_jitter,
         );
 
+        // Both scenario legs run as explicit operator-graph plans on the
+        // default backend — same stages, same draw order, same bits as the
+        // legacy `correlation_process` entry point.
+        let backend = default_backend();
         let mut pos_rng = ChaCha8Rng::seed_from_u64(seeds.positive_selection);
-        let pos = correlation_process(&refd, &positive, params, &mut pos_rng)?;
+        let mut pos_plan = Plan::correlation(params, &mut pos_rng)?;
+        let pos = pos_plan.execute(&refd, &positive, &backend)?;
         let mut neg_rng = ChaCha8Rng::seed_from_u64(seeds.negative_selection);
-        let neg = correlation_process(&refd, &negative, params, &mut neg_rng)?;
+        let mut neg_plan = Plan::correlation(params, &mut neg_rng)?;
+        let neg = neg_plan.execute(&refd, &negative, &backend)?;
 
         Ok(CellOutcome {
             coord: *coord,

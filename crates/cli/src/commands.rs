@@ -14,11 +14,13 @@ use ipmark_core::ip::{
     SAMPLES_PER_CYCLE,
 };
 use ipmark_core::params::ParameterPlan;
+use ipmark_core::pipeline::explain_graph;
 use ipmark_core::report::VerificationReport;
 use ipmark_core::screen::CounterfeitScreen;
 use ipmark_core::{
-    correlation_process, CorrelationParams, CorrelationSet, CounterKind, DistinguisherKind,
-    EarlyStopRule, SessionOptions, SessionStatus, VerificationSession, WatermarkKey,
+    correlation_process, default_backend, CorrelationParams, CorrelationSet, CounterKind,
+    DistinguisherKind, EarlyStopRule, ExecBackend, Sequential, SessionOptions, SessionStatus,
+    VerificationSession, WatermarkKey,
 };
 use ipmark_netlist::vcd::dump_vcd;
 use ipmark_power::ProcessVariation;
@@ -58,6 +60,11 @@ COMMANDS
              [--mapped] [--json]
   params     Plan (alpha, m, k, n2) from a reselection-probability target.
              [--alpha X=10] [--band F=0.05] [--k N=50] [--n1 N=400]
+  plan       Explain the verification operator graph: stages, buffer
+             shapes and the execution backend, without running anything.
+             [--explain] [--paper] [--k N] [--m N] [--n1 N] [--n2 N]
+             [--trace-len N=2048] [--backend auto|sequential]
+             [--streaming]
   cpa        Recover the watermark key from a trace campaign.
              --traces FILE --counter binary|gray [--spc N=8] [--limit N]
              [--identity] [--phase-robust]
@@ -99,6 +106,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "verify" => verify(args),
         "session" => session(args),
         "params" => params(args),
+        "plan" => plan(args),
         "cpa" => cpa(args),
         "collision" => collision(args),
         "screen" => screen(args),
@@ -590,6 +598,42 @@ fn params(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `ipmark plan [--explain]`: renders the operator graph every
+/// verification path executes — stage list, preallocated buffer shapes
+/// and the chosen [`ExecBackend`] — without touching any traces.
+fn plan(args: &Args) -> Result<String, CliError> {
+    let base = if args.has("paper") {
+        CorrelationParams::paper()
+    } else {
+        CorrelationParams::reduced()
+    };
+    let k: usize = args.get_or("k", base.k)?;
+    let m: usize = args.get_or("m", base.m)?;
+    let n1: usize = args.get_or("n1", base.n1)?;
+    let n2: usize = args.get_or("n2", base.n2)?;
+    let trace_len: usize = args.get_or("trace-len", DEFAULT_CYCLES * SAMPLES_PER_CYCLE)?;
+    let params = CorrelationParams { n1, n2, k, m };
+    params.validate()?;
+
+    let label = match args.get("backend")?.unwrap_or("auto") {
+        "auto" | "default" => default_backend().label(),
+        "seq" | "sequential" => Sequential.label(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown backend `{other}` (auto|sequential)"
+            )))
+        }
+    };
+    // `--explain` is the command's only mode; the flag is accepted for
+    // discoverability and symmetry with future planning modes.
+    Ok(explain_graph(
+        &params,
+        trace_len,
+        &label,
+        args.has("streaming"),
+    ))
+}
+
 fn cpa(args: &Args) -> Result<String, CliError> {
     let path = args.require("traces")?;
     let counter = parse_counter(args.get("counter")?.unwrap_or("gray"))?;
@@ -803,6 +847,7 @@ mod tests {
             "acquire",
             "verify",
             "params",
+            "plan",
             "cpa",
             "collision",
         ] {
@@ -1095,7 +1140,13 @@ mod tests {
         // bin -> trc3 with ADC quantization shrinks the file substantially.
         let packed = tmp("conv_packed.trc3");
         let out = run(&[
-            "convert", "--in", &raw, "--out", &packed, "--adc", "12:0.0:40.0",
+            "convert",
+            "--in",
+            &raw,
+            "--out",
+            &packed,
+            "--adc",
+            "12:0.0:40.0",
         ])
         .unwrap();
         assert!(out.contains("->"), "output:\n{out}");
@@ -1127,7 +1178,15 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&["convert", "--in", &raw, "--out", &back, "--adc", "0:0.0:1.0"]),
+            run(&[
+                "convert",
+                "--in",
+                &raw,
+                "--out",
+                &back,
+                "--adc",
+                "0:0.0:1.0"
+            ]),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
@@ -1147,8 +1206,19 @@ mod tests {
             ("c", "3", "3", "400", &dut_bad),
         ] {
             run(&[
-                "acquire", "--ip", ip, "--die-seed", die, "--traces", n, "--cycles", "64",
-                "--seed", seed, "--out", path,
+                "acquire",
+                "--ip",
+                ip,
+                "--die-seed",
+                die,
+                "--traces",
+                n,
+                "--cycles",
+                "64",
+                "--seed",
+                seed,
+                "--out",
+                path,
             ])
             .unwrap();
         }
@@ -1173,6 +1243,50 @@ mod tests {
         let out = run(&["params", "--alpha", "10", "--band", "0.05", "--k", "50"]).unwrap();
         assert!(out.contains("P(zeta)"), "output:\n{out}");
         assert!(out.contains("valid: true"));
+    }
+
+    #[test]
+    fn plan_explain_prints_the_stage_graph() {
+        let out = run(&["plan", "--explain"]).unwrap();
+        for stage in [
+            "AcquireStage",
+            "KAverageStage",
+            "CorrelateStage",
+            "DecideStage",
+            "backend:",
+            "kernels:",
+        ] {
+            assert!(out.contains(stage), "missing `{stage}` in:\n{out}");
+        }
+        // Explicit parameters and the sequential backend flow through.
+        let out = run(&[
+            "plan",
+            "--explain",
+            "--n1",
+            "40",
+            "--n2",
+            "800",
+            "--k",
+            "10",
+            "--m",
+            "8",
+            "--trace-len",
+            "1024",
+            "--backend",
+            "sequential",
+        ])
+        .unwrap();
+        assert!(out.contains("k=10"), "output:\n{out}");
+        assert!(out.contains("Sequential"), "output:\n{out}");
+        // The streaming variant names the resumable ingestion stage.
+        let out = run(&["plan", "--explain", "--streaming"]).unwrap();
+        assert!(out.contains("streaming"), "output:\n{out}");
+        // Bad configurations are rejected, not rendered.
+        assert!(run(&["plan", "--n2", "0"]).is_err());
+        assert!(matches!(
+            run(&["plan", "--backend", "quantum"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod ip;
 pub mod key;
 pub mod matrix;
 pub mod params;
+pub mod pipeline;
 pub mod report;
 pub mod screen;
 pub mod session;
@@ -71,6 +72,12 @@ pub use ip::{
 pub use key::WatermarkKey;
 pub use matrix::{ExperimentConfig, IdentificationMatrix};
 pub use params::{choose_m, f_alpha, f_limit, p_zeta, ParameterPlan};
+#[cfg(feature = "parallel")]
+pub use pipeline::Pooled;
+pub use pipeline::{
+    default_backend, AcquireStage, CorrelateStage, DecideStage, ExecBackend, KAverageStage, Plan,
+    ResumablePlan, Sequential,
+};
 pub use report::{CandidateReport, VerificationReport};
 pub use screen::{CounterfeitScreen, ScreeningVerdict};
 pub use session::{EarlyStopRule, SessionOptions, SessionStatus, Verdict, VerificationSession};

@@ -18,7 +18,8 @@ use ipmark_power::SimulatedAcquisition;
 use crate::distinguisher::{delta_mean, delta_v, Decision, Distinguisher};
 use crate::error::CoreError;
 use crate::ip::{default_chain, FabricatedDevice, IpSpec, DEFAULT_CYCLES};
-use crate::verify::{correlation_process, CorrelationParams, CorrelationSet};
+use crate::pipeline::{default_backend, ExecBackend, Plan, Sequential};
+use crate::verify::{CorrelationParams, CorrelationSet};
 
 /// Everything that defines one verification campaign.
 #[derive(Debug, Clone)]
@@ -98,19 +99,7 @@ impl IdentificationMatrix {
         dut_specs: &[IpSpec],
         config: &ExperimentConfig,
     ) -> Result<Self, CoreError> {
-        #[cfg(feature = "parallel")]
-        {
-            Self::run_with_pool(
-                refd_specs,
-                dut_specs,
-                config,
-                &ipmark_parallel::Pool::from_env(),
-            )
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            Self::run_seq(refd_specs, dut_specs, config)
-        }
+        Self::run_with_backend(refd_specs, dut_specs, config, &default_backend())
     }
 
     /// [`IdentificationMatrix::run`] with an explicit worker pool, for
@@ -131,33 +120,12 @@ impl IdentificationMatrix {
         config: &ExperimentConfig,
         pool: &ipmark_parallel::Pool,
     ) -> Result<Self, CoreError> {
-        Self::validate_panels(refd_specs, dut_specs, config)?;
-
-        // Fabricate and measure the DUT boards once; the same boards serve
-        // every reference row (as in the paper).
-        let dut_acqs: Vec<SimulatedAcquisition> = pool.try_map_indexed(dut_specs.len(), |j| {
-            Self::dut_acquisition(&dut_specs[j], j, config)
-        })?;
-        let refd_acqs: Vec<SimulatedAcquisition> = pool.try_map_indexed(refd_specs.len(), |i| {
-            Self::refd_acquisition(&refd_specs[i], i, config)
-        })?;
-
-        let duts = dut_specs.len();
-        let cells = pool.try_map_indexed(refd_specs.len() * duts, |idx| {
-            let (i, j) = (idx / duts, idx % duts);
-            let mut rng = Self::cell_rng(config, i, j, duts);
-            correlation_process(&refd_acqs[i], &dut_acqs[j], &config.params, &mut rng)
-        })?;
-        let mut cells = cells.into_iter();
-        let sets: Vec<Vec<CorrelationSet>> = (0..refd_specs.len())
-            .map(|_| cells.by_ref().take(duts).collect())
-            .collect();
-
-        Ok(Self {
-            refd_names: refd_specs.iter().map(|s| s.name().to_owned()).collect(),
-            dut_names: dut_specs.iter().map(|s| s.name().to_owned()).collect(),
-            sets,
-        })
+        Self::run_with_backend(
+            refd_specs,
+            dut_specs,
+            config,
+            &crate::pipeline::Pooled::new(*pool),
+        )
     }
 
     /// The sequential reference implementation of
@@ -173,28 +141,48 @@ impl IdentificationMatrix {
         dut_specs: &[IpSpec],
         config: &ExperimentConfig,
     ) -> Result<Self, CoreError> {
+        Self::run_with_backend(refd_specs, dut_specs, config, &Sequential)
+    }
+
+    /// The single campaign body behind [`IdentificationMatrix::run`],
+    /// [`IdentificationMatrix::run_with_pool`] and
+    /// [`IdentificationMatrix::run_seq`]: the backend only governs the
+    /// acquisition and cell fan-out, so every variant is bit-identical.
+    ///
+    /// The correlation process inside each cell always runs on the default
+    /// backend (as the legacy entry points did), which cannot change the
+    /// result — every stage is thread-count invariant by construction.
+    fn run_with_backend<B: ExecBackend + ?Sized>(
+        refd_specs: &[IpSpec],
+        dut_specs: &[IpSpec],
+        config: &ExperimentConfig,
+        backend: &B,
+    ) -> Result<Self, CoreError> {
         Self::validate_panels(refd_specs, dut_specs, config)?;
 
-        let mut dut_acqs: Vec<SimulatedAcquisition> = Vec::with_capacity(dut_specs.len());
-        for (j, spec) in dut_specs.iter().enumerate() {
-            dut_acqs.push(Self::dut_acquisition(spec, j, config)?);
-        }
+        // Fabricate and measure the DUT boards once; the same boards serve
+        // every reference row (as in the paper).
+        let dut_acqs: Vec<SimulatedAcquisition> = backend
+            .try_map_indexed(dut_specs.len(), |j| {
+                Self::dut_acquisition(&dut_specs[j], j, config)
+            })?;
+        let refd_acqs: Vec<SimulatedAcquisition> = backend
+            .try_map_indexed(refd_specs.len(), |i| {
+                Self::refd_acquisition(&refd_specs[i], i, config)
+            })?;
 
-        let mut sets = Vec::with_capacity(refd_specs.len());
-        for (i, spec) in refd_specs.iter().enumerate() {
-            let refd_acq = Self::refd_acquisition(spec, i, config)?;
-            let mut row = Vec::with_capacity(dut_acqs.len());
-            for (j, dut_acq) in dut_acqs.iter().enumerate() {
-                let mut rng = Self::cell_rng(config, i, j, dut_acqs.len());
-                row.push(correlation_process(
-                    &refd_acq,
-                    dut_acq,
-                    &config.params,
-                    &mut rng,
-                )?);
-            }
-            sets.push(row);
-        }
+        let duts = dut_specs.len();
+        let inner = default_backend();
+        let cells = backend.try_map_indexed(refd_specs.len() * duts, |idx| {
+            let (i, j) = (idx / duts, idx % duts);
+            let mut rng = Self::cell_rng(config, i, j, duts);
+            let mut plan = Plan::correlation(&config.params, &mut rng)?;
+            plan.execute(&refd_acqs[i], &dut_acqs[j], &inner)
+        })?;
+        let mut cells = cells.into_iter();
+        let sets: Vec<Vec<CorrelationSet>> = (0..refd_specs.len())
+            .map(|_| cells.by_ref().take(duts).collect())
+            .collect();
 
         Ok(Self {
             refd_names: refd_specs.iter().map(|s| s.name().to_owned()).collect(),

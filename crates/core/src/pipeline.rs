@@ -1,0 +1,1061 @@
+//! The one operator graph behind every verification path.
+//!
+//! The paper's §III correlation computation process is a fixed dataflow —
+//! **acquire → k-average → correlate → decide** — that this crate used to
+//! re-plumb by hand at five call sites (batch verify, streaming sessions,
+//! counterfeit screening, the identification matrix, CPA scoring) plus the
+//! campaign engine. This module states the flow once, as typed stages wired
+//! into a [`Plan`]:
+//!
+//! * [`AcquireStage`] — draws the index selections `U_X(k)` up front, in
+//!   the exact RNG order every legacy path consumed them: one reference
+//!   selection from `0..n1`, then `m` DUT selections from `0..n2`.
+//!   Averaging never touches the RNG, so pre-drawing is invisible
+//!   (DESIGN.md §9).
+//! * [`KAverageStage`] — explicit preallocated stage buffers: the 1 ×
+//!   `trace_len` reference average and the `m` × `trace_len`
+//!   [`TraceBlock`] arena of DUT averages, filled row-by-row through
+//!   [`mean_of_indices_into`] (zero per-row allocation).
+//! * [`CorrelateStage`] — the centered [`PearsonRef`] kernel producing the
+//!   `m` coefficients in one batched sweep, bit-identical to per-pair
+//!   [`pearson`](ipmark_traces::stats::pearson) calls (DESIGN.md §11).
+//! * [`DecideStage`] — wraps the coefficients into the validated
+//!   [`CorrelationSet`] the distinguishers consume.
+//!
+//! How the graph runs is a separate, pluggable axis: the [`ExecBackend`]
+//! trait. [`Sequential`] executes every fan-out as a plain index-ordered
+//! loop; [`Pooled`] (with the `parallel` feature) partitions it across an
+//! [`ipmark_parallel::Pool`]. Both collect results in index order with the
+//! lowest-index error winning, so every backend — at every thread count,
+//! under either kernel backend (scalar or `simd`) — produces bit-identical
+//! output (DESIGN.md §7/§11). The streaming twin, [`ResumablePlan`], holds
+//! the same stages in incremental form and is chunk-size invariant
+//! (DESIGN.md §9).
+//!
+//! The legacy entry points ([`correlation_process`](crate::correlation_process),
+//! [`correlation_process_seq`](crate::verify::correlation_process_seq),
+//! [`VerificationSession`](crate::session::VerificationSession),
+//! [`CounterfeitScreen`](crate::screen::CounterfeitScreen),
+//! [`IdentificationMatrix`](crate::matrix::IdentificationMatrix)) remain as
+//! thin shims over this module; the tier-2 golden suites pin the shims
+//! bit-exactly against the fixtures recorded before the refactor.
+
+use rand::Rng;
+
+use ipmark_traces::average::{mean_of_indices_into, StreamingKAverager};
+use ipmark_traces::select::uniform_distinct_indices;
+use ipmark_traces::stats::{PearsonRef, PrefixStats};
+use ipmark_traces::{StatsError, TraceBlock, TraceChunk, TraceError, TraceSource};
+
+use crate::error::CoreError;
+use crate::verify::{validate_sources, CorrelationParams, CorrelationSet};
+
+// ---------------------------------------------------------------------------
+// Execution backends
+// ---------------------------------------------------------------------------
+
+/// How a [`Plan`]'s data-parallel stages execute.
+///
+/// A backend chooses scheduling only — never results. Implementations must
+/// uphold the DESIGN.md §7 determinism contract: results are collected in
+/// index order, and when several indices fail the **lowest** index's error
+/// is returned. Under that contract every backend (and every thread count)
+/// is bit-identical to [`Sequential`], which is the executable definition
+/// of the semantics.
+pub trait ExecBackend: Sync {
+    /// Human-readable backend label (thread count included), for
+    /// [`Plan::explain`] and diagnostics.
+    fn label(&self) -> String;
+
+    /// Applies `f` to every index in `0..n`, collecting results in index
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest failing index.
+    fn try_map_indexed<U, E, F>(&self, n: usize, f: F) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize) -> Result<U, E> + Sync;
+
+    /// Fills `data`, viewed as consecutive `row_len`-sized rows, by calling
+    /// `f(row_index, row)` for every complete row. A `row_len` of zero is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest failing row.
+    fn try_fill_rows<E, F>(&self, data: &mut [f64], row_len: usize, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync;
+}
+
+/// The reference backend: plain index-ordered loops on the calling thread.
+///
+/// Compiled unconditionally (no feature gates), so equivalence tests can
+/// pit any other backend against it in one binary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sequential;
+
+impl ExecBackend for Sequential {
+    fn label(&self) -> String {
+        "Sequential".to_string()
+    }
+
+    fn try_map_indexed<U, E, F>(&self, n: usize, f: F) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize) -> Result<U, E> + Sync,
+    {
+        (0..n).map(f).collect()
+    }
+
+    fn try_fill_rows<E, F>(&self, data: &mut [f64], row_len: usize, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
+    {
+        if row_len == 0 {
+            return Ok(());
+        }
+        for (i, row) in data.chunks_exact_mut(row_len).enumerate() {
+            f(i, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fork-join execution over an [`ipmark_parallel::Pool`] (scoped threads,
+/// index-ordered collection, lowest-index error — DESIGN.md §7).
+#[cfg(feature = "parallel")]
+#[derive(Debug, Clone, Copy)]
+pub struct Pooled {
+    pool: ipmark_parallel::Pool,
+}
+
+#[cfg(feature = "parallel")]
+impl Pooled {
+    /// Wraps an explicit pool.
+    pub fn new(pool: ipmark_parallel::Pool) -> Self {
+        Self { pool }
+    }
+
+    /// A pool sized from `RAYON_NUM_THREADS` / available parallelism, like
+    /// [`ipmark_parallel::Pool::from_env`].
+    pub fn from_env() -> Self {
+        Self::new(ipmark_parallel::Pool::from_env())
+    }
+
+    /// The wrapped pool.
+    pub fn pool(&self) -> &ipmark_parallel::Pool {
+        &self.pool
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl ExecBackend for Pooled {
+    fn label(&self) -> String {
+        format!("Pooled({} threads)", self.pool.threads())
+    }
+
+    fn try_map_indexed<U, E, F>(&self, n: usize, f: F) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize) -> Result<U, E> + Sync,
+    {
+        self.pool.try_map_indexed(n, f)
+    }
+
+    fn try_fill_rows<E, F>(&self, data: &mut [f64], row_len: usize, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
+    {
+        self.pool.try_fill_rows(data, row_len, f)
+    }
+}
+
+/// The backend the legacy entry points run on: [`Pooled`] (environment-sized
+/// pool) with the `parallel` feature, [`Sequential`] without it.
+#[cfg(feature = "parallel")]
+pub type DefaultBackend = Pooled;
+
+/// The backend the legacy entry points run on: [`Pooled`] (environment-sized
+/// pool) with the `parallel` feature, [`Sequential`] without it.
+#[cfg(not(feature = "parallel"))]
+pub type DefaultBackend = Sequential;
+
+/// The backend matching the crate's feature selection — exactly what the
+/// pre-refactor `#[cfg(feature = "parallel")]` branches chose at each call
+/// site.
+pub fn default_backend() -> DefaultBackend {
+    #[cfg(feature = "parallel")]
+    {
+        Pooled::from_env()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        Sequential
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------------
+
+/// Stage 1 — acquisition of the random index selections `U_X(k)`.
+///
+/// All randomness of a [`Plan`] lives here, drawn at construction: first
+/// **one** reference selection of `k` indices from `0..n1`, then `m` DUT
+/// selections of `k` indices from `0..n2`, each in ascending order. This is
+/// the exact RNG consumption order of the batch, sequential and streaming
+/// legacy paths, which is what keeps a plan bit-identical to all of them
+/// from the same seed.
+#[derive(Debug, Clone)]
+pub struct AcquireStage {
+    params: CorrelationParams,
+    refd_selection: Vec<usize>,
+    dut_selections: Vec<Vec<usize>>,
+}
+
+impl AcquireStage {
+    /// Draws the selections for `params` from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] when `params` violate §V.B.
+    pub fn draw<R: Rng + ?Sized>(
+        params: &CorrelationParams,
+        rng: &mut R,
+    ) -> Result<Self, CoreError> {
+        params.validate()?;
+        let refd_selection = uniform_distinct_indices(params.n1, params.k, rng)
+            .map_err(TraceError::from)
+            .map_err(CoreError::Trace)?;
+        let dut_selections = (0..params.m)
+            .map(|_| uniform_distinct_indices(params.n2, params.k, rng).map_err(TraceError::from))
+            .collect::<Result<Vec<_>, TraceError>>()
+            .map_err(CoreError::Trace)?;
+        Ok(Self {
+            params: *params,
+            refd_selection,
+            dut_selections,
+        })
+    }
+
+    /// The parameters the selections were drawn for.
+    pub fn params(&self) -> &CorrelationParams {
+        &self.params
+    }
+
+    /// The reference selection (`k` ascending indices into `0..n1`).
+    pub fn refd_selection(&self) -> &[usize] {
+        &self.refd_selection
+    }
+
+    /// The `m` DUT selections (`k` ascending indices into `0..n2` each).
+    pub fn dut_selections(&self) -> &[Vec<usize>] {
+        &self.dut_selections
+    }
+}
+
+/// Stage 2 — the preallocated k-averaging buffers.
+///
+/// Holds the 1 × `trace_len` reference average and the `m` × `trace_len`
+/// DUT arena. Filling a buffer zeroes it, accumulates the selected traces
+/// lowest-index-first and scales by `1/k` — the canonical
+/// [`mean_of_indices_into`] sequence, identical for every backend.
+#[derive(Debug, Clone)]
+pub struct KAverageStage {
+    a_refd: Vec<f64>,
+    a_duts: TraceBlock,
+}
+
+impl KAverageStage {
+    /// Allocates buffers for `m` DUT averages of `trace_len` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] for a zero `trace_len` or an arena size
+    /// that overflows.
+    pub fn allocate(m: usize, trace_len: usize) -> Result<Self, CoreError> {
+        Ok(Self {
+            a_refd: vec![0.0; trace_len],
+            a_duts: TraceBlock::zeros("", m, trace_len).map_err(CoreError::Trace)?,
+        })
+    }
+
+    /// The buffers' trace length.
+    pub fn trace_len(&self) -> usize {
+        self.a_duts.trace_len()
+    }
+
+    /// The filled reference average `A_RefD`.
+    pub fn reference(&self) -> &[f64] {
+        &self.a_refd
+    }
+
+    /// The filled `m` DUT averages `A_{DUT,m}`, row `i` = average `i`.
+    pub fn duts(&self) -> &TraceBlock {
+        &self.a_duts
+    }
+
+    /// Fills the reference buffer, then fans the `m` DUT rows out over
+    /// `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace errors from the sources; when several rows fail,
+    /// the lowest row's error wins (backend contract).
+    pub fn fill<SR, SD, B>(
+        &mut self,
+        refd: &SR,
+        dut: &SD,
+        acquire: &AcquireStage,
+        backend: &B,
+    ) -> Result<(), CoreError>
+    where
+        SR: TraceSource + ?Sized,
+        SD: TraceSource + Sync + ?Sized,
+        B: ExecBackend + ?Sized,
+    {
+        mean_of_indices_into(refd, &acquire.refd_selection, &mut self.a_refd)
+            .map_err(CoreError::Trace)?;
+        let trace_len = self.a_duts.trace_len();
+        let selections = &acquire.dut_selections;
+        backend
+            .try_fill_rows(self.a_duts.samples_mut(), trace_len, |i, row| {
+                let selection = selections.get(i).ok_or(TraceError::IndexOutOfRange {
+                    index: i,
+                    available: selections.len(),
+                })?;
+                mean_of_indices_into(dut, selection, row)
+            })
+            .map_err(CoreError::Trace)
+    }
+
+    /// [`KAverageStage::fill`] specialized to an in-place sequential loop,
+    /// for DUT sources that are not [`Sync`]. Performs the identical
+    /// floating-point operation sequence (one [`mean_of_indices_into`] per
+    /// row, rows in index order), so the output is bit-identical to any
+    /// backend's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KAverageStage::fill`].
+    pub fn fill_seq<SR, SD>(
+        &mut self,
+        refd: &SR,
+        dut: &SD,
+        acquire: &AcquireStage,
+    ) -> Result<(), CoreError>
+    where
+        SR: TraceSource + ?Sized,
+        SD: TraceSource + ?Sized,
+    {
+        mean_of_indices_into(refd, &acquire.refd_selection, &mut self.a_refd)
+            .map_err(CoreError::Trace)?;
+        let trace_len = self.a_duts.trace_len();
+        if trace_len == 0 {
+            return Ok(());
+        }
+        for (i, row) in self
+            .a_duts
+            .samples_mut()
+            .chunks_exact_mut(trace_len)
+            .enumerate()
+        {
+            let selection = acquire.dut_selections.get(i).ok_or(CoreError::Trace(
+                TraceError::IndexOutOfRange {
+                    index: i,
+                    available: acquire.dut_selections.len(),
+                },
+            ))?;
+            mean_of_indices_into(dut, selection, row).map_err(CoreError::Trace)?;
+        }
+        Ok(())
+    }
+}
+
+/// Stage 3 — the centered Pearson kernel.
+///
+/// Centers and normalizes the reference once; every correlation against it
+/// is then a single fused sweep. Batched evaluation is bit-identical to
+/// per-pair [`pearson`](ipmark_traces::stats::pearson) calls (DESIGN.md
+/// §11), which is why one stage serves the fused, sequential-reference and
+/// streaming paths alike.
+#[derive(Debug, Clone)]
+pub struct CorrelateStage {
+    kernel: PearsonRef,
+}
+
+impl CorrelateStage {
+    /// Centers `reference` into a reusable kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] for a flat (zero-variance) or too-short
+    /// reference.
+    pub fn center(reference: &[f64]) -> Result<Self, CoreError> {
+        Ok(Self {
+            kernel: PearsonRef::new(reference).map_err(CoreError::Stats)?,
+        })
+    }
+
+    /// Like [`CorrelateStage::center`], but maps a flat reference to
+    /// `None` instead of an error — the convention CPA scoring uses, where
+    /// a constant profile means "no information", not failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] for every error other than
+    /// [`StatsError::ZeroVariance`].
+    pub fn try_center(reference: &[f64]) -> Result<Option<Self>, CoreError> {
+        match PearsonRef::new(reference) {
+            Ok(kernel) => Ok(Some(Self { kernel })),
+            Err(StatsError::ZeroVariance) => Ok(None),
+            Err(e) => Err(CoreError::Stats(e)),
+        }
+    }
+
+    /// The fused kernel.
+    pub fn kernel(&self) -> &PearsonRef {
+        &self.kernel
+    }
+
+    /// Correlates the reference against every row of `block`, first
+    /// (lowest-index) row error winning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] when a row is flat or of mismatched
+    /// length.
+    pub fn rows(&self, block: &TraceBlock) -> Result<Vec<f64>, CoreError> {
+        self.kernel
+            .correlate_rows(block)
+            .into_iter()
+            .map(|r| r.map_err(CoreError::Stats))
+            .collect()
+    }
+
+    /// Correlates the reference against each slice, first error winning.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CorrelateStage::rows`].
+    pub fn many<'a, I>(&self, rows: I) -> Result<Vec<f64>, CoreError>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        self.kernel
+            .correlate_many(rows)
+            .into_iter()
+            .map(|r| r.map_err(CoreError::Stats))
+            .collect()
+    }
+
+    /// Correlates the reference against each slice, scoring flat rows as
+    /// `0.0` (the CPA convention: a constant hypothesis carries no
+    /// evidence) and propagating every other error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] for non-`ZeroVariance` statistic
+    /// errors.
+    pub fn many_or_zero<'a, I>(&self, rows: I) -> Result<Vec<f64>, CoreError>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        self.kernel
+            .correlate_many(rows)
+            .into_iter()
+            .map(|r| match r {
+                Ok(c) => Ok(c),
+                Err(StatsError::ZeroVariance) => Ok(0.0),
+                Err(e) => Err(CoreError::Stats(e)),
+            })
+            .collect()
+    }
+}
+
+/// Stage 4 — the decision boundary of the graph.
+///
+/// Wraps the `m` coefficients into the validated [`CorrelationSet`]
+/// (non-empty, all finite) whose `mean`/`variance` feed the §V.A
+/// distinguishers downstream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecideStage;
+
+impl DecideStage {
+    /// Validates and seals the coefficient set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for an empty or non-finite
+    /// coefficient vector.
+    pub fn finish(&self, coefficients: Vec<f64>) -> Result<CorrelationSet, CoreError> {
+        CorrelationSet::new(coefficients)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batch plan
+// ---------------------------------------------------------------------------
+
+/// One batch run of the §III correlation computation process, as an
+/// explicit operator graph: selections drawn up front ([`AcquireStage`]),
+/// preallocated buffers ([`KAverageStage`], lazily sized on first
+/// execution), and the correlate/decide tail.
+///
+/// A plan is built from parameters and an RNG only — no trace data — and
+/// then executed against sources on any [`ExecBackend`]. Executing the same
+/// plan twice against the same sources is idempotent and bit-identical, on
+/// every backend and at every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use ipmark_core::pipeline::{default_backend, Plan, Sequential};
+/// use ipmark_core::CorrelationParams;
+/// use ipmark_traces::{Trace, TraceSet};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), ipmark_core::CoreError> {
+/// let make = |seed: u64| -> TraceSet {
+///     let mut set = TraceSet::new(format!("dev{seed}"));
+///     for t in 0..100 {
+///         let noise = ((t as f64 + seed as f64) * 13.37).sin() * 0.1;
+///         set.push(Trace::from_samples(
+///             (0..64).map(|i| (i as f64 * 0.7).sin() + noise).collect(),
+///         ))
+///         .unwrap();
+///     }
+///     set
+/// };
+/// let (refd, dut) = (make(1), make(2));
+/// let params = CorrelationParams { n1: 100, n2: 100, k: 10, m: 5 };
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut plan = Plan::correlation(&params, &mut rng)?;
+/// let pooled = plan.execute(&refd, &dut, &default_backend())?;
+/// let sequential = plan.execute(&refd, &dut, &Sequential)?;
+/// assert_eq!(pooled, sequential); // backends are bit-identical
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plan {
+    acquire: AcquireStage,
+    buffers: Option<KAverageStage>,
+}
+
+impl Plan {
+    /// Builds the plan for one correlation process: validates `params` and
+    /// draws all selections from `rng` (the only RNG consumption the plan
+    /// will ever perform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] when `params` violate §V.B.
+    pub fn correlation<R: Rng + ?Sized>(
+        params: &CorrelationParams,
+        rng: &mut R,
+    ) -> Result<Self, CoreError> {
+        Ok(Self {
+            acquire: AcquireStage::draw(params, rng)?,
+            buffers: None,
+        })
+    }
+
+    /// The plan's parameters.
+    pub fn params(&self) -> &CorrelationParams {
+        &self.acquire.params
+    }
+
+    /// The acquisition stage (the drawn selections).
+    pub fn acquire(&self) -> &AcquireStage {
+        &self.acquire
+    }
+
+    fn ensure_buffers(&mut self, trace_len: usize) -> Result<&mut KAverageStage, CoreError> {
+        let stale = match &self.buffers {
+            Some(b) => b.trace_len() != trace_len,
+            None => true,
+        };
+        if stale {
+            self.buffers = Some(KAverageStage::allocate(self.acquire.params.m, trace_len)?);
+        }
+        self.buffers
+            .as_mut()
+            .ok_or(CoreError::Invariant("stage buffers allocated before use"))
+    }
+
+    /// Runs the graph end to end on `backend`: validate sources, fill the
+    /// k-average buffers, correlate, decide.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the legacy [`correlation_process`](crate::correlation_process)
+    /// error surface: [`CoreError::InvalidParams`] for undersized or
+    /// mismatched sources, [`CoreError::Trace`] from averaging and
+    /// [`CoreError::Stats`] from correlation (lowest-index row error
+    /// winning).
+    pub fn execute<SR, SD, B>(
+        &mut self,
+        refd: &SR,
+        dut: &SD,
+        backend: &B,
+    ) -> Result<CorrelationSet, CoreError>
+    where
+        SR: TraceSource + ?Sized,
+        SD: TraceSource + Sync + ?Sized,
+        B: ExecBackend + ?Sized,
+    {
+        validate_sources(refd, dut, &self.acquire.params)?;
+        let trace_len = refd.trace_len();
+        let Self { acquire, buffers } = self;
+        let stage = match buffers {
+            Some(b) if b.trace_len() == trace_len => b,
+            slot => {
+                *slot = Some(KAverageStage::allocate(acquire.params.m, trace_len)?);
+                slot.as_mut()
+                    .ok_or(CoreError::Invariant("stage buffers allocated before use"))?
+            }
+        };
+        stage.fill(refd, dut, acquire, backend)?;
+        let correlate = CorrelateStage::center(stage.reference())?;
+        let coefficients = correlate.rows(stage.duts())?;
+        DecideStage.finish(coefficients)
+    }
+
+    /// Runs the graph with an in-place sequential k-average loop, for DUT
+    /// sources that are not [`Sync`] — the operator-graph form of the
+    /// legacy [`correlation_process_seq`](crate::verify::correlation_process_seq).
+    /// Bit-identical to [`Plan::execute`] on any backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Plan::execute`].
+    pub fn execute_seq<SR, SD>(&mut self, refd: &SR, dut: &SD) -> Result<CorrelationSet, CoreError>
+    where
+        SR: TraceSource + ?Sized,
+        SD: TraceSource + ?Sized,
+    {
+        validate_sources(refd, dut, &self.acquire.params)?;
+        let trace_len = refd.trace_len();
+        self.ensure_buffers(trace_len)?;
+        let Self { acquire, buffers } = self;
+        let stage = buffers
+            .as_mut()
+            .ok_or(CoreError::Invariant("stage buffers allocated before use"))?;
+        stage.fill_seq(refd, dut, acquire)?;
+        let correlate = CorrelateStage::center(stage.reference())?;
+        let coefficients = correlate.rows(stage.duts())?;
+        DecideStage.finish(coefficients)
+    }
+
+    /// Renders the stage graph — stages, buffer shapes, chosen backend and
+    /// kernel backend — for `ipmark plan --explain` and debugging.
+    pub fn explain<B: ExecBackend + ?Sized>(&self, trace_len: usize, backend: &B) -> String {
+        explain_graph(&self.acquire.params, trace_len, &backend.label(), false)
+    }
+}
+
+/// Renders the stage graph of a correlation plan without constructing one —
+/// shared by [`Plan::explain`] and the CLI's streaming (session) variant,
+/// which has no batch plan to call it on.
+pub fn explain_graph(
+    params: &CorrelationParams,
+    trace_len: usize,
+    backend_label: &str,
+    streaming: bool,
+) -> String {
+    let CorrelationParams { n1, n2, k, m } = *params;
+    let kib = |rows: usize| (rows * trace_len * 8) as f64 / 1024.0;
+    let mut out = String::new();
+    out.push_str("Plan: acquire -> k-average -> correlate -> decide\n");
+    out.push_str(&format!(
+        "  AcquireStage    1 reference selection of k={k} from n1={n1}, then m={m} DUT selections of k={k} from n2={n2} (ascending, drawn up front)\n",
+    ));
+    if streaming {
+        out.push_str(&format!(
+            "  KAverageStage   streaming: m x trace_len partial-sum arena {m}x{trace_len} f64 ({:.1} KiB) per candidate, DUT traces ingested in index order (budget n2={n2})\n",
+            kib(m),
+        ));
+    } else {
+        out.push_str(&format!(
+            "  KAverageStage   buffers: a_refd 1x{trace_len} f64 ({:.1} KiB) + a_duts {m}x{trace_len} f64 ({:.1} KiB), filled via mean_of_indices_into\n",
+            kib(1),
+            kib(m),
+        ));
+    }
+    out.push_str(&format!(
+        "  CorrelateStage  PearsonRef centered over {trace_len} samples -> {m} coefficients (batched rows kernel)\n",
+    ));
+    out.push_str(
+        "  DecideStage     CorrelationSet { mean, variance } -> distinguisher (higher mean / lower variance)\n",
+    );
+    out.push_str(&format!(
+        "  backend: {backend_label}; kernels: {}\n",
+        ipmark_traces::kernels::backend_name(),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The resumable (streaming) plan
+// ---------------------------------------------------------------------------
+
+/// The incremental twin of [`Plan`]: the same acquire → k-average →
+/// correlate stages, resumable across chunked DUT delivery.
+///
+/// Construction draws the reference selection and fuses `A_RefD` into a
+/// [`CorrelateStage`], then pre-draws the `m` DUT selections into a
+/// [`StreamingKAverager`] — consuming the RNG in exactly the batch order.
+/// Each ingested chunk advances the partial sums; slots that complete are
+/// correlated in one batched sweep and committed to the contiguous finished
+/// prefix, whose running statistics are bit-identical to the batch
+/// statistics over the same coefficients, for every chunk partition
+/// (DESIGN.md §9).
+///
+/// The decision layer on top (rounds, early stopping) lives in
+/// [`VerificationSession`](crate::session::VerificationSession), which holds
+/// one `ResumablePlan` per candidate.
+#[derive(Debug, Clone)]
+pub struct ResumablePlan {
+    correlate: CorrelateStage,
+    averager: StreamingKAverager,
+    /// Coefficient per slot, filled as slots complete (out of order).
+    coefficients: Vec<Option<f64>>,
+    /// Length of the contiguous finished prefix of `coefficients`.
+    prefix: usize,
+    stats: PrefixStats,
+    /// `(mean, population variance)` after each prefix length; entry
+    /// `r - 1` is bit-identical to the batch statistics over the first
+    /// `r` coefficients.
+    snapshots: Vec<(f64, f64)>,
+}
+
+impl ResumablePlan {
+    /// Opens a resumable plan: validates `params` against the reference
+    /// source, k-averages the reference (one selection from `0..n1`), and
+    /// pre-draws the `m` streaming DUT selections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParams`] for invalid parameters or a
+    /// reference source smaller than `n1`, and propagates trace/statistics
+    /// errors (e.g. a zero-variance reference).
+    pub fn new<S, R>(refd: &S, params: &CorrelationParams, rng: &mut R) -> Result<Self, CoreError>
+    where
+        S: TraceSource + ?Sized,
+        R: Rng + ?Sized,
+    {
+        params.validate()?;
+        if refd.num_traces() < params.n1 {
+            return Err(CoreError::InvalidParams {
+                reason: format!(
+                    "reference source holds {} traces, n1 = {}",
+                    refd.num_traces(),
+                    params.n1
+                ),
+            });
+        }
+        let trace_len = refd.trace_len();
+        let a_refd = crate::verify::k_average_bounded(refd, params.n1, params.k, rng)?;
+        let correlate = CorrelateStage::center(a_refd.samples())?;
+        let averager = StreamingKAverager::new(params.n2, trace_len, params.k, params.m, rng)
+            .map_err(CoreError::Trace)?;
+        Ok(Self {
+            correlate,
+            averager,
+            coefficients: vec![None; params.m],
+            prefix: 0,
+            stats: PrefixStats::new(),
+            snapshots: Vec::with_capacity(params.m),
+        })
+    }
+
+    /// Ingests the next chunk of the DUT stream (traces arrive in campaign
+    /// index order), updates every coefficient the chunk completes, and
+    /// advances the contiguous finished prefix.
+    ///
+    /// A rejected chunk is atomic: the whole chunk is validated before any
+    /// sample touches a partial sum, so on error nothing was consumed and
+    /// the caller may re-supply a corrected chunk for the same indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] for malformed chunks
+    /// ([`TraceError::EmptyChunk`], [`TraceError::LengthMismatch`],
+    /// [`TraceError::NonFiniteSample`]) and [`CoreError::Stats`] when a
+    /// completed average cannot be correlated.
+    pub fn ingest<C: TraceChunk + ?Sized>(&mut self, chunk: &C) -> Result<(), CoreError> {
+        let chunk_len = chunk.chunk_len();
+        if chunk_len == 0 {
+            return Err(CoreError::Trace(TraceError::EmptyChunk));
+        }
+        let trace_len = self.averager.trace_len();
+        for offset in 0..chunk_len {
+            let samples = chunk
+                .chunk_row(offset)
+                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
+            if samples.len() != trace_len {
+                return Err(CoreError::Trace(TraceError::LengthMismatch {
+                    expected: trace_len,
+                    provided: samples.len(),
+                }));
+            }
+            if let Some(sample_index) = samples.iter().position(|s| !s.is_finite()) {
+                return Err(CoreError::Trace(TraceError::NonFiniteSample {
+                    trace_index: self.averager.ingested() + offset,
+                    sample_index,
+                }));
+            }
+        }
+
+        // The chunk is clean; ingestion can no longer fail. A finished
+        // slot's average lives as a borrowed row of the averager's
+        // preallocated output arena.
+        let mut finished: Vec<usize> = Vec::new();
+        for offset in 0..chunk_len {
+            let samples = chunk
+                .chunk_row(offset)
+                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
+            finished.extend(self.averager.ingest(samples).map_err(CoreError::Trace)?);
+        }
+
+        // Correlate every average the chunk completed in one batched sweep,
+        // reading borrowed arena rows — no per-slot copies, bit-identical
+        // to per-slot `PearsonRef::correlate` calls.
+        let averages: Vec<&[f64]> = finished
+            .iter()
+            .map(|&slot| {
+                self.averager
+                    .average(slot)
+                    .ok_or(CoreError::Invariant("finished slot holds an average"))
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let coefficients = self.correlate.many(averages)?;
+
+        for (&slot, coefficient) in finished.iter().zip(coefficients) {
+            let cell = self
+                .coefficients
+                .get_mut(slot)
+                .ok_or(CoreError::Invariant("finished slot within m"))?;
+            *cell = Some(coefficient);
+        }
+        // Push the prefix forward in slot order so the running statistics
+        // see coefficients exactly as the batch statistics would.
+        while let Some(Some(c)) = self.coefficients.get(self.prefix).copied() {
+            self.stats.push(c);
+            self.snapshots
+                .push((self.stats.mean(), self.stats.variance_population()));
+            self.prefix += 1;
+        }
+        Ok(())
+    }
+
+    /// The finished coefficient for `slot`, if complete.
+    pub fn coefficient(&self, slot: usize) -> Option<f64> {
+        self.coefficients.get(slot).copied().flatten()
+    }
+
+    /// Length of the contiguous finished-coefficient prefix.
+    pub fn completed_prefix(&self) -> usize {
+        self.prefix
+    }
+
+    /// `(mean, population variance)` over the first `round` coefficients,
+    /// once the prefix covers them.
+    pub fn snapshot(&self, round: usize) -> Option<(f64, f64)> {
+        round
+            .checked_sub(1)
+            .and_then(|i| self.snapshots.get(i))
+            .copied()
+    }
+
+    /// Traces ingested so far.
+    pub fn ingested(&self) -> usize {
+        self.averager.ingested()
+    }
+
+    /// The per-plan trace budget (`n2`).
+    pub fn population(&self) -> usize {
+        self.averager.population()
+    }
+
+    /// The stream's trace length.
+    pub fn trace_len(&self) -> usize {
+        self.averager.trace_len()
+    }
+
+    /// Number of coefficient slots (`m`).
+    pub fn num_slots(&self) -> usize {
+        self.averager.num_slots()
+    }
+
+    /// Minimum number of stream traces needed to finish the first `slots`
+    /// coefficients — exact, because selections are fixed at construction.
+    pub fn traces_required_for_slots(&self, slots: usize) -> usize {
+        self.averager.traces_required_for_slots(slots)
+    }
+
+    /// The centered reference kernel.
+    pub fn correlate_stage(&self) -> &CorrelateStage {
+        &self.correlate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmark_traces::{Trace, TraceSet};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn noisy_set(device: &str, n: usize, seed: u64) -> TraceSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut set = TraceSet::new(device);
+        for _ in 0..n {
+            let samples: Vec<f64> = (0..96)
+                .map(|i| {
+                    (i as f64 * 0.31).sin() + ipmark_power::device::gaussian(&mut rng, 0.0, 0.4)
+                })
+                .collect();
+            set.push(Trace::from_samples(samples)).unwrap();
+        }
+        set
+    }
+
+    fn params() -> CorrelationParams {
+        CorrelationParams {
+            n1: 50,
+            n2: 240,
+            k: 12,
+            m: 8,
+        }
+    }
+
+    #[test]
+    fn sequential_backend_matches_default_backend_bitwise() {
+        let refd = noisy_set("r", 50, 1);
+        let dut = noisy_set("d", 240, 2);
+        let p = params();
+        for seed in 0..4u64 {
+            let mut plan_a = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            let mut plan_b = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+            let a = plan_a.execute(&refd, &dut, &default_backend()).unwrap();
+            let b = plan_b.execute(&refd, &dut, &Sequential).unwrap();
+            let bits = |s: &CorrelationSet| -> Vec<u64> {
+                s.coefficients().iter().map(|c| c.to_bits()).collect()
+            };
+            assert_eq!(bits(&a), bits(&b), "seed {seed}");
+            // Re-executing the same plan reuses its buffers and reproduces
+            // the result exactly.
+            let again = plan_a.execute(&refd, &dut, &Sequential).unwrap();
+            assert_eq!(bits(&a), bits(&again));
+            // The non-Sync sequential specialization is the same graph.
+            let seq = plan_b.execute_seq(&refd, &dut).unwrap();
+            assert_eq!(bits(&a), bits(&seq));
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn pooled_backend_is_thread_count_invariant() {
+        let refd = noisy_set("r", 50, 1);
+        let dut = noisy_set("d", 240, 2);
+        let p = params();
+        let reference = {
+            let mut plan = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+            plan.execute(&refd, &dut, &Sequential).unwrap()
+        };
+        for threads in [1usize, 2, 3, 8] {
+            let backend = Pooled::new(ipmark_parallel::Pool::with_threads(threads));
+            let mut plan = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+            let got = plan.execute(&refd, &dut, &backend).unwrap();
+            assert_eq!(
+                got.coefficients()
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<_>>(),
+                reference
+                    .coefficients()
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<_>>(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn resumable_plan_matches_batch_plan_for_every_chunk_size() {
+        let refd = noisy_set("r", 50, 1);
+        let dut = noisy_set("d", 240, 2);
+        let p = params();
+        let batch = {
+            let mut plan = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+            plan.execute(&refd, &dut, &Sequential).unwrap()
+        };
+        for chunk in [1usize, 7, 53, 240] {
+            let mut rp = ResumablePlan::new(&refd, &p, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+            let mut delivered = 0;
+            while delivered < p.n2 {
+                let take = chunk.min(p.n2 - delivered);
+                let traces: Vec<Trace> = (delivered..delivered + take)
+                    .map(|i| dut.trace(i).unwrap().clone())
+                    .collect();
+                rp.ingest(&traces).unwrap();
+                delivered += take;
+            }
+            assert_eq!(rp.completed_prefix(), p.m, "chunk {chunk}");
+            for (slot, &expected) in batch.coefficients().iter().enumerate() {
+                assert_eq!(
+                    rp.coefficient(slot).unwrap().to_bits(),
+                    expected.to_bits(),
+                    "chunk {chunk}, slot {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_validates_sources_like_the_legacy_entry_point() {
+        let refd = noisy_set("r", 10, 1);
+        let dut = noisy_set("d", 240, 2);
+        let p = params(); // n1 = 50 > 10 available
+        let mut plan = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(0)).unwrap();
+        assert!(matches!(
+            plan.execute(&dut, &refd, &Sequential),
+            Err(CoreError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            plan.execute(&refd, &dut, &Sequential),
+            Err(CoreError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_names_every_stage_and_the_backend() {
+        let p = params();
+        let plan = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(0)).unwrap();
+        let text = plan.explain(96, &Sequential);
+        for needle in [
+            "AcquireStage",
+            "KAverageStage",
+            "CorrelateStage",
+            "DecideStage",
+            "Sequential",
+            "kernels:",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        let streaming = explain_graph(&p, 96, "Sequential", true);
+        assert!(streaming.contains("streaming"), "{streaming}");
+    }
+}

@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 use ipmark_traces::TraceSource;
 
 use crate::error::CoreError;
-use crate::verify::{correlation_process, CorrelationParams, CorrelationSet};
+use crate::pipeline::{default_backend, ExecBackend, Plan};
+use crate::verify::{CorrelationParams, CorrelationSet};
 
 /// The verdict for one screened device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -116,7 +117,9 @@ impl CounterfeitScreen {
         SD: TraceSource + Sync + ?Sized,
         R: Rng + ?Sized,
     {
-        let set = correlation_process(refd, dut, params, rng)?;
+        crate::verify::validate_sources(refd, dut, params)?;
+        let mut plan = Plan::correlation(params, rng)?;
+        let set = plan.execute(refd, dut, &default_backend())?;
         Ok(self.judge(&set))
     }
 
@@ -152,25 +155,21 @@ impl CounterfeitScreen {
         SR: TraceSource + Sync + ?Sized,
         SD: TraceSource + Sync,
     {
-        let screen_one = |j: usize| -> Result<ScreeningVerdict, CoreError> {
+        let backend = default_backend();
+        backend.try_map_indexed(duts.len(), |j| {
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(Self::panel_seed(base_seed, j));
-            let set = correlation_process(refd, &duts[j], params, &mut rng)?;
+            crate::verify::validate_sources(refd, &duts[j], params)?;
+            let mut plan = Plan::correlation(params, &mut rng)?;
+            let set = plan.execute(refd, &duts[j], &backend)?;
             Ok(self.judge(&set))
-        };
-        #[cfg(feature = "parallel")]
-        {
-            ipmark_parallel::par_try_map_indexed(duts.len(), screen_one)
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            (0..duts.len()).map(screen_one).collect()
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::verify::correlation_process;
 
     fn set(coeffs: &[f64]) -> CorrelationSet {
         CorrelationSet::new(coeffs.to_vec()).unwrap()

@@ -78,13 +78,12 @@
 
 use rand::Rng;
 
-use ipmark_traces::average::StreamingKAverager;
-use ipmark_traces::stats::{PearsonRef, PrefixStats};
 use ipmark_traces::{TraceChunk, TraceError, TraceSource};
 
 use crate::distinguisher::DistinguisherKind;
 use crate::error::{CoreError, SessionError};
-use crate::verify::{k_average_bounded, CorrelationParams};
+use crate::pipeline::ResumablePlan;
+use crate::verify::CorrelationParams;
 
 /// Early-stop policy: decide once the same candidate has won with at least
 /// `min_confidence_percent` confidence for `stability` consecutive rounds.
@@ -217,25 +216,14 @@ pub enum SessionStatus {
     Decided(Verdict),
 }
 
-/// One candidate's incremental state.
-#[derive(Debug, Clone)]
-struct Candidate {
-    /// Centered/normalized `A_RefD`, fused for `O(trace_len)` correlation.
-    kernel: PearsonRef,
-    averager: StreamingKAverager,
-    /// Coefficient per slot, filled as slots complete (out of order).
-    coefficients: Vec<Option<f64>>,
-    /// Length of the contiguous finished prefix of `coefficients`.
-    prefix: usize,
-    stats: PrefixStats,
-    /// `(mean, population variance)` after each prefix length; entry
-    /// `r - 1` is bit-identical to the batch statistics over the first
-    /// `r` coefficients.
-    snapshots: Vec<(f64, f64)>,
-}
-
 /// Incremental implementation of the §III correlation computation process
 /// plus a §V.A decision, over chunked DUT trace delivery.
+///
+/// The per-candidate incremental state — reference kernel, streaming
+/// k-averager, contiguous coefficient prefix and its running statistics —
+/// is a [`ResumablePlan`] (the streaming form of the operator graph in
+/// [`crate::pipeline`]); the session adds the round/early-stop decision
+/// state machine on top.
 ///
 /// Bit-identity contract: at any point, a candidate's finished coefficient
 /// prefix — and the decision statistics derived from it — are bitwise equal
@@ -246,7 +234,7 @@ struct Candidate {
 #[derive(Debug, Clone)]
 pub struct VerificationSession {
     options: SessionOptions,
-    candidates: Vec<Candidate>,
+    candidates: Vec<ResumablePlan>,
     /// Next round to evaluate (rounds run `2..=m`).
     next_round: usize,
     streak_winner: Option<usize>,
@@ -293,22 +281,12 @@ impl VerificationSession {
                 ),
             });
         }
-        let trace_len = refd.trace_len();
         let params = options.params;
         let mut cands = Vec::with_capacity(candidates);
         for _ in 0..candidates {
-            let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
-            let kernel = PearsonRef::new(a_refd.samples()).map_err(CoreError::Stats)?;
-            let averager = StreamingKAverager::new(params.n2, trace_len, params.k, params.m, rng)
-                .map_err(CoreError::Trace)?;
-            cands.push(Candidate {
-                kernel,
-                averager,
-                coefficients: vec![None; params.m],
-                prefix: 0,
-                stats: PrefixStats::new(),
-                snapshots: Vec::with_capacity(params.m),
-            });
+            // One resumable plan per candidate, drawn in index order — the
+            // exact RNG consumption order of the batch pipeline.
+            cands.push(ResumablePlan::new(refd, &params, rng)?);
         }
         Ok(Self {
             options,
@@ -363,71 +341,14 @@ impl VerificationSession {
         if chunk_len == 0 {
             return Err(CoreError::Trace(TraceError::EmptyChunk));
         }
-        let trace_len = cand.averager.trace_len();
-        let budget = cand.averager.population();
-        if cand.averager.ingested() + chunk_len > budget {
+        let budget = cand.population();
+        if cand.ingested() + chunk_len > budget {
             return Err(SessionError::TooManyTraces { candidate, budget }.into());
         }
-        for offset in 0..chunk_len {
-            let samples = chunk
-                .chunk_row(offset)
-                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
-            if samples.len() != trace_len {
-                return Err(CoreError::Trace(TraceError::LengthMismatch {
-                    expected: trace_len,
-                    provided: samples.len(),
-                }));
-            }
-            if let Some(sample_index) = samples.iter().position(|s| !s.is_finite()) {
-                return Err(CoreError::Trace(TraceError::NonFiniteSample {
-                    trace_index: cand.averager.ingested() + offset,
-                    sample_index,
-                }));
-            }
-        }
-
-        // The chunk is clean; ingestion can no longer fail. A finished
-        // slot's average lives as a borrowed row of the averager's
-        // preallocated output arena.
-        let mut finished: Vec<usize> = Vec::new();
-        for offset in 0..chunk_len {
-            let samples = chunk
-                .chunk_row(offset)
-                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
-            finished.extend(cand.averager.ingest(samples).map_err(CoreError::Trace)?);
-        }
-
-        // Correlate every average the chunk completed in one batched
-        // sweep, reading borrowed arena rows — no per-slot copies. The
-        // batched kernel is bit-identical to per-slot
-        // `PearsonRef::correlate` calls (`PearsonRef::correlate_many`), so
-        // the streaming session keeps matching the batch pipeline exactly.
-        let averages: Vec<&[f64]> = finished
-            .iter()
-            .map(|&slot| {
-                cand.averager
-                    .average(slot)
-                    .ok_or(CoreError::Invariant("finished slot holds an average"))
-            })
-            .collect::<Result<_, CoreError>>()?;
-        let coefficients: Vec<f64> = cand
-            .kernel
-            .correlate_many(averages)
-            .into_iter()
-            .map(|r| r.map_err(CoreError::Stats))
-            .collect::<Result<_, CoreError>>()?;
-
-        for (&slot, coefficient) in finished.iter().zip(coefficients) {
-            cand.coefficients[slot] = Some(coefficient);
-        }
-        // Push the prefix forward in slot order so the running statistics
-        // see coefficients exactly as the batch statistics would.
-        while let Some(Some(c)) = cand.coefficients.get(cand.prefix).copied() {
-            cand.stats.push(c);
-            cand.snapshots
-                .push((cand.stats.mean(), cand.stats.variance_population()));
-            cand.prefix += 1;
-        }
+        // Validation, ingestion, batched correlation and prefix advance are
+        // the resumable plan's job (see `crate::pipeline::ResumablePlan`);
+        // the session only layers the budget/round state machine on top.
+        cand.ingest(chunk)?;
 
         self.evaluate_rounds()?;
         Ok(self.status())
@@ -443,9 +364,8 @@ impl VerificationSession {
             .candidates
             .iter()
             .map(|c| {
-                c.averager
-                    .traces_required_for_slots(next)
-                    .saturating_sub(c.averager.ingested())
+                c.traces_required_for_slots(next)
+                    .saturating_sub(c.ingested())
             })
             .max()
             .unwrap_or(0);
@@ -467,7 +387,7 @@ impl VerificationSession {
         let (laggard, prefix) = self
             .candidates
             .iter()
-            .map(|c| c.prefix)
+            .map(ResumablePlan::completed_prefix)
             .enumerate()
             .min_by_key(|&(_, p)| p)
             .ok_or(CoreError::Invariant(
@@ -508,21 +428,21 @@ impl VerificationSession {
     pub fn coefficient(&self, candidate: usize, slot: usize) -> Option<f64> {
         self.candidates
             .get(candidate)
-            .and_then(|c| c.coefficients.get(slot))
-            .copied()
-            .flatten()
+            .and_then(|c| c.coefficient(slot))
     }
 
     /// Length of a candidate's contiguous finished-coefficient prefix.
     pub fn completed_prefix(&self, candidate: usize) -> usize {
-        self.candidates.get(candidate).map_or(0, |c| c.prefix)
+        self.candidates
+            .get(candidate)
+            .map_or(0, ResumablePlan::completed_prefix)
     }
 
     /// Traces ingested so far for a candidate.
     pub fn traces_ingested(&self, candidate: usize) -> usize {
         self.candidates
             .get(candidate)
-            .map_or(0, |c| c.averager.ingested())
+            .map_or(0, ResumablePlan::ingested)
     }
 
     /// Evaluates every round the shared prefix allows, in increasing round
@@ -531,7 +451,12 @@ impl VerificationSession {
     /// partitioned.
     fn evaluate_rounds(&mut self) -> Result<(), CoreError> {
         let m = self.options.params.m;
-        let shared_prefix = self.candidates.iter().map(|c| c.prefix).min().unwrap_or(0);
+        let shared_prefix = self
+            .candidates
+            .iter()
+            .map(|c| c.completed_prefix())
+            .min()
+            .unwrap_or(0);
         while self.verdict.is_none() && self.next_round <= shared_prefix.min(m) {
             let round = self.next_round;
             let decision = self.round_decision(round)?;
@@ -565,9 +490,8 @@ impl VerificationSession {
             .candidates
             .iter()
             .map(|c| {
-                c.snapshots
-                    .get(round - 1)
-                    .map(|&(mean, variance)| match self.options.distinguisher {
+                c.snapshot(round)
+                    .map(|(mean, variance)| match self.options.distinguisher {
                         DistinguisherKind::Mean => mean,
                         DistinguisherKind::Variance => variance,
                     })
@@ -587,7 +511,7 @@ impl VerificationSession {
             traces_required: self
                 .candidates
                 .iter()
-                .map(|c| c.averager.traces_required_for_slots(round))
+                .map(|c| c.traces_required_for_slots(round))
                 .collect(),
             early_stopped,
         })

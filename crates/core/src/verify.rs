@@ -12,11 +12,12 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use ipmark_traces::average::{k_average, k_averages_block, k_averages_block_seq};
-use ipmark_traces::stats::{mean, pearson, variance_population, PearsonRef};
-use ipmark_traces::{TraceBlock, TraceSource};
+use ipmark_traces::average::k_average;
+use ipmark_traces::stats::{mean, variance_population};
+use ipmark_traces::TraceSource;
 
 use crate::error::CoreError;
+use crate::pipeline::{default_backend, Plan};
 
 /// Parameters `(n1, n2, k, m)` of the correlation computation process.
 ///
@@ -229,34 +230,23 @@ where
     SD: TraceSource + Sync + ?Sized,
     R: Rng + ?Sized,
 {
+    // Thin shim over the operator graph (see `crate::pipeline`): validate
+    // before drawing so a failing call leaves the caller's RNG untouched,
+    // exactly like the pre-graph implementation, then run the plan on the
+    // feature-selected default backend. The drawn selections, buffer fill
+    // order and batched correlation are bit-identical to the historical
+    // hand-rolled body (pinned by the tier-2 golden suites).
     validate_sources(refd, dut, params)?;
-
-    // One reference k-average, drawn from the first n1 reference traces.
-    let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
-    // m independent DUT k-averages from the first n2 DUT traces, laid out
-    // as one contiguous m × trace_len arena (row i = average i).
-    let a_duts = k_averages_bounded(dut, params.n2, params.k, params.m, rng)?;
-
-    // Center and normalize the single reference once, then compute all m
-    // coefficients in one batched sweep over the contiguous arena: the
-    // centered reference stays cache-resident across a register-blocked
-    // group of four rows at a time. Every coefficient is bit-identical to
-    // a per-pair `pearson` call (see `PearsonRef::correlate_many`), as is
-    // the error surfaced for a flat reference; the first (lowest-index)
-    // row error wins, matching the previous per-row collection order.
-    let reference = PearsonRef::new(a_refd.samples()).map_err(CoreError::Stats)?;
-    let coefficients = reference
-        .correlate_rows(&a_duts)
-        .into_iter()
-        .map(|r| r.map_err(CoreError::Stats))
-        .collect::<Result<Vec<f64>, CoreError>>()?;
-    CorrelationSet::new(coefficients)
+    let mut plan = Plan::correlation(params, rng)?;
+    plan.execute(refd, dut, &default_backend())
 }
 
-/// The sequential reference implementation of [`correlation_process`]:
-/// interleaved selection draws and one independent [`pearson`] evaluation
-/// per DUT average. Compiled unconditionally so equivalence tests can pit
-/// it against the fused/parallel path in one binary.
+/// The sequential reference entry point of [`correlation_process`], for
+/// DUT sources that are not [`Sync`]. Compiled unconditionally so
+/// equivalence tests can pit it against the fused/parallel path in one
+/// binary; both are shims over the same operator graph and bit-identical
+/// by construction ([`Plan::execute_seq`] performs the same per-row
+/// operation sequence in index order).
 ///
 /// # Errors
 ///
@@ -273,23 +263,11 @@ where
     R: Rng + ?Sized,
 {
     validate_sources(refd, dut, params)?;
-
-    let a_refd = k_average_bounded(refd, params.n1, params.k, rng)?;
-    let bounded = BoundedSource {
-        inner: dut,
-        limit: params.n2,
-    };
-    let a_duts =
-        k_averages_block_seq(&bounded, params.k, params.m, rng).map_err(CoreError::Trace)?;
-
-    let coefficients = a_duts
-        .rows()
-        .map(|a| pearson(a_refd.samples(), a.samples()).map_err(CoreError::Stats))
-        .collect::<Result<Vec<f64>, CoreError>>()?;
-    CorrelationSet::new(coefficients)
+    let mut plan = Plan::correlation(params, rng)?;
+    plan.execute_seq(refd, dut)
 }
 
-fn validate_sources<SR, SD>(
+pub(crate) fn validate_sources<SR, SD>(
     refd: &SR,
     dut: &SD,
     params: &CorrelationParams,
@@ -367,20 +345,6 @@ pub(crate) fn k_average_bounded<S: TraceSource + ?Sized, R: Rng + ?Sized>(
         limit,
     };
     k_average(&bounded, k, rng).map_err(CoreError::Trace)
-}
-
-fn k_averages_bounded<S: TraceSource + Sync + ?Sized, R: Rng + ?Sized>(
-    source: &S,
-    limit: usize,
-    k: usize,
-    m: usize,
-    rng: &mut R,
-) -> Result<TraceBlock, CoreError> {
-    let bounded = BoundedSource {
-        inner: source,
-        limit,
-    };
-    k_averages_block(&bounded, k, m, rng).map_err(CoreError::Trace)
 }
 
 #[cfg(test)]

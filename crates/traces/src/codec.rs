@@ -527,11 +527,7 @@ pub(crate) fn read_rows<R: BufRead>(
     if count == 0 {
         return Ok(TraceBlock::new(device));
     }
-    let mut data: Vec<f64> = Vec::with_capacity(
-        count
-            .saturating_mul(trace_len)
-            .min(1 << 20),
-    );
+    let mut data: Vec<f64> = Vec::with_capacity(count.saturating_mul(trace_len).min(1 << 20));
     let mut packed: Vec<u8> = Vec::new();
     for t in 0..count {
         let mut flag = [0u8; 1];
@@ -590,9 +586,7 @@ pub(crate) fn read_rows<R: BufRead>(
                 while remaining > 0 {
                     let want = remaining.min(scratch.len());
                     r.read_exact(&mut scratch[..want]).map_err(|_| {
-                        IoError::Format(format!(
-                            "truncated at trace {t}: packed payload cut short"
-                        ))
+                        IoError::Format(format!("truncated at trace {t}: packed payload cut short"))
                     })?;
                     packed.extend_from_slice(&scratch[..want]);
                     remaining -= want;
@@ -623,10 +617,7 @@ mod tests {
     use super::*;
 
     fn grid_row(offset: f64, scale: f64, codes: &[u64]) -> Vec<f64> {
-        codes
-            .iter()
-            .map(|&c| offset + (c as f64) * scale)
-            .collect()
+        codes.iter().map(|&c| offset + (c as f64) * scale).collect()
     }
 
     fn round_trip(block: &TraceBlock) -> TraceBlock {
@@ -692,7 +683,10 @@ mod tests {
     fn hostile_rows_fall_back_to_raw() {
         assert!(quantize_row(&[0.0, f64::NAN], None).is_none());
         assert!(quantize_row(&[f64::INFINITY, 1.0], None).is_none());
-        assert!(quantize_row(&[-0.0, 1.0], None).is_none(), "-0.0 offset is inexact");
+        assert!(
+            quantize_row(&[-0.0, 1.0], None).is_none(),
+            "-0.0 offset is inexact"
+        );
         // Irrational-ish spacing that is no grid at all.
         assert!(quantize_row(&[0.0, 0.1, 0.25000001, 0.3], None).is_none());
     }

@@ -352,10 +352,11 @@ fn read_block_magics<R: Read>(
     if &magic == BLOCK_V3_MAGIC {
         return codec::read_rows(device, &mut r, count, len);
     }
-    let total = count * len; // representable: validate_header checked ×8
-    // Bounded pre-allocation: the arena grows towards `total` as payload
-    // bytes actually arrive, so a hostile header cannot force a giant
-    // up-front allocation.
+    // `count * len` is representable: validate_header checked ×8. Bounded
+    // pre-allocation: the arena grows towards `total` as payload bytes
+    // actually arrive, so a hostile header cannot force a giant up-front
+    // allocation.
+    let total = count * len;
     let mut data: Vec<f64> = Vec::with_capacity(total.min(1 << 20));
     let mut scratch = [0u8; 8192];
     while data.len() < total {

@@ -510,6 +510,19 @@ use scalar as active;
 #[cfg(feature = "simd")]
 use wide as active;
 
+/// The compiled kernel backend's name (`"scalar"` or `"simd"`), for
+/// diagnostics such as `ipmark plan --explain` and bench reports. The two
+/// backends are bit-identical (DESIGN.md §11); the name only records which
+/// implementation is dispatching.
+#[must_use]
+pub fn backend_name() -> &'static str {
+    if cfg!(feature = "simd") {
+        "simd"
+    } else {
+        "scalar"
+    }
+}
+
 /// Blocked sum of a series in the canonical lane order.
 #[must_use]
 pub fn sum(xs: &[f64]) -> f64 {

@@ -426,7 +426,10 @@ mod tests {
         let want: Vec<u64> = block.samples().iter().map(|s| s.to_bits()).collect();
         assert_eq!(bits, want);
         // Row views and the owned bridge agree too.
-        assert_eq!(mapped.row(1).unwrap().samples(), block.row(1).unwrap().samples());
+        assert_eq!(
+            mapped.row(1).unwrap().samples(),
+            block.row(1).unwrap().samples()
+        );
         assert!(mapped.row(4).is_err());
         assert_eq!(mapped.rows().len(), 4);
         assert_eq!(mapped.to_block(), block);
@@ -437,7 +440,10 @@ mod tests {
         let block = sample_block();
         let set = TraceSet::from_traces(
             "dev",
-            block.rows().map(|r| Trace::from_samples(r.samples().to_vec())).collect(),
+            block
+                .rows()
+                .map(|r| Trace::from_samples(r.samples().to_vec()))
+                .collect(),
         )
         .unwrap();
         let v1 = tmp("map_v1.trc1");

@@ -64,8 +64,8 @@ fn special(sel: u64, raw: f64) -> f64 {
         0 => f64::NAN,
         1 => f64::INFINITY,
         2 => f64::NEG_INFINITY,
-        3 => 1.0e-310,              // subnormal
-        4 => -1.0e-310,             // negative subnormal
+        3 => 1.0e-310,  // subnormal
+        4 => -1.0e-310, // negative subnormal
         5 => -0.0,
         6 => f64::from_bits(0x7ff8_dead_beef_0001), // payload NaN
         _ => raw,

@@ -240,7 +240,10 @@ fn mutated_v3_fixture_never_panics_the_reader() {
             }
         }
         assert_contained(read_block_v3("fuzz", buf.as_slice()), "mutated v3 fixture");
-        assert_contained(read_block_any("fuzz", buf.as_slice()), "mutated v3 fixture (any)");
+        assert_contained(
+            read_block_any("fuzz", buf.as_slice()),
+            "mutated v3 fixture (any)",
+        );
     }
 }
 
@@ -260,7 +263,10 @@ fn v3_row_flag_and_width_corruption_is_a_format_error() {
             buf[at] = bad;
             match read_block_v3("fuzz", buf.as_slice()) {
                 Err(IoError::Format(msg)) => {
-                    assert!(msg.contains("flag"), "diagnostic should name the flag: {msg}")
+                    assert!(
+                        msg.contains("flag"),
+                        "diagnostic should name the flag: {msg}"
+                    )
                 }
                 other => panic!("unknown flag {bad:#x} at {at}: expected Format, got {other:?}"),
             }
@@ -275,7 +281,10 @@ fn v3_row_flag_and_width_corruption_is_a_format_error() {
             let mut buf = seed.clone();
             buf[at + 25] = bad;
             assert!(
-                matches!(read_block_v3("fuzz", buf.as_slice()), Err(IoError::Format(_))),
+                matches!(
+                    read_block_v3("fuzz", buf.as_slice()),
+                    Err(IoError::Format(_))
+                ),
                 "width {bad} at row offset {at}: expected Format"
             );
         }
@@ -327,7 +336,10 @@ fn v2_header_dimension_overflow_is_a_format_error() {
             "count={count} trace_len={trace_len}: expected Format from read_block"
         );
         assert!(
-            matches!(read_block_any("fuzz", buf.as_slice()), Err(IoError::Format(_))),
+            matches!(
+                read_block_any("fuzz", buf.as_slice()),
+                Err(IoError::Format(_))
+            ),
             "count={count} trace_len={trace_len}: expected Format from read_block_any"
         );
     }

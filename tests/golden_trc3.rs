@@ -144,8 +144,16 @@ fn trc3_fixture_reencodes_byte_identical_and_beats_v2_four_fold() {
     let mapped =
         ipmark::traces::read_block_mapped("block", &fixture_path("block.trc3")).expect("mapped");
     assert_eq!(
-        mapped.samples().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
-        loaded.samples().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        mapped
+            .samples()
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
+        loaded
+            .samples()
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
     );
 }
 
