@@ -79,6 +79,6 @@ pub use pipeline::{
     ResumablePlan, Sequential,
 };
 pub use report::{CandidateReport, VerificationReport};
-pub use screen::{CounterfeitScreen, ScreeningVerdict};
+pub use screen::{CounterfeitScreen, ReferenceBank, ScreeningVerdict};
 pub use session::{EarlyStopRule, SessionOptions, SessionStatus, Verdict, VerificationSession};
 pub use verify::{correlation_process, correlation_process_seq, CorrelationParams, CorrelationSet};

@@ -42,7 +42,7 @@
 
 use rand::Rng;
 
-use ipmark_traces::average::{mean_of_indices_into, StreamingKAverager};
+use ipmark_traces::average::{mean_of_indices_into, mean_of_indices_into_sum, StreamingKAverager};
 use ipmark_traces::select::uniform_distinct_indices;
 use ipmark_traces::stats::{PearsonRef, PrefixStats};
 use ipmark_traces::{StatsError, TraceBlock, TraceChunk, TraceError, TraceSource};
@@ -90,6 +90,25 @@ pub trait ExecBackend: Sync {
     where
         E: Send,
         F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync;
+
+    /// Like [`ExecBackend::try_fill_rows`], but additionally collects the
+    /// value each row's closure returns, in row order — the escape hatch
+    /// the fused k-average path uses to carry per-row sums out of the fill
+    /// without a second sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest failing row.
+    fn try_fill_rows_map<U, E, F>(
+        &self,
+        data: &mut [f64],
+        row_len: usize,
+        f: F,
+    ) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<U, E> + Sync;
 }
 
 /// The reference backend: plain index-ordered loops on the calling thread.
@@ -125,6 +144,26 @@ impl ExecBackend for Sequential {
             f(i, row)?;
         }
         Ok(())
+    }
+
+    fn try_fill_rows_map<U, E, F>(
+        &self,
+        data: &mut [f64],
+        row_len: usize,
+        f: F,
+    ) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<U, E> + Sync,
+    {
+        if row_len == 0 {
+            return Ok(Vec::new());
+        }
+        data.chunks_exact_mut(row_len)
+            .enumerate()
+            .map(|(i, row)| f(i, row))
+            .collect()
     }
 }
 
@@ -176,6 +215,20 @@ impl ExecBackend for Pooled {
         F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
     {
         self.pool.try_fill_rows(data, row_len, f)
+    }
+
+    fn try_fill_rows_map<U, E, F>(
+        &self,
+        data: &mut [f64],
+        row_len: usize,
+        f: F,
+    ) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<U, E> + Sync,
+    {
+        self.pool.try_fill_rows_map(data, row_len, f)
     }
 }
 
@@ -269,10 +322,20 @@ impl AcquireStage {
 /// DUT arena. Filling a buffer zeroes it, accumulates the selected traces
 /// lowest-index-first and scales by `1/k` — the canonical
 /// [`mean_of_indices_into`] sequence, identical for every backend.
+///
+/// The fused [`KAverageStage::fill`] additionally carries each DUT row's
+/// sample sum out of the scaling sweep ([`mean_of_indices_into_sum`]), so
+/// the downstream correlation never has to re-sweep the arena to recompute
+/// row means. The sums are bit-identical to `kernels::sum` over the filled
+/// rows (the fused `scale_sum` kernel preserves the canonical blocked
+/// reduction — DESIGN.md §16).
 #[derive(Debug, Clone)]
 pub struct KAverageStage {
     a_refd: Vec<f64>,
     a_duts: TraceBlock,
+    /// Per-row sample sums of `a_duts`, captured by the fused fill; empty
+    /// after the staged [`KAverageStage::fill_seq`].
+    dut_sums: Vec<f64>,
 }
 
 impl KAverageStage {
@@ -286,6 +349,7 @@ impl KAverageStage {
         Ok(Self {
             a_refd: vec![0.0; trace_len],
             a_duts: TraceBlock::zeros("", m, trace_len).map_err(CoreError::Trace)?,
+            dut_sums: Vec::with_capacity(m),
         })
     }
 
@@ -304,8 +368,19 @@ impl KAverageStage {
         &self.a_duts
     }
 
+    /// Per-row sample sums captured by the fused [`KAverageStage::fill`]
+    /// (empty after [`KAverageStage::fill_seq`], which is the staged
+    /// oracle). Entry `i` is bit-identical to `kernels::sum` over row `i`.
+    pub fn dut_sums(&self) -> &[f64] {
+        &self.dut_sums
+    }
+
     /// Fills the reference buffer, then fans the `m` DUT rows out over
-    /// `backend`.
+    /// `backend` with the fused scale-and-sum sweep: each row's sample sum
+    /// falls out of the `1/k` scaling pass and is stored for
+    /// [`KAverageStage::dut_sums`], saving the correlation stage one full
+    /// arena sweep. Row contents are bit-identical to the staged
+    /// [`KAverageStage::fill_seq`].
     ///
     /// # Errors
     ///
@@ -323,19 +398,22 @@ impl KAverageStage {
         SD: TraceSource + Sync + ?Sized,
         B: ExecBackend + ?Sized,
     {
+        self.dut_sums.clear();
         mean_of_indices_into(refd, &acquire.refd_selection, &mut self.a_refd)
             .map_err(CoreError::Trace)?;
         let trace_len = self.a_duts.trace_len();
         let selections = &acquire.dut_selections;
-        backend
-            .try_fill_rows(self.a_duts.samples_mut(), trace_len, |i, row| {
+        let sums = backend
+            .try_fill_rows_map(self.a_duts.samples_mut(), trace_len, |i, row| {
                 let selection = selections.get(i).ok_or(TraceError::IndexOutOfRange {
                     index: i,
                     available: selections.len(),
                 })?;
-                mean_of_indices_into(dut, selection, row)
+                mean_of_indices_into_sum(dut, selection, row)
             })
-            .map_err(CoreError::Trace)
+            .map_err(CoreError::Trace)?;
+        self.dut_sums = sums;
+        Ok(())
     }
 
     /// [`KAverageStage::fill`] specialized to an in-place sequential loop,
@@ -357,6 +435,7 @@ impl KAverageStage {
         SR: TraceSource + ?Sized,
         SD: TraceSource + ?Sized,
     {
+        self.dut_sums.clear();
         mean_of_indices_into(refd, &acquire.refd_selection, &mut self.a_refd)
             .map_err(CoreError::Trace)?;
         let trace_len = self.a_duts.trace_len();
@@ -437,6 +516,43 @@ impl CorrelateStage {
     pub fn rows(&self, block: &TraceBlock) -> Result<Vec<f64>, CoreError> {
         self.kernel
             .correlate_rows(block)
+            .into_iter()
+            .map(|r| r.map_err(CoreError::Stats))
+            .collect()
+    }
+
+    /// Like [`CorrelateStage::rows`], but consumes precomputed per-row
+    /// sample sums carried out of the fused k-average fill
+    /// ([`KAverageStage::dut_sums`]), skipping the batched sum sweep.
+    /// Bit-identical to [`CorrelateStage::rows`] whenever `sums[i]` equals
+    /// the canonical `kernels::sum` over row `i` — which the fused
+    /// `scale_sum` kernel guarantees (DESIGN.md §16).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CorrelateStage::rows`].
+    pub fn rows_with_sums(&self, block: &TraceBlock, sums: &[f64]) -> Result<Vec<f64>, CoreError> {
+        self.kernel
+            .correlate_rows_with_sums(block, sums)
+            .into_iter()
+            .map(|r| r.map_err(CoreError::Stats))
+            .collect()
+    }
+
+    /// Like [`CorrelateStage::many`], but with precomputed per-row sample
+    /// sums — the streaming counterpart of
+    /// [`CorrelateStage::rows_with_sums`], fed by
+    /// [`StreamingKAverager::ingest_fused`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CorrelateStage::rows`].
+    pub fn many_with_sums<'a, I>(&self, rows: I, sums: &[f64]) -> Result<Vec<f64>, CoreError>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        self.kernel
+            .correlate_many_with_sums(rows, sums)
             .into_iter()
             .map(|r| r.map_err(CoreError::Stats))
             .collect()
@@ -627,7 +743,10 @@ impl Plan {
         };
         stage.fill(refd, dut, acquire, backend)?;
         let correlate = CorrelateStage::center(stage.reference())?;
-        let coefficients = correlate.rows(stage.duts())?;
+        // Fused path: the per-row sums captured by the fill replace the
+        // correlation's sum sweep. `execute_seq` keeps the staged
+        // two-sweep sequence as the equivalence oracle.
+        let coefficients = correlate.rows_with_sums(stage.duts(), stage.dut_sums())?;
         DecideStage.finish(coefficients)
     }
 
@@ -699,8 +818,9 @@ pub fn explain_graph(
         "  DecideStage     CorrelationSet { mean, variance } -> distinguisher (higher mean / lower variance)\n",
     );
     out.push_str(&format!(
-        "  backend: {backend_label}; kernels: {}\n",
+        "  backend: {backend_label}; kernels: {}; dispatch: {}\n",
         ipmark_traces::kernels::backend_name(),
+        ipmark_traces::kernels::dispatch_label(),
     ));
     out
 }
@@ -794,6 +914,81 @@ impl ResumablePlan {
     /// [`TraceError::NonFiniteSample`]) and [`CoreError::Stats`] when a
     /// completed average cannot be correlated.
     pub fn ingest<C: TraceChunk + ?Sized>(&mut self, chunk: &C) -> Result<(), CoreError> {
+        self.validate_chunk(chunk)?;
+
+        // The chunk is clean; ingestion can no longer fail. The fused
+        // averager finalizes each completing slot with one
+        // `accumulate_scale_sum` sweep (accumulate + 1/k scale + sample
+        // sum in a single pass) instead of the staged three; the carried
+        // sums then replace the correlation's sum sweep. A finished slot's
+        // average lives as a borrowed row of the averager's preallocated
+        // output arena.
+        let mut finished: Vec<(usize, f64)> = Vec::new();
+        for offset in 0..chunk.chunk_len() {
+            let samples = chunk
+                .chunk_row(offset)
+                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
+            finished.extend(
+                self.averager
+                    .ingest_fused(samples)
+                    .map_err(CoreError::Trace)?,
+            );
+        }
+
+        let averages: Vec<&[f64]> = finished
+            .iter()
+            .map(|&(slot, _)| {
+                self.averager
+                    .average(slot)
+                    .ok_or(CoreError::Invariant("finished slot holds an average"))
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let sums: Vec<f64> = finished.iter().map(|&(_, sum)| sum).collect();
+        let coefficients = self.correlate.many_with_sums(averages, &sums)?;
+        let slots: Vec<usize> = finished.into_iter().map(|(slot, _)| slot).collect();
+        self.commit(&slots, coefficients)
+    }
+
+    /// The staged twin of [`ResumablePlan::ingest`]: identical validation,
+    /// then the pre-fusion accumulate → scale → correlate sequence. Kept as
+    /// the executable equivalence oracle for the fused path — same chunk,
+    /// same state, bit-identical coefficients and RNG-free by construction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ResumablePlan::ingest`].
+    pub fn ingest_staged<C: TraceChunk + ?Sized>(&mut self, chunk: &C) -> Result<(), CoreError> {
+        self.validate_chunk(chunk)?;
+
+        // The chunk is clean; ingestion can no longer fail. A finished
+        // slot's average lives as a borrowed row of the averager's
+        // preallocated output arena.
+        let mut finished: Vec<usize> = Vec::new();
+        for offset in 0..chunk.chunk_len() {
+            let samples = chunk
+                .chunk_row(offset)
+                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
+            finished.extend(self.averager.ingest(samples).map_err(CoreError::Trace)?);
+        }
+
+        // Correlate every average the chunk completed in one batched sweep,
+        // reading borrowed arena rows — no per-slot copies, bit-identical
+        // to per-slot `PearsonRef::correlate` calls.
+        let averages: Vec<&[f64]> = finished
+            .iter()
+            .map(|&slot| {
+                self.averager
+                    .average(slot)
+                    .ok_or(CoreError::Invariant("finished slot holds an average"))
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let coefficients = self.correlate.many(averages)?;
+        self.commit(&finished, coefficients)
+    }
+
+    /// The atomic-rejection sweep shared by both ingest paths: the whole
+    /// chunk is validated before any sample touches a partial sum.
+    fn validate_chunk<C: TraceChunk + ?Sized>(&self, chunk: &C) -> Result<(), CoreError> {
         let chunk_len = chunk.chunk_len();
         if chunk_len == 0 {
             return Err(CoreError::Trace(TraceError::EmptyChunk));
@@ -816,32 +1011,13 @@ impl ResumablePlan {
                 }));
             }
         }
+        Ok(())
+    }
 
-        // The chunk is clean; ingestion can no longer fail. A finished
-        // slot's average lives as a borrowed row of the averager's
-        // preallocated output arena.
-        let mut finished: Vec<usize> = Vec::new();
-        for offset in 0..chunk_len {
-            let samples = chunk
-                .chunk_row(offset)
-                .ok_or(CoreError::Invariant("chunk row within chunk_len"))?;
-            finished.extend(self.averager.ingest(samples).map_err(CoreError::Trace)?);
-        }
-
-        // Correlate every average the chunk completed in one batched sweep,
-        // reading borrowed arena rows — no per-slot copies, bit-identical
-        // to per-slot `PearsonRef::correlate` calls.
-        let averages: Vec<&[f64]> = finished
-            .iter()
-            .map(|&slot| {
-                self.averager
-                    .average(slot)
-                    .ok_or(CoreError::Invariant("finished slot holds an average"))
-            })
-            .collect::<Result<_, CoreError>>()?;
-        let coefficients = self.correlate.many(averages)?;
-
-        for (&slot, coefficient) in finished.iter().zip(coefficients) {
+    /// Writes the chunk's freshly correlated coefficients into their slots
+    /// and advances the contiguous finished prefix.
+    fn commit(&mut self, slots: &[usize], coefficients: Vec<f64>) -> Result<(), CoreError> {
+        for (&slot, coefficient) in slots.iter().zip(coefficients) {
             let cell = self
                 .coefficients
                 .get_mut(slot)
@@ -1025,6 +1201,80 @@ mod tests {
     }
 
     #[test]
+    fn fused_ingest_matches_staged_ingest_for_every_chunk_size() {
+        let refd = noisy_set("r", 50, 1);
+        let dut = noisy_set("d", 240, 2);
+        let p = params();
+        for chunk in [1usize, 7, 53, 240] {
+            let mut fused =
+                ResumablePlan::new(&refd, &p, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+            let mut staged =
+                ResumablePlan::new(&refd, &p, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+            let mut delivered = 0;
+            while delivered < p.n2 {
+                let take = chunk.min(p.n2 - delivered);
+                let traces: Vec<Trace> = (delivered..delivered + take)
+                    .map(|i| dut.trace(i).unwrap().clone())
+                    .collect();
+                fused.ingest(&traces).unwrap();
+                staged.ingest_staged(&traces).unwrap();
+                delivered += take;
+                assert_eq!(fused.completed_prefix(), staged.completed_prefix());
+            }
+            assert_eq!(fused.completed_prefix(), p.m, "chunk {chunk}");
+            for slot in 0..p.m {
+                assert_eq!(
+                    fused.coefficient(slot).unwrap().to_bits(),
+                    staged.coefficient(slot).unwrap().to_bits(),
+                    "chunk {chunk}, slot {slot}"
+                );
+            }
+            for round in 1..=p.m {
+                let (fm, fv) = fused.snapshot(round).unwrap();
+                let (sm, sv) = staged.snapshot(round).unwrap();
+                assert_eq!(fm.to_bits(), sm.to_bits(), "chunk {chunk}, round {round}");
+                assert_eq!(fv.to_bits(), sv.to_bits(), "chunk {chunk}, round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_execute_matches_staged_execute_seq_bitwise() {
+        // `execute` runs the fused scale-and-sum fill + sum-reusing
+        // correlation; `execute_seq` is the staged two-sweep oracle.
+        let refd = noisy_set("r", 50, 1);
+        let dut = noisy_set("d", 240, 2);
+        let p = params();
+        let mut plan_a = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(11)).unwrap();
+        let mut plan_b = Plan::correlation(&p, &mut ChaCha8Rng::seed_from_u64(11)).unwrap();
+        let fused = plan_a.execute(&refd, &dut, &Sequential).unwrap();
+        let staged = plan_b.execute_seq(&refd, &dut).unwrap();
+        assert_eq!(
+            fused
+                .coefficients()
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>(),
+            staged
+                .coefficients()
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        // The fused fill's carried sums are bit-identical to a fresh
+        // canonical sum over each filled row.
+        let stage = plan_a.buffers.as_ref().unwrap();
+        assert_eq!(stage.dut_sums().len(), p.m);
+        for (i, row) in stage.duts().rows().enumerate() {
+            assert_eq!(
+                stage.dut_sums()[i].to_bits(),
+                ipmark_traces::kernels::sum(row.samples()).to_bits(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
     fn plan_validates_sources_like_the_legacy_entry_point() {
         let refd = noisy_set("r", 10, 1);
         let dut = noisy_set("d", 240, 2);
@@ -1052,6 +1302,7 @@ mod tests {
             "DecideStage",
             "Sequential",
             "kernels:",
+            "dispatch:",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

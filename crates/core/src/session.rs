@@ -313,6 +313,12 @@ impl VerificationSession {
     /// sample touches a partial sum, so on error nothing was consumed and
     /// the caller may re-supply a corrected chunk for the same indices.
     ///
+    /// Ingestion runs the fused single-sweep path: each slot a chunk
+    /// completes is finalized by one `accumulate_scale_sum` kernel pass
+    /// whose carried sample sum also feeds the batched correlation,
+    /// bit-identical to the staged accumulate → scale → sum sequence
+    /// (DESIGN.md §16).
+    ///
     /// # Errors
     ///
     /// Returns [`SessionError::AlreadyDecided`] /

@@ -259,6 +259,86 @@ impl Pool {
             None => Ok(()),
         }
     }
+
+    /// [`Pool::try_fill_rows`] that also collects one value per row — the
+    /// arena-writing counterpart of [`Pool::try_map_indexed`], for fused
+    /// fills whose per-row sweep produces a by-product (e.g. the row's
+    /// blocked sum in the fused k-average path, DESIGN.md §16).
+    ///
+    /// `f(i, row)` runs exactly once per row; on success the returned
+    /// vector holds `f`'s values in row order for every thread count, and
+    /// on failure the reported error is the one with the **lowest row
+    /// index**, as in the sequential loop. Partitioning, trailing-row and
+    /// `row_len == 0` behavior match [`Pool::try_fill_rows`] (`row_len ==
+    /// 0` yields an empty vector).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-row-index error from `f`.
+    pub fn try_fill_rows_map<U, E, F>(
+        &self,
+        data: &mut [f64],
+        row_len: usize,
+        f: F,
+    ) -> Result<Vec<U>, E>
+    where
+        U: Send,
+        E: Send,
+        F: Fn(usize, &mut [f64]) -> Result<U, E> + Sync,
+    {
+        if row_len == 0 {
+            return Ok(Vec::new());
+        }
+        let rows = data.len() / row_len;
+        if self.threads <= 1 || rows <= 1 {
+            let mut out = Vec::with_capacity(rows);
+            for (i, row) in data.chunks_exact_mut(row_len).enumerate() {
+                out.push(f(i, row)?);
+            }
+            return Ok(out);
+        }
+        let chunks = self.chunks(rows);
+        let f = &f;
+        let parts: Vec<Result<Vec<U>, (usize, E)>> = std::thread::scope(|scope| {
+            let mut rest = &mut data[..rows * row_len];
+            let mut handles = Vec::with_capacity(chunks.len());
+            for &(start, end) in &chunks {
+                let (part, tail) = rest.split_at_mut((end - start) * row_len);
+                rest = tail;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::with_capacity(end - start);
+                    for (offset, row) in part.chunks_exact_mut(row_len).enumerate() {
+                        match f(start + offset, row) {
+                            Ok(v) => out.push(v),
+                            Err(e) => return Err((start + offset, e)),
+                        }
+                    }
+                    Ok(out)
+                }));
+            }
+            handles
+                .into_iter()
+                // See map_indexed: propagate `f`'s own panic payload.
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(rows);
+        let mut first_error: Option<(usize, E)> = None;
+        for part in parts {
+            match part {
+                Ok(mut vs) => out.append(&mut vs),
+                Err((i, e)) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
 }
 
 /// Maps over `0..n` with the environment-derived thread count.
@@ -296,6 +376,21 @@ where
     F: Fn(usize, &mut [f64]) -> Result<(), E> + Sync,
 {
     Pool::from_env().try_fill_rows(data, row_len, f)
+}
+
+/// Fallible arena row fill collecting one value per row, with the
+/// environment-derived thread count (see [`Pool::try_fill_rows_map`]).
+///
+/// # Errors
+///
+/// Propagates the lowest-row-index error from `f`.
+pub fn par_try_fill_rows_map<U, E, F>(data: &mut [f64], row_len: usize, f: F) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize, &mut [f64]) -> Result<U, E> + Sync,
+{
+    Pool::from_env().try_fill_rows_map(data, row_len, f)
 }
 
 #[cfg(test)]
@@ -406,6 +501,62 @@ mod tests {
             });
             assert_eq!(result.unwrap_err(), 13, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn fill_rows_map_matches_sequential_for_every_thread_count() {
+        let rows = 23;
+        let row_len = 5;
+        let mut expected = vec![0.0; rows * row_len];
+        let mut expected_vals = Vec::with_capacity(rows);
+        for (i, row) in expected.chunks_exact_mut(row_len).enumerate() {
+            for (j, s) in row.iter_mut().enumerate() {
+                *s = (i * 100 + j) as f64;
+            }
+            expected_vals.push(row.iter().sum::<f64>());
+        }
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = Pool::with_threads(threads);
+            let mut got = vec![0.0; rows * row_len];
+            let vals: Result<Vec<f64>, ()> = pool.try_fill_rows_map(&mut got, row_len, |i, row| {
+                for (j, s) in row.iter_mut().enumerate() {
+                    *s = (i * 100 + j) as f64;
+                }
+                Ok(row.iter().sum::<f64>())
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(vals.unwrap(), expected_vals, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fill_rows_map_reports_lowest_row_error() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let mut data = vec![0.0; 100 * 3];
+            let result: Result<Vec<usize>, usize> = pool.try_fill_rows_map(&mut data, 3, |i, _| {
+                if i % 13 == 0 && i > 0 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(result.unwrap_err(), 13, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fill_rows_map_degenerate_shapes() {
+        let pool = Pool::with_threads(4);
+        let mut some = vec![1.0; 6];
+        let vals: Result<Vec<usize>, ()> = pool.try_fill_rows_map(&mut some, 0, |_, _| Err(()));
+        assert!(vals.unwrap().is_empty());
+        let vals: Result<Vec<usize>, ()> = pool.try_fill_rows_map(&mut some, 6, |i, row| {
+            row.fill(3.0);
+            Ok(i + 41)
+        });
+        assert_eq!(vals.unwrap(), vec![41]);
+        assert_eq!(some, vec![3.0; 6]);
     }
 
     #[test]

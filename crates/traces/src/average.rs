@@ -48,6 +48,41 @@ pub fn mean_of_indices_into<S: TraceSource + ?Sized>(
     Ok(())
 }
 
+/// [`mean_of_indices_into`] that also returns the blocked sum of the
+/// finished average — the batch-path half of the fused ingest
+/// (DESIGN.md §16).
+///
+/// The final `1/len` scale and the row sum the correlation stage needs for
+/// its mean are fused into one [`kernels::scale_sum`] sweep, where the
+/// staged path (`scale` here, `sum` again inside the correlate stage)
+/// sweeps the row twice. The buffer contents are bit-identical to
+/// [`mean_of_indices_into`] and the returned sum is bit-identical to
+/// [`kernels::sum`] over them.
+///
+/// # Errors
+///
+/// As for [`mean_of_indices_into`].
+pub fn mean_of_indices_into_sum<S: TraceSource + ?Sized>(
+    source: &S,
+    indices: &[usize],
+    out: &mut [f64],
+) -> Result<f64, TraceError> {
+    if indices.is_empty() {
+        return Err(TraceError::EmptySet);
+    }
+    if out.len() != source.trace_len() {
+        return Err(TraceError::LengthMismatch {
+            expected: source.trace_len(),
+            provided: out.len(),
+        });
+    }
+    out.fill(0.0);
+    for &i in indices {
+        source.accumulate(i, out)?;
+    }
+    Ok(kernels::scale_sum(out, 1.0 / indices.len() as f64))
+}
+
 /// Averages the traces at the given indices of `source`.
 ///
 /// # Errors
@@ -401,6 +436,71 @@ impl StreamingKAverager {
                 kernels::scale(acc, 1.0 / selection.len() as f64);
                 self.finished[slot_idx] = true;
                 finished.push(slot_idx);
+            }
+        }
+        self.next_index += 1;
+        self.completed += finished.len();
+        Ok(finished)
+    }
+
+    /// Fused variant of [`StreamingKAverager::ingest`] (DESIGN.md §16):
+    /// identical validation (rejection stays atomic and non-consuming) and
+    /// identical accumulation, but a slot completed by this trace is
+    /// finalized with one [`kernels::accumulate_scale_sum`] sweep that
+    /// folds the final accumulate, the `1/k` scale, **and** the finished
+    /// row's blocked sum — which the correlation stage needs for its mean
+    /// — where the staged path sweeps the row three times.
+    ///
+    /// Returns `(slot, sum)` pairs for the slots this trace completed:
+    /// the finished average is bit-identical to what
+    /// [`StreamingKAverager::ingest`] leaves in the slot, and `sum` is
+    /// bit-identical to [`kernels::sum`] over that row. The staged path
+    /// stays compiled as the equivalence oracle, pinned by the property
+    /// suite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`StreamingKAverager::ingest`].
+    pub fn ingest_fused(&mut self, samples: &[f64]) -> Result<Vec<(usize, f64)>, TraceError> {
+        let index = self.next_index;
+        if index >= self.population {
+            return Err(TraceError::IndexOutOfRange {
+                index,
+                available: self.population,
+            });
+        }
+        if samples.len() != self.trace_len {
+            return Err(TraceError::LengthMismatch {
+                expected: self.trace_len,
+                provided: samples.len(),
+            });
+        }
+        if let Some(sample_index) = samples.iter().position(|s| !s.is_finite()) {
+            return Err(TraceError::NonFiniteSample {
+                trace_index: index,
+                sample_index,
+            });
+        }
+
+        let mut finished = Vec::new();
+        for (slot_idx, selection) in self.selections.iter().enumerate() {
+            let cursor = self.cursors[slot_idx];
+            if cursor >= selection.len() || selection[cursor] != index {
+                continue;
+            }
+            let mut row = self.slots.row_mut(slot_idx)?;
+            let acc = row.samples_mut();
+            self.cursors[slot_idx] = cursor + 1;
+            if cursor + 1 == selection.len() {
+                // One sweep for what `ingest` does in three: the final
+                // accumulate, the `mean_of_indices` reciprocal scale, and
+                // the row sum the correlate stage would otherwise
+                // recompute.
+                let sum = kernels::accumulate_scale_sum(acc, samples, 1.0 / selection.len() as f64);
+                self.finished[slot_idx] = true;
+                finished.push((slot_idx, sum));
+            } else {
+                kernels::accumulate(acc, samples);
             }
         }
         self.next_index += 1;

@@ -406,6 +406,166 @@ impl PearsonRef {
     pub fn correlate_rows(&self, block: &TraceBlock) -> Vec<Result<f64, StatsError>> {
         self.correlate_many(block.rows().map(|row| row.samples()))
     }
+
+    /// [`PearsonRef::correlate`] with the row's blocked sum already known
+    /// — the fused-ingest fast path (DESIGN.md §16).
+    ///
+    /// `sum` must be the canonical blocked sum of `y` (what
+    /// [`kernels::sum`] returns; the fused ingest kernels produce exactly
+    /// that value while they sweep the row for other reasons). Given that,
+    /// the mean division and every downstream operation are the ones
+    /// [`PearsonRef::correlate`] performs, so the coefficient is
+    /// bit-identical — the row is just not swept an extra time for its
+    /// sum.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PearsonRef::correlate`].
+    pub fn correlate_with_sum(&self, y: &[f64], sum: f64) -> Result<f64, StatsError> {
+        if y.len() != self.centered.len() {
+            return Err(StatsError::LengthMismatch {
+                left: self.centered.len(),
+                right: y.len(),
+            });
+        }
+        let my = sum / y.len() as f64;
+        let (sxy, syy) = kernels::sxy_syy(&self.centered, y, my);
+        self.finish(sxy, syy)
+    }
+
+    /// [`PearsonRef::correlate_many`] with per-row blocked sums already
+    /// known: the `sum_x4` sweep is skipped and the means come from
+    /// `sums[i] / n` — the same division the staged path performs on the
+    /// same bits, so every coefficient stays bit-identical to a standalone
+    /// [`PearsonRef::correlate`] call.
+    ///
+    /// `sums[i]` must be the canonical blocked sum of row `i`; rows
+    /// without a provided sum (when `sums` is shorter than the row list)
+    /// fall back to [`PearsonRef::correlate`], which re-sweeps but returns
+    /// the same bits. Error behavior is exactly
+    /// [`PearsonRef::correlate_many`]'s.
+    pub fn correlate_many_with_sums<'a, I>(
+        &self,
+        rows: I,
+        sums: &[f64],
+    ) -> Vec<Result<f64, StatsError>>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let rows: Vec<&[f64]> = rows.into_iter().collect();
+        let n = self.centered.len();
+        let mut out: Vec<Result<f64, StatsError>> = rows
+            .iter()
+            .map(|y| {
+                if y.len() == n {
+                    Ok(f64::NAN) // placeholder, overwritten below
+                } else {
+                    Err(StatsError::LengthMismatch {
+                        left: n,
+                        right: y.len(),
+                    })
+                }
+            })
+            .collect();
+        let valid: Vec<usize> = (0..rows.len())
+            .filter(|&i| out[i].is_ok() && i < sums.len())
+            .collect();
+        let nf = n as f64;
+        let mut groups = valid.chunks_exact(4);
+        for g in groups.by_ref() {
+            let ys = [rows[g[0]], rows[g[1]], rows[g[2]], rows[g[3]]];
+            let mys = [
+                sums[g[0]] / nf,
+                sums[g[1]] / nf,
+                sums[g[2]] / nf,
+                sums[g[3]] / nf,
+            ];
+            let pairs = kernels::sxy_syy_x4(&self.centered, ys, mys);
+            for (&slot, &(sxy, syy)) in g.iter().zip(pairs.iter()) {
+                out[slot] = self.finish(sxy, syy);
+            }
+        }
+        for &i in groups.remainder() {
+            out[i] = self.correlate_with_sum(rows[i], sums[i]);
+        }
+        // Rows past the provided sums: re-sweep (same bits, one more pass).
+        for i in sums.len()..rows.len() {
+            if out[i].as_ref().is_ok_and(|v| v.is_nan()) {
+                out[i] = self.correlate(rows[i]);
+            }
+        }
+        out
+    }
+
+    /// [`PearsonRef::correlate_rows`] with per-row blocked sums already
+    /// known — see [`PearsonRef::correlate_many_with_sums`].
+    pub fn correlate_rows_with_sums(
+        &self,
+        block: &TraceBlock,
+        sums: &[f64],
+    ) -> Vec<Result<f64, StatsError>> {
+        self.correlate_many_with_sums(block.rows().map(|row| row.samples()), sums)
+    }
+
+    /// Correlates **many cached references** against every row of one DUT
+    /// block in a single sweep — the multi-reference screening kernel
+    /// (DESIGN.md §16): `out[r][j]` is reference `r` against row `j`.
+    ///
+    /// Per row, the reference-independent work is done once — one blocked
+    /// sum for the mean and one [`kernels::centered_sum_sq`] pass for
+    /// `syy = Σ (yⱼ − my)²` (per lane exactly the `syy` half of
+    /// [`kernels::sxy_syy`]) — and the per-reference numerators then come
+    /// from [`kernels::sxy_refs_x4`] four references at a time, with the
+    /// row tile cache-hot across the group. Per-reference
+    /// [`PearsonRef::correlate_rows`] sweeps the row `3R` times for `R`
+    /// references; this path sweeps it `R + 2` times, and every
+    /// coefficient (and every error) is **bit-identical** to the
+    /// per-reference call — pinned by the property suite.
+    pub fn correlate_refs(refs: &[Self], block: &TraceBlock) -> Vec<Vec<Result<f64, StatsError>>> {
+        let rows: Vec<&[f64]> = block.rows().map(|row| row.samples()).collect();
+        let mut out: Vec<Vec<Result<f64, StatsError>>> = refs
+            .iter()
+            .map(|kernel| {
+                rows.iter()
+                    .map(|y| {
+                        Err(StatsError::LengthMismatch {
+                            left: kernel.len(),
+                            right: y.len(),
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        for (j, &y) in rows.iter().enumerate() {
+            let valid: Vec<usize> = (0..refs.len())
+                .filter(|&r| refs[r].len() == y.len())
+                .collect();
+            if valid.is_empty() {
+                continue;
+            }
+            // Reference lengths are at least 2, so a matching row is too.
+            let my = kernels::sum(y) / y.len() as f64;
+            let syy = kernels::centered_sum_sq(y, my);
+            let mut groups = valid.chunks_exact(4);
+            for g in groups.by_ref() {
+                let cs = [
+                    refs[g[0]].centered.as_slice(),
+                    refs[g[1]].centered.as_slice(),
+                    refs[g[2]].centered.as_slice(),
+                    refs[g[3]].centered.as_slice(),
+                ];
+                let sxys = kernels::sxy_refs_x4(cs, y, my);
+                for (&r, &sxy) in g.iter().zip(sxys.iter()) {
+                    out[r][j] = refs[r].finish(sxy, syy);
+                }
+            }
+            for &r in groups.remainder() {
+                let sxy = kernels::sxy(&refs[r].centered, y, my);
+                out[r][j] = refs[r].finish(sxy, syy);
+            }
+        }
+        out
+    }
 }
 
 /// The largest and second-largest values of a series, in that order — the

@@ -378,4 +378,188 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn fused_kernels_match_their_staged_forms_on_both_backends(
+        x in kernel_series(),
+        y in kernel_series(),
+        m in -1e3f64..1e3,
+        f in -1e3f64..1e3,
+    ) {
+        // scale_sum ≡ scale → sum, on both backends, bit for bit —
+        // including the scaled buffer contents.
+        let mut staged = x.clone();
+        kernels::scalar::scale(&mut staged, f);
+        let staged_sum = kernels::scalar::sum(&staged);
+        let mut fused_s = x.clone();
+        let sum_s = kernels::scalar::scale_sum(&mut fused_s, f);
+        let mut fused_w = x.clone();
+        let sum_w = kernels::wide::scale_sum(&mut fused_w, f);
+        prop_assert_eq!(sum_s.to_bits(), staged_sum.to_bits());
+        prop_assert_eq!(sum_w.to_bits(), staged_sum.to_bits());
+        for (a, b) in fused_s.iter().zip(&staged) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fused_w.iter().zip(&staged) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // accumulate_scale_sum ≡ accumulate → scale → sum, including the
+        // tail case where the accumulator outlives the added samples.
+        let n = x.len().min(y.len());
+        let mut staged_acc = x.clone();
+        kernels::scalar::accumulate(&mut staged_acc[..n], &y[..n]);
+        kernels::scalar::scale(&mut staged_acc, f);
+        let staged_total = kernels::scalar::sum(&staged_acc);
+        let mut fused_acc_s = x.clone();
+        let total_s = kernels::scalar::accumulate_scale_sum(&mut fused_acc_s, &y[..n], f);
+        let mut fused_acc_w = x.clone();
+        let total_w = kernels::wide::accumulate_scale_sum(&mut fused_acc_w, &y[..n], f);
+        prop_assert_eq!(total_s.to_bits(), staged_total.to_bits());
+        prop_assert_eq!(total_w.to_bits(), staged_total.to_bits());
+        for (a, b) in fused_acc_s.iter().zip(&staged_acc) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fused_acc_w.iter().zip(&staged_acc) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // sxy alone ≡ the sxy half of the fused pair kernel.
+        let (sxy_ref, _) = kernels::scalar::sxy_syy(&x[..n], &y[..n], m);
+        prop_assert_eq!(kernels::scalar::sxy(&x[..n], &y[..n], m).to_bits(), sxy_ref.to_bits());
+        prop_assert_eq!(kernels::wide::sxy(&x[..n], &y[..n], m).to_bits(), sxy_ref.to_bits());
+    }
+
+    #[test]
+    fn unrolled_widths_are_bit_identical_on_arbitrary_inputs(
+        x in kernel_series(),
+        y in kernel_series(),
+        f in -1e3f64..1e3,
+    ) {
+        // The width axis of the dispatcher (W16 = G2, W32 = G4 loop
+        // unrolls) must never change a result: every unroll factor folds
+        // into the same single 8-lane accumulator in index order.
+        prop_assert_eq!(kernels::wide::unrolled::sum::<2>(&x).to_bits(), kernels::wide::sum(&x).to_bits());
+        prop_assert_eq!(kernels::wide::unrolled::sum::<4>(&x).to_bits(), kernels::wide::sum(&x).to_bits());
+        let n = x.len().min(y.len());
+        prop_assert_eq!(
+            kernels::wide::unrolled::dot::<2>(&x[..n], &y[..n]).to_bits(),
+            kernels::wide::dot(&x[..n], &y[..n]).to_bits()
+        );
+        prop_assert_eq!(
+            kernels::wide::unrolled::dot::<4>(&x[..n], &y[..n]).to_bits(),
+            kernels::wide::dot(&x[..n], &y[..n]).to_bits()
+        );
+        let baseline_total = {
+            let mut acc = x.clone();
+            kernels::wide::accumulate_scale_sum(&mut acc, &y[..n], f)
+        };
+        let mut acc2 = x.clone();
+        prop_assert_eq!(
+            kernels::wide::unrolled::accumulate_scale_sum::<2>(&mut acc2, &y[..n], f).to_bits(),
+            baseline_total.to_bits()
+        );
+        let mut acc4 = x.clone();
+        prop_assert_eq!(
+            kernels::wide::unrolled::accumulate_scale_sum::<4>(&mut acc4, &y[..n], f).to_bits(),
+            baseline_total.to_bits()
+        );
+    }
+
+    #[test]
+    fn sxy_refs_x4_matches_single_reference_sxy(
+        centereds in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 16), 4),
+        y in prop::collection::vec(-1e6f64..1e6, 16),
+        my in -1e3f64..1e3,
+    ) {
+        let refs: [&[f64]; 4] = [&centereds[0], &centereds[1], &centereds[2], &centereds[3]];
+        let grouped_s = kernels::scalar::sxy_refs_x4(refs, &y, my);
+        let grouped_w = kernels::wide::sxy_refs_x4(refs, &y, my);
+        for i in 0..4 {
+            let single = kernels::scalar::sxy(&centereds[i], &y, my);
+            prop_assert_eq!(grouped_s[i].to_bits(), single.to_bits(), "scalar ref {}", i);
+            prop_assert_eq!(grouped_w[i].to_bits(), single.to_bits(), "wide ref {}", i);
+        }
+    }
+
+    #[test]
+    fn correlate_refs_is_bit_identical_to_per_reference_correlate_rows(
+        refs in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 16), 1..10),
+        rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 16), 1..7),
+    ) {
+        // Odd reference counts exercise the x4 remainder path; flat
+        // references are skipped at construction like any caller would.
+        let bank: Vec<PearsonRef> = refs.iter().filter_map(|r| PearsonRef::new(r).ok()).collect();
+        prop_assume!(!bank.is_empty());
+        let block = TraceBlock::from_data(
+            "d",
+            16,
+            rows.iter().flatten().copied().collect::<Vec<f64>>(),
+        ).unwrap();
+        let batched = PearsonRef::correlate_refs(&bank, &block);
+        prop_assert_eq!(batched.len(), bank.len());
+        for (r, kernel) in bank.iter().enumerate() {
+            let per_ref = kernel.correlate_rows(&block);
+            prop_assert_eq!(batched[r].len(), per_ref.len());
+            for (j, (a, b)) in batched[r].iter().zip(&per_ref).enumerate() {
+                match (a, b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x.to_bits(), y.to_bits(), "cell ({}, {})", r, j),
+                    (Err(x), Err(y)) => prop_assert_eq!(format!("{x:?}"), format!("{y:?}")),
+                    (a, b) => prop_assert!(false, "batched {:?} vs per-ref {:?}", a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_streaming_ingest_matches_staged_ingest_bitwise(
+        n2 in 4usize..32,
+        k_frac in 0.0f64..1.0,
+        m in 1usize..5,
+        trace_len in 1usize..24,
+        chunk in 1usize..9,
+        seed: u64,
+    ) {
+        use ipmark_traces::average::StreamingKAverager;
+        use rand::RngCore;
+
+        let k = ((k_frac * n2 as f64) as usize).clamp(1, n2);
+        let mut rng_staged = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_fused = ChaCha8Rng::seed_from_u64(seed);
+        let mut staged = StreamingKAverager::new(n2, trace_len, k, m, &mut rng_staged).unwrap();
+        let mut fused = StreamingKAverager::new(n2, trace_len, k, m, &mut rng_fused).unwrap();
+        // Construction consumed both RNG streams identically — ingestion
+        // itself never touches the RNG, so the post-states must agree.
+        prop_assert_eq!(rng_staged.next_u64(), rng_fused.next_u64());
+
+        let trace = |i: usize| -> Vec<f64> {
+            (0..trace_len)
+                .map(|j| ((i * trace_len + j) as f64 * 0.37 + (seed % 97) as f64).sin() * 1e3)
+                .collect()
+        };
+        // Deliver the same stream through both paths; the chunk size only
+        // batches calls, the averagers see identical per-trace input.
+        let mut delivered = 0;
+        while delivered < n2 {
+            let take = chunk.min(n2 - delivered);
+            for i in delivered..delivered + take {
+                let t = trace(i);
+                let finished_staged = staged.ingest(&t).unwrap();
+                let finished_fused = fused.ingest_fused(&t).unwrap();
+                let slots: Vec<usize> = finished_fused.iter().map(|&(s, _)| s).collect();
+                prop_assert_eq!(finished_staged, slots);
+                for &(slot, sum) in &finished_fused {
+                    let avg_fused = fused.average(slot).unwrap();
+                    let avg_staged = staged.average(slot).unwrap();
+                    for (a, b) in avg_fused.iter().zip(avg_staged) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits(), "slot {}", slot);
+                    }
+                    // The carried sum is the canonical sum of the average.
+                    prop_assert_eq!(sum.to_bits(), kernels::sum(avg_fused).to_bits(), "slot {}", slot);
+                }
+            }
+            delivered += take;
+        }
+        prop_assert_eq!(staged.ingested(), fused.ingested());
+    }
 }

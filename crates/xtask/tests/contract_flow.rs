@@ -81,6 +81,39 @@ fn cc001_fires_through_the_two_hop_helper_chain() {
 }
 
 #[test]
+fn cc001_fires_through_the_screen_panel_method_entry_point() {
+    // The production lint.toml routes contract analysis through
+    // `CounterfeitScreen::screen_panel`; this pins that a method-style
+    // entry point reaches float accumulation planted one hop below it.
+    let sources = fixture_sources();
+    let g = SymbolGraph::build(&sources);
+    let (allow, locals) = conv_allow_and_locals(&sources);
+    let contract = Contract {
+        entry_points: vec!["CounterfeitScreen::screen_panel".to_owned()],
+        canonical: vec!["crates/traces/src/kernels.rs".to_owned()],
+    };
+    let findings = flow::analyze(&g, &contract, &allow, &locals).findings;
+    let cc001: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "CC001" && f.path == "crates/core/src/screen.rs")
+        .collect();
+    assert_eq!(
+        cc001.len(),
+        1,
+        "exactly the accumulation under screen_panel: {findings:?}"
+    );
+    assert_eq!(cc001[0].line, 15, "the `acc += x` inside panel_variance");
+    // The helper-chain accumulation is NOT reachable from this entry
+    // point, so swapping entry points must swap which site fires.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == "CC001" && f.path == "crates/core/src/helpers.rs"),
+        "helpers.rs is unreachable from screen_panel: {findings:?}"
+    );
+}
+
+#[test]
 fn canonical_kernels_are_exempt_from_cc001() {
     let findings = analyze();
     assert!(

@@ -4,6 +4,7 @@
 //! the facade, so edge resolution must follow one level of `pub use`.
 
 pub mod helpers;
+pub mod screen;
 pub mod session;
 pub mod shadow;
 pub mod verify;

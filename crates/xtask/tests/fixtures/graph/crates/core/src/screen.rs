@@ -1,0 +1,18 @@
+//! Graph fixture: a method entry point (`CounterfeitScreen::screen_panel`)
+//! whose helper hides an ad-hoc float accumulation.
+
+pub struct CounterfeitScreen;
+
+impl CounterfeitScreen {
+    pub fn screen_panel(&self, rows: &[f64]) -> f64 {
+        panel_variance(rows)
+    }
+}
+
+fn panel_variance(rows: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in rows {
+        acc += x; // line 15: the planted CC001 site, one hop below the method
+    }
+    acc
+}
